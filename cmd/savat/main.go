@@ -1,0 +1,161 @@
+// Command savat measures pairwise SAVAT on a simulated case-study system.
+//
+// One pair:
+//
+//	savat -machine Core2Duo -pair ADD/LDM -repeats 10
+//
+// Full 11×11 matrix (Figure 9 style):
+//
+//	savat -machine Core2Duo -distance 0.10 -matrix -format table
+//	savat -machine Pentium3M -matrix -format heatmap
+//	savat -machine TurionX2 -matrix -format csv > turion.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/paperdata"
+	"repro/internal/report"
+	"repro/internal/savat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "savat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		machineName = flag.String("machine", "Core2Duo", "system to simulate: Core2Duo, Pentium3M, TurionX2")
+		distance    = flag.Float64("distance", 0.10, "antenna distance in metres")
+		freq        = flag.Float64("freq", 80e3, "intended alternation frequency in Hz")
+		pair        = flag.String("pair", "", "single pair to measure, e.g. ADD/LDM")
+		matrix      = flag.Bool("matrix", false, "measure the full 11×11 matrix")
+		repeats     = flag.Int("repeats", 10, "measurement campaigns per cell")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		format      = flag.String("format", "table", "matrix output: table, heatmap, csv, bars, stats")
+		fast        = flag.Bool("fast", false, "quarter-second captures (≈4× faster, coarser RBW)")
+		dumpKernel  = flag.Bool("kernel", false, "with -pair: print the generated alternation kernel instead of measuring")
+	)
+	flag.Parse()
+
+	mc, err := machine.ConfigByName(*machineName)
+	if err != nil {
+		return err
+	}
+	cfg := savat.DefaultConfig()
+	if *fast {
+		cfg = savat.FastConfig()
+	}
+	cfg.Distance = *distance
+	cfg.Frequency = *freq
+
+	switch {
+	case *pair != "" && *dumpKernel:
+		a, b, err := parsePair(*pair)
+		if err != nil {
+			return err
+		}
+		k, err := savat.BuildKernel(mc, a, b, cfg.Frequency)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("; %s %v/%v alternation kernel (Figure 4 structure)\n", mc.Name, a, b)
+		fmt.Printf("; inst_loop_count = %d for %.0f kHz intended alternation\n", k.LoopCount, cfg.Frequency/1e3)
+		fmt.Printf("; sweep arrays: A %s, B %s\n", arrayDesc(k.ArrayBytes[0]), arrayDesc(k.ArrayBytes[1]))
+		for i, in := range k.Program {
+			marker := ""
+			if id, ok := k.PhaseAt[i]; ok {
+				marker = fmt.Sprintf("   ; <- phase %c begins", 'A'+byte(id))
+			}
+			fmt.Printf("%4d: %s%s\n", i, in, marker)
+		}
+		return nil
+
+	case *pair != "":
+		a, b, err := parsePair(*pair)
+		if err != nil {
+			return err
+		}
+		vals, sum, err := savat.MeasurePair(mc, a, b, cfg, *repeats, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %v/%v at %.2f m, %.0f kHz intended alternation\n",
+			mc.Name, a, b, cfg.Distance, cfg.Frequency/1e3)
+		for i, v := range vals {
+			fmt.Printf("  campaign %2d: %7.2f zJ\n", i+1, v*1e21)
+		}
+		fmt.Printf("  SAVAT = %.2f ± %.2f zJ (σ/mean = %.3f)\n",
+			sum.Mean*1e21, sum.StdDev*1e21, sum.RelStdDev())
+		return nil
+
+	case *matrix:
+		opts := savat.DefaultCampaignOptions()
+		opts.Repeats = *repeats
+		opts.Seed = *seed
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rmeasuring %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+		res, err := savat.RunCampaign(mc, cfg, opts)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "table":
+			fmt.Printf("%s at %.2f m — SAVAT in zJ (mean of %d campaigns)\n", res.Machine, res.Distance, *repeats)
+			fmt.Print(report.MatrixTable(res.Mean))
+		case "heatmap":
+			fmt.Print(report.Heatmap(res.Mean))
+		case "csv":
+			fmt.Print(report.CSV(res.Mean))
+		case "bars":
+			out, err := report.SelectedPairsChart(
+				fmt.Sprintf("%s at %.2f m — selected pairings (zJ)", res.Machine, res.Distance),
+				res.Mean, paperdata.SelectedPairs)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "stats":
+			fmt.Print(report.MatrixTableWithStats(res))
+			fmt.Printf("mean σ/mean over all cells: %.3f (paper: ≈0.05)\n", res.MeanRelStdDev())
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		return nil
+	}
+	return fmt.Errorf("nothing to do: pass -pair A/B or -matrix (see -help)")
+}
+
+func arrayDesc(bytes int) string {
+	if bytes == 0 {
+		return "none (non-memory event)"
+	}
+	return fmt.Sprintf("%d KiB", bytes>>10)
+}
+
+func parsePair(s string) (savat.Event, savat.Event, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("pair %q must be A/B, e.g. ADD/LDM", s)
+	}
+	a, err := savat.EventByName(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := savat.EventByName(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}

@@ -1,0 +1,105 @@
+// Command savatasm assembles and disassembles SVX32 programs — the
+// instruction set the simulated case-study machines execute.
+//
+//	savatasm prog.s               # assemble, print word listing
+//	savatasm -hex prog.s          # assemble to hex words (one per line)
+//	savatasm -d prog.hex          # disassemble hex words back to assembly
+//	echo 'movi r1, 5' | savatasm  # read from stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "savatasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		disasm = flag.Bool("d", false, "disassemble hex words instead of assembling")
+		hexOut = flag.Bool("hex", false, "emit bare hex words instead of a listing")
+	)
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *disasm {
+		return disassemble(src)
+	}
+	return assemble(src, *hexOut)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func assemble(src string, hexOut bool) error {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return err
+	}
+	words, err := prog.Words()
+	if err != nil {
+		return err
+	}
+	if hexOut {
+		for _, w := range words {
+			fmt.Printf("%08x\n", w)
+		}
+		return nil
+	}
+	for i, w := range words {
+		fmt.Printf("%4d: %08x  %s\n", i, w, prog.Instructions[i])
+	}
+	if len(prog.Symbols) > 0 {
+		fmt.Println("\nsymbols:")
+		for name, v := range prog.Symbols {
+			fmt.Printf("  %-16s %d\n", name, v)
+		}
+	}
+	return nil
+}
+
+func disassemble(src string) error {
+	sc := bufio.NewScanner(strings.NewReader(src))
+	var words []uint32
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			f = strings.TrimPrefix(f, "0x")
+			v, err := strconv.ParseUint(f, 16, 32)
+			if err != nil {
+				return fmt.Errorf("bad hex word %q: %w", f, err)
+			}
+			words = append(words, uint32(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Print(isa.Disassemble(words))
+	return nil
+}

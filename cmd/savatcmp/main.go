@@ -1,0 +1,107 @@
+// Command savatcmp compares two SAVAT matrices saved as CSV (by
+// `savat -matrix -format csv` or by hand from published data): rank
+// correlation, typical cell ratio, and the largest per-cell deviations.
+// Useful for comparing machines, distances, seeds, or model variants.
+//
+//	savat -machine Core2Duo -matrix -format csv -fast > a.csv
+//	savat -machine TurionX2 -matrix -format csv -fast > b.csv
+//	savatcmp a.csv b.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/savat"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "savatcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var top = flag.Int("top", 10, "how many largest deviations to list")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		return fmt.Errorf("usage: savatcmp [-top N] a.csv b.csv")
+	}
+	a, err := load(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := load(flag.Arg(1))
+	if err != nil {
+		return err
+	}
+	if a.Size() != b.Size() {
+		return fmt.Errorf("matrix sizes differ: %d vs %d", a.Size(), b.Size())
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			return fmt.Errorf("event order differs at %d: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+
+	rho, err := stats.SpearmanRank(a.Flat(), b.Flat())
+	if err != nil {
+		return err
+	}
+	type cell struct {
+		name     string
+		av, bv   float64
+		logRatio float64
+	}
+	var cells []cell
+	var logSum float64
+	var n int
+	for i := range a.Vals {
+		for j := range a.Vals[i] {
+			av, bv := a.Vals[i][j], b.Vals[i][j]
+			if av <= 0 || bv <= 0 {
+				continue
+			}
+			lr := math.Log10(av / bv)
+			logSum += math.Abs(lr)
+			n++
+			cells = append(cells, cell{
+				name: fmt.Sprintf("%v/%v", a.Events[i], a.Events[j]),
+				av:   av, bv: bv, logRatio: lr,
+			})
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("no comparable cells")
+	}
+	fmt.Printf("cells compared:        %d\n", n)
+	fmt.Printf("Spearman rank corr:    %.3f\n", rho)
+	fmt.Printf("typical cell ratio:    %.2fx\n", math.Pow(10, logSum/float64(n)))
+
+	sort.Slice(cells, func(x, y int) bool {
+		return math.Abs(cells[x].logRatio) > math.Abs(cells[y].logRatio)
+	})
+	if *top > len(cells) {
+		*top = len(cells)
+	}
+	fmt.Printf("\nlargest deviations (A vs B, zJ):\n")
+	for _, c := range cells[:*top] {
+		fmt.Printf("  %-10s %8.2f vs %8.2f  (%+.2fx)\n",
+			c.name, c.av*1e21, c.bv*1e21, math.Pow(10, c.logRatio))
+	}
+	return nil
+}
+
+func load(path string) (*savat.Matrix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return report.ParseCSV(string(data))
+}

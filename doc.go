@@ -1,0 +1,25 @@
+// Package repro is a full Go reproduction of "A Practical Methodology for
+// Measuring the Side-Channel Signal Available to the Attacker for
+// Instruction-Level Events" (Callan, Zajić, Prvulovic — MICRO 2014).
+//
+// Because the paper's experiments need physical laptops, a loop antenna,
+// and a spectrum analyzer, every physical element is replaced by a
+// simulated equivalent (see DESIGN.md for the substitution argument):
+//
+//   - internal/isa, internal/asm — the SVX32 instruction set and assembler;
+//   - internal/cache, internal/dram, internal/memhier, internal/cpu,
+//     internal/machine — a cycle-level model of the three Figure 6 laptops
+//     that emits per-component switching activity;
+//   - internal/emsim, internal/noise, internal/dsp, internal/specan — the
+//     EM radiation, propagation, noise, and receive chain;
+//   - internal/savat — the paper's contribution: the SAVAT metric, the
+//     Figure 4 alternation kernels, the measurement pipeline, campaigns,
+//     and the naive-methodology baseline;
+//   - internal/paperdata, internal/report, internal/cluster,
+//     internal/attack, internal/stats — published reference values,
+//     rendering, instruction clustering, and the RSA-style attack demo.
+//
+// The benchmarks in bench_test.go regenerate every evaluation table and
+// figure; cmd/reproduce prints them with quantitative comparisons against
+// the published matrices; EXPERIMENTS.md records paper-vs-measured.
+package repro

@@ -1,0 +1,71 @@
+// Cache leakage: the paper's programmer guidance, demonstrated.
+//
+// Section V: "special care should be taken to avoid situations where a
+// memory access instruction might have an L2 hit or miss depending on the
+// value of some sensitive data item." This example runs a table lookup
+// whose cache behaviour depends on secret bits (the access pattern behind
+// AES T-table attacks), recovers the secret from single-trace EM window
+// energies, and then uses the measured SAVAT values to predict how many
+// traces a *noisy* attacker needs for each kind of secret-dependent
+// difference.
+//
+//	go run ./examples/cache-leakage
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/machine"
+	"repro/internal/savat"
+)
+
+func main() {
+	mc := machine.Core2Duo()
+	secret := []int{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1,
+		0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 1}
+
+	tr, err := attack.RunLookup(mc, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	bits, acc, err := attack.RecoverLookupSecret(tr, mc, 0.10, 0, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("secret-indexed table lookup on the Core 2 Duo model, observed at 10 cm:")
+	fmt.Printf("  secret:    %v\n", secret)
+	fmt.Printf("  recovered: %v\n", bits)
+	fmt.Printf("  accuracy:  %.0f%% from a single trace\n", acc*100)
+
+	// What the SAVAT matrix predicts for noisy attackers: per-observation
+	// detection probability and traces needed at 3σ, per difference class.
+	fmt.Println("\nattacker budget per secret-dependent difference (noise RMS 30 zJ/window):")
+	cfg := savat.FastConfig()
+	for _, p := range [][2]savat.Event{
+		{savat.LDL1, savat.LDM},  // cache hit vs DRAM miss — this example
+		{savat.LDL1, savat.LDL2}, // hit vs L2 hit
+		{savat.ADD, savat.DIV},   // arithmetic-only difference
+		{savat.ADD, savat.SUB},   // the "safe" difference
+	} {
+		_, sum, err := savat.MeasurePair(mc, p[0], p[1], cfg, 3, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p1, err := attack.DetectionProbability(sum.Mean, 30e-21, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := attack.RequiredRepetitions(sum.Mean, 30e-21, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s SAVAT %6.2f zJ   single-shot p=%.3f   %6d repetitions to 3σ\n",
+			fmt.Sprintf("%v/%v", p[0], p[1]), sum.Mean*1e21, p1, n)
+	}
+	fmt.Println("\nlesson: a secret-dependent DRAM miss leaks in a handful of traces; an")
+	fmt.Println("ADD-vs-SUB difference is indistinguishable from the measurement floor.")
+}

@@ -1,0 +1,57 @@
+// Frequency sweep: SAVAT is a per-pair energy, so it must not depend on
+// the alternation frequency the experimenter chooses.
+//
+// Section III of the paper argues that the alternation frequency "can be
+// adjusted in software by changing the number of A and B events per
+// iteration of the alternation loop", giving the experimenter freedom to
+// pick a quiet band. This example sweeps the intended frequency across two
+// octaves and shows that (a) the calibrated inst_loop_count scales
+// inversely, and (b) the measured SAVAT stays put — it is signal energy
+// per instruction pair, not per second.
+//
+//	go run ./examples/frequency-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/machine"
+	"repro/internal/savat"
+)
+
+func main() {
+	mc := machine.Core2Duo()
+	fmt.Println("ADD/LDM on the Core 2 Duo model at 10 cm, sweeping the alternation frequency:")
+	fmt.Printf("%-12s %-14s %-14s %s\n", "intended", "inst_loop_count", "pairs/s", "SAVAT")
+	for _, f := range []float64{20e3, 40e3, 80e3, 120e3} {
+		cfg := savat.FastConfig()
+		cfg.Frequency = f
+		cfg.BandHalfWidth = f / 80 // keep the relative band of the paper's 80 kHz ± 1 kHz
+		rng := rand.New(rand.NewSource(1))
+		m, err := savat.Measure(mc, savat.ADD, savat.LDM, cfg, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f kHz %-14d %-14.3g %.2f zJ\n",
+			f/1e3, m.LoopCount, m.PairsPerSecond, m.ZJ())
+	}
+	fmt.Println("\nexpect: loop count halves as frequency doubles; SAVAT stays ≈4.2 zJ throughout.")
+
+	fmt.Println("\nSection VII extension events (branch prediction), same setup at 80 kHz:")
+	cfg := savat.FastConfig()
+	for _, p := range [][2]savat.Event{
+		{savat.BPH, savat.BPH},
+		{savat.BPH, savat.BPM},
+		{savat.ADD, savat.BPM},
+	} {
+		rng := rand.New(rand.NewSource(2))
+		m, err := savat.Measure(mc, p[0], p[1], cfg, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %v/%v: %.2f zJ\n", p[0], p[1], m.ZJ())
+	}
+	fmt.Println("expect: mispredicts are distinguishable from predicted branches (pipeline flush + refetch burst).")
+}

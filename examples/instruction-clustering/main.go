@@ -1,0 +1,72 @@
+// Instruction clustering: the paper's strategy for scaling SAVAT beyond
+// pairwise measurement (Sections III and VII): measure the 11×11 matrix,
+// then cluster instructions with SAVAT as the distance metric so large
+// instruction sets can be explored via class representatives.
+//
+// Running the full campaign takes ~10 s in fast mode; it then recovers
+// the paper's four Section V groups from the *measured* matrix.
+//
+//	go run ./examples/instruction-clustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/savat"
+)
+
+func main() {
+	mc := machine.Core2Duo()
+	cfg := savat.FastConfig()
+
+	opts := savat.DefaultCampaignOptions()
+	opts.Repeats = 2
+	opts.Progress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\rmeasuring %d/%d pairs", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	res, err := savat.RunCampaign(mc, cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Heatmap(res.Mean))
+
+	d, err := cluster.Cluster(res.Mean)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("agglomeration order (floor-adjusted average-linkage distance):")
+	for i, m := range d.Merges {
+		fmt.Printf("  merge %2d at %6.2f zJ\n", i+1, m.Distance*1e21)
+	}
+
+	for _, k := range []int{2, 4, 6} {
+		groups, err := d.CutK(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sil, err := cluster.Silhouette(res.Mean, groups)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nk=%d (silhouette %.2f):\n", k, sil)
+		for i, g := range groups {
+			names := make([]string, len(g))
+			for j, e := range g {
+				names[j] = e.String()
+			}
+			fmt.Printf("  class %d: %s\n", i+1, strings.Join(names, ", "))
+		}
+	}
+	fmt.Println("\nexpect at k=4 the paper's Section V groups:")
+	fmt.Println("  {LDM, STM}  {LDL2, STL2}  {LDL1, STL1, NOI, ADD, SUB, MUL}  {DIV}")
+}

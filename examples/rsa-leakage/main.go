@@ -1,0 +1,75 @@
+// RSA-style leakage: the paper's attack model end to end.
+//
+// Section III of the paper motivates SAVAT with modular exponentiation:
+// square-and-multiply executes an extra multiply-and-reduce (MUL + DIV —
+// the case study's "loud" instructions) for every 1-bit of the secret
+// exponent. This example runs a real square-and-multiply kernel on the
+// simulated Core 2 Duo, records the EM energy of each bit's execution
+// window at 10 cm, and recovers the exponent from a single trace; it then
+// uses SAVAT values to estimate how many repetitions an attacker needs
+// when the signal is buried in noise.
+//
+//	go run ./examples/rsa-leakage
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/machine"
+	"repro/internal/savat"
+)
+
+func main() {
+	mc := machine.Core2Duo()
+	const (
+		base     = 7
+		exponent = 0xB1A5ED5E // the "secret"
+		modulus  = 24593
+	)
+
+	tr, err := attack.RunModExp(mc, base, exponent, modulus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("computed %d^%#x mod %d = %d (verified against reference)\n",
+		base, exponent, modulus, tr.Result)
+
+	rng := rand.New(rand.NewSource(1))
+	energies, err := attack.WindowEnergies(tr, mc, 0.10, 0, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bits, acc, err := attack.RecoverExponent(tr, energies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-bit energy classification at 10 cm:\n")
+	fmt.Printf("  true bits:      %v\n", tr.Bits)
+	fmt.Printf("  recovered bits: %v\n", bits)
+	fmt.Printf("  accuracy:       %.0f%%\n", acc*100)
+
+	// The paper's repetition argument: with SAVAT values from the Figure 9
+	// campaign, how many repetitions does a noisy attacker need?
+	fmt.Println("\nrepetitions needed at 3σ confidence (noise RMS 50 zJ per window):")
+	cfg := savat.FastConfig()
+	for _, p := range [][2]savat.Event{
+		{savat.ADD, savat.DIV},
+		{savat.ADD, savat.LDL2},
+		{savat.ADD, savat.LDM},
+	} {
+		_, sum, err := savat.MeasurePair(mc, p[0], p[1], cfg, 3, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := attack.RequiredRepetitions(sum.Mean, 50e-21, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %v vs %v (SAVAT %.2f zJ): %d repetitions\n", p[0], p[1], sum.Mean*1e21, n)
+	}
+	fmt.Println("\nlesson (paper Section V): code whose memory or divide behaviour depends on")
+	fmt.Println("secret data leaks orders of magnitude faster than pure ALU differences.")
+}

@@ -1,0 +1,192 @@
+// Package activity defines the microarchitectural components whose
+// switching activity the simulator tracks, and the containers used to
+// accumulate that activity over time.
+//
+// SAVAT is driven by *differences in component activity rates* between the
+// two halves of the alternation loop, so the granularity here — one counter
+// per radiating component — is exactly the granularity the EM model
+// (internal/emsim) consumes. Counts are event-weighted: one ALU operation,
+// one L1 transaction, one DRAM burst, one divider active cycle, etc.
+package activity
+
+import "fmt"
+
+// Component identifies one activity source in the simulated machine.
+type Component uint8
+
+const (
+	// Fetch covers instruction fetch and decode switching, including the
+	// code-placement asymmetry between the two alternation-loop halves that
+	// the paper identifies as its A/A measurement floor.
+	Fetch Component = iota
+	// ALU covers simple integer operations (add/sub/logic/shift).
+	ALU
+	// Mul is the integer multiplier array.
+	Mul
+	// Div is the iterative integer divider; one event per active cycle, so
+	// long divides radiate proportionally longer.
+	Div
+	// Branch is the branch unit and predictor.
+	Branch
+	// L1D counts L1 data-cache transactions (accesses and fills).
+	L1D
+	// L2 counts L2 transactions (accesses, fills, and write-backs from L1 —
+	// the double-transaction behaviour behind the paper's STL2 findings).
+	L2
+	// Bus counts off-chip read transfers (demand line fetches); its long
+	// wires are the dominant far-field radiator.
+	Bus
+	// BusWr counts off-chip write transfers — write-combined store streams
+	// and cache write-backs, together with the DRAM write activity they
+	// drive. Writes flow through a different current path than reads, with
+	// machine-specific strength and orientation (the paper's Figures 12/14
+	// show STM much quieter than LDM on the Pentium 3 M and Turion X2).
+	BusWr
+	// DRAM counts memory-device read activity (activates, bursts,
+	// precharges).
+	DRAM
+	// NumComponents is the number of tracked components.
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"fetch", "alu", "mul", "div", "branch", "l1d", "l2", "bus", "buswr", "dram",
+}
+
+// String returns the component's short name.
+func (c Component) String() string {
+	if c >= NumComponents {
+		return fmt.Sprintf("component(%d)", uint8(c))
+	}
+	return componentNames[c]
+}
+
+// Components returns all defined components in order.
+func Components() []Component {
+	out := make([]Component, NumComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// Vector is a per-component activity accumulator.
+type Vector [NumComponents]float64
+
+// Add accumulates n events of component c.
+func (v *Vector) Add(c Component, n float64) {
+	if c >= NumComponents {
+		panic(fmt.Sprintf("activity: invalid component %d", uint8(c)))
+	}
+	v[c] += n
+}
+
+// AddVector accumulates another vector into v.
+func (v *Vector) AddVector(o Vector) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// Sub returns v - o.
+func (v Vector) Sub(o Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = v[i] - o[i]
+	}
+	return out
+}
+
+// Scale returns v*k.
+func (v Vector) Scale(k float64) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = v[i] * k
+	}
+	return out
+}
+
+// Total returns the sum of all component counts.
+func (v Vector) Total() float64 {
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// String renders non-zero components compactly.
+func (v Vector) String() string {
+	s := "{"
+	first := true
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		if !first {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%.3g", Component(i), x)
+		first = false
+	}
+	return s + "}"
+}
+
+// PhaseSample records the activity of one dynamic occurrence of a program
+// phase (one half of one alternation period, in the SAVAT kernels).
+type PhaseSample struct {
+	ID         int    // phase identifier (0 = A half, 1 = B half)
+	StartCycle uint64 // first cycle of the occurrence
+	EndCycle   uint64 // first cycle after the occurrence
+	Activity   Vector // events accumulated during the occurrence
+}
+
+// Cycles returns the duration of the occurrence in cycles.
+func (p PhaseSample) Cycles() uint64 { return p.EndCycle - p.StartCycle }
+
+// Rates converts the sample to per-second activity rates given the core
+// clock frequency in Hz.
+func (p PhaseSample) Rates(clockHz float64) Vector {
+	dur := float64(p.Cycles()) / clockHz
+	if dur <= 0 {
+		return Vector{}
+	}
+	return p.Activity.Scale(1 / dur)
+}
+
+// PhaseStats aggregates the occurrences of one phase ID.
+type PhaseStats struct {
+	ID          int
+	Occurrences int
+	MeanCycles  float64
+	MeanRates   Vector // mean per-second component rates
+}
+
+// SummarizePhases averages samples per phase ID, skipping the first `skip`
+// occurrences of each ID (cache warm-up).
+func SummarizePhases(samples []PhaseSample, clockHz float64, skip int) map[int]PhaseStats {
+	seen := make(map[int]int)
+	acc := make(map[int]*PhaseStats)
+	for _, s := range samples {
+		seen[s.ID]++
+		if seen[s.ID] <= skip {
+			continue
+		}
+		st, ok := acc[s.ID]
+		if !ok {
+			st = &PhaseStats{ID: s.ID}
+			acc[s.ID] = st
+		}
+		st.Occurrences++
+		st.MeanCycles += float64(s.Cycles())
+		st.MeanRates.AddVector(s.Rates(clockHz))
+	}
+	out := make(map[int]PhaseStats, len(acc))
+	for id, st := range acc {
+		n := float64(st.Occurrences)
+		st.MeanCycles /= n
+		st.MeanRates = st.MeanRates.Scale(1 / n)
+		out[id] = *st
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package activity
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentNames(t *testing.T) {
+	for _, c := range Components() {
+		s := c.String()
+		if s == "" || strings.Contains(s, "component(") {
+			t.Errorf("Component(%d).String() = %q", c, s)
+		}
+	}
+	if s := Component(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("invalid component string = %q", s)
+	}
+	if len(Components()) != int(NumComponents) {
+		t.Errorf("Components() length = %d", len(Components()))
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	var v Vector
+	v.Add(ALU, 3)
+	v.Add(ALU, 2)
+	v.Add(DRAM, 1)
+	if v[ALU] != 5 || v[DRAM] != 1 {
+		t.Errorf("Add results: %v", v)
+	}
+	if v.Total() != 6 {
+		t.Errorf("Total = %v, want 6", v.Total())
+	}
+	var w Vector
+	w.Add(ALU, 1)
+	w.AddVector(v)
+	if w[ALU] != 6 {
+		t.Errorf("AddVector: %v", w)
+	}
+	d := w.Sub(v)
+	if d[ALU] != 1 || d[DRAM] != 0 {
+		t.Errorf("Sub: %v", d)
+	}
+	s := v.Scale(2)
+	if s[ALU] != 10 || s[DRAM] != 2 {
+		t.Errorf("Scale: %v", s)
+	}
+	if str := v.String(); !strings.Contains(str, "alu:5") || !strings.Contains(str, "dram:1") {
+		t.Errorf("String: %q", str)
+	}
+}
+
+func TestVectorAddPanicsOnBadComponent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with invalid component should panic")
+		}
+	}()
+	var v Vector
+	v.Add(Component(200), 1)
+}
+
+// Property: Scale distributes over AddVector, and Sub inverts AddVector.
+func TestVectorAlgebraQuick(t *testing.T) {
+	f := func(a, b [NumComponents]float64, k float64) bool {
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			return true
+		}
+		va, vb := Vector(a), Vector(b)
+		for _, x := range append(a[:], b[:]...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		if math.Abs(k) > 1e100 {
+			return true
+		}
+		sum := va
+		sum.AddVector(vb)
+		back := sum.Sub(vb)
+		for i := range back {
+			if math.Abs(back[i]-va[i]) > 1e-6*(1+math.Abs(va[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseSample(t *testing.T) {
+	var v Vector
+	v.Add(ALU, 100)
+	p := PhaseSample{ID: 0, StartCycle: 1000, EndCycle: 2000, Activity: v}
+	if p.Cycles() != 1000 {
+		t.Errorf("Cycles = %d", p.Cycles())
+	}
+	r := p.Rates(1e9) // 1000 cycles at 1 GHz = 1 µs
+	if math.Abs(r[ALU]-1e8) > 1 {
+		t.Errorf("Rates[ALU] = %v, want 1e8", r[ALU])
+	}
+	zero := PhaseSample{StartCycle: 5, EndCycle: 5}
+	if zr := zero.Rates(1e9); zr.Total() != 0 {
+		t.Errorf("zero-duration Rates = %v", zr)
+	}
+}
+
+func TestSummarizePhases(t *testing.T) {
+	mk := func(id int, start, end uint64, alu float64) PhaseSample {
+		var v Vector
+		v.Add(ALU, alu)
+		return PhaseSample{ID: id, StartCycle: start, EndCycle: end, Activity: v}
+	}
+	samples := []PhaseSample{
+		mk(0, 0, 100, 9999), // warm-up, skipped
+		mk(1, 100, 200, 9999),
+		mk(0, 200, 300, 100),
+		mk(1, 300, 400, 200),
+		mk(0, 400, 500, 100),
+		mk(1, 500, 600, 200),
+	}
+	stats := SummarizePhases(samples, 1e6, 1)
+	a, b := stats[0], stats[1]
+	if a.Occurrences != 2 || b.Occurrences != 2 {
+		t.Fatalf("occurrences: %d/%d", a.Occurrences, b.Occurrences)
+	}
+	if a.MeanCycles != 100 {
+		t.Errorf("MeanCycles = %v", a.MeanCycles)
+	}
+	// 100 events over 100 cycles at 1 MHz = 1e6 events/s.
+	if math.Abs(a.MeanRates[ALU]-1e6) > 1 {
+		t.Errorf("phase 0 rate = %v", a.MeanRates[ALU])
+	}
+	if math.Abs(b.MeanRates[ALU]-2e6) > 1 {
+		t.Errorf("phase 1 rate = %v", b.MeanRates[ALU])
+	}
+}
+
+func TestSummarizePhasesSkipAll(t *testing.T) {
+	samples := []PhaseSample{{ID: 0, StartCycle: 0, EndCycle: 10}}
+	if stats := SummarizePhases(samples, 1e9, 5); len(stats) != 0 {
+		t.Errorf("expected empty stats, got %v", stats)
+	}
+}

@@ -1,0 +1,405 @@
+// Package asm provides a two-pass assembler and a programmatic builder for
+// SVX32 programs.
+//
+// The textual syntax mirrors the isa package's String output:
+//
+//	; full-line and trailing comments with ';' or '//'
+//	.equ  mask, 0x0FFF          ; named constants
+//	loop:                       ; labels
+//	    ld   r1, [r14+0]
+//	    st   [r14+4], r1
+//	    addi r2, r2, -1
+//	    bne  r2, r0, loop       ; branch targets resolve to word offsets
+//	    halt
+//
+// The SAVAT alternation kernels (Figure 4 of the paper) are generated with
+// the Builder so that the exact structure of the loop — and the deliberate
+// near-identity of the A and B halves — is specified in one place.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Program is an assembled SVX32 program.
+type Program struct {
+	// Instructions in execution order; the CPU starts at index 0.
+	Instructions []isa.Instruction
+	// Symbols maps label and .equ names to values (labels: word index).
+	Symbols map[string]int64
+}
+
+// Words encodes the program to instruction words.
+func (p *Program) Words() ([]uint32, error) {
+	return isa.EncodeProgram(p.Instructions)
+}
+
+// Symbol returns the value of a defined symbol.
+func (p *Program) Symbol(name string) (int64, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// SyntaxError describes an assembly failure at a specific source line.
+type SyntaxError struct {
+	Line int    // 1-based source line
+	Text string // offending source text
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s: %q", e.Line, e.Msg, e.Text)
+}
+
+type stmt struct {
+	line      int
+	text      string
+	op        string
+	args      []string
+	wordIndex int // instruction word index of this statement
+}
+
+// Assemble parses and assembles SVX32 source text.
+func Assemble(src string) (*Program, error) {
+	stmts, symbols, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Symbols: symbols}
+	for _, s := range stmts {
+		in, err := assembleStmt(s, symbols, len(prog.Instructions))
+		if err != nil {
+			return nil, err
+		}
+		prog.Instructions = append(prog.Instructions, in)
+	}
+	return prog, nil
+}
+
+// parse runs the first pass: strip comments, record labels and .equ
+// symbols, and collect instruction statements.
+func parse(src string) ([]stmt, map[string]int64, error) {
+	symbols := make(map[string]int64)
+	var stmts []stmt
+	word := 0
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := stripComment(raw)
+		// Peel off any leading labels ("name:").
+		for {
+			text = strings.TrimSpace(text)
+			colon := strings.Index(text, ":")
+			if colon < 0 || strings.ContainsAny(text[:colon], " \t,[") {
+				break
+			}
+			name := text[:colon]
+			if !validIdent(name) {
+				return nil, nil, &SyntaxError{line, raw, "invalid label name"}
+			}
+			if _, dup := symbols[name]; dup {
+				return nil, nil, &SyntaxError{line, raw, "duplicate symbol " + name}
+			}
+			symbols[name] = int64(word)
+			text = text[colon+1:]
+		}
+		if text == "" {
+			continue
+		}
+		fields := splitStmt(text)
+		op := strings.ToLower(fields[0])
+		args := fields[1:]
+		if op == ".equ" {
+			if len(args) != 2 {
+				return nil, nil, &SyntaxError{line, raw, ".equ needs name, value"}
+			}
+			if !validIdent(args[0]) {
+				return nil, nil, &SyntaxError{line, raw, "invalid .equ name"}
+			}
+			if _, dup := symbols[args[0]]; dup {
+				return nil, nil, &SyntaxError{line, raw, "duplicate symbol " + args[0]}
+			}
+			v, err := parseInt(args[1], symbols)
+			if err != nil {
+				return nil, nil, &SyntaxError{line, raw, err.Error()}
+			}
+			symbols[args[0]] = v
+			continue
+		}
+		stmts = append(stmts, stmt{line: line, text: raw, op: op, args: args, wordIndex: word})
+		word++
+	}
+	return stmts, symbols, nil
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// splitStmt tokenizes "op a, b, c" into ["op","a","b","c"], keeping
+// bracketed operands like "[r14+8]" intact.
+func splitStmt(s string) []string {
+	s = strings.TrimSpace(s)
+	sp := strings.IndexAny(s, " \t")
+	if sp < 0 {
+		return []string{s}
+	}
+	out := []string{s[:sp]}
+	for _, a := range strings.Split(s[sp:], ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseInt parses a decimal, hex (0x...), binary (0b...), or character
+// literal, or resolves a symbol.
+func parseInt(s string, symbols map[string]int64) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty integer")
+	}
+	neg := false
+	body := s
+	if body[0] == '-' {
+		neg = true
+		body = body[1:]
+	}
+	if v, ok := symbols[body]; ok {
+		if neg {
+			return -v, nil
+		}
+		return v, nil
+	}
+	v, err := strconv.ParseInt(body, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer or unknown symbol %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+// parseMem parses "[rN+imm]" or "[rN-imm]" or "[rN]".
+func parseMem(s string, symbols map[string]int64) (isa.Reg, int32, error) {
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	sep := strings.IndexAny(body[1:], "+-")
+	if sep < 0 {
+		r, err := parseReg(strings.TrimSpace(body))
+		return r, 0, err
+	}
+	sep++
+	r, err := parseReg(strings.TrimSpace(body[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	imm, err := parseInt(strings.TrimSpace(body[sep:]), symbols)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, int32(imm), nil
+}
+
+var immOps = map[string]isa.Op{
+	"addi": isa.ADDI, "subi": isa.SUBI, "andi": isa.ANDI, "ori": isa.ORI,
+	"xori": isa.XORI, "shli": isa.SHLI, "shri": isa.SHRI,
+	"muli": isa.MULI, "divi": isa.DIVI,
+}
+
+var regOps = map[string]isa.Op{
+	"add": isa.ADDR, "sub": isa.SUBR, "and": isa.ANDR, "or": isa.ORR,
+	"xor": isa.XORR, "mul": isa.MULR, "div": isa.DIVR,
+}
+
+func assembleStmt(s stmt, symbols map[string]int64, _ int) (isa.Instruction, error) {
+	fail := func(msg string) (isa.Instruction, error) {
+		return isa.Instruction{}, &SyntaxError{s.line, strings.TrimSpace(s.text), msg}
+	}
+	need := func(n int) error {
+		if len(s.args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", s.op, n, len(s.args))
+		}
+		return nil
+	}
+	var in isa.Instruction
+	switch s.op {
+	case "nop":
+		in = isa.Instruction{Op: isa.NOP}
+	case "halt":
+		in = isa.Instruction{Op: isa.HALT}
+	case "movi", "lui":
+		if err := need(2); err != nil {
+			return fail(err.Error())
+		}
+		rd, err := parseReg(s.args[0])
+		if err != nil {
+			return fail(err.Error())
+		}
+		imm, err := parseInt(s.args[1], symbols)
+		if err != nil {
+			return fail(err.Error())
+		}
+		op := isa.MOVI
+		if s.op == "lui" {
+			op = isa.LUI
+		}
+		in = isa.Instruction{Op: op, Rd: rd, Imm: int32(imm)}
+	case "ld":
+		if err := need(2); err != nil {
+			return fail(err.Error())
+		}
+		rd, err := parseReg(s.args[0])
+		if err != nil {
+			return fail(err.Error())
+		}
+		rs1, imm, err := parseMem(s.args[1], symbols)
+		if err != nil {
+			return fail(err.Error())
+		}
+		in = isa.Instruction{Op: isa.LD, Rd: rd, Rs1: rs1, Imm: imm}
+	case "st":
+		if err := need(2); err != nil {
+			return fail(err.Error())
+		}
+		rs1, imm, err := parseMem(s.args[0], symbols)
+		if err != nil {
+			return fail(err.Error())
+		}
+		rd, err := parseReg(s.args[1])
+		if err != nil {
+			return fail(err.Error())
+		}
+		in = isa.Instruction{Op: isa.ST, Rd: rd, Rs1: rs1, Imm: imm}
+	case "beq", "bne":
+		if err := need(3); err != nil {
+			return fail(err.Error())
+		}
+		rd, err := parseReg(s.args[0])
+		if err != nil {
+			return fail(err.Error())
+		}
+		rs1, err := parseReg(s.args[1])
+		if err != nil {
+			return fail(err.Error())
+		}
+		off, err := branchOffset(s.args[2], symbols, s.seq())
+		if err != nil {
+			return fail(err.Error())
+		}
+		op := isa.BEQ
+		if s.op == "bne" {
+			op = isa.BNE
+		}
+		in = isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: off}
+	case "jmp":
+		if err := need(1); err != nil {
+			return fail(err.Error())
+		}
+		off, err := branchOffset(s.args[0], symbols, s.seq())
+		if err != nil {
+			return fail(err.Error())
+		}
+		in = isa.Instruction{Op: isa.JMP, Imm: off}
+	default:
+		if op, ok := immOps[s.op]; ok {
+			if err := need(3); err != nil {
+				return fail(err.Error())
+			}
+			rd, err := parseReg(s.args[0])
+			if err != nil {
+				return fail(err.Error())
+			}
+			rs1, err := parseReg(s.args[1])
+			if err != nil {
+				return fail(err.Error())
+			}
+			imm, err := parseInt(s.args[2], symbols)
+			if err != nil {
+				return fail(err.Error())
+			}
+			in = isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: int32(imm)}
+		} else if op, ok := regOps[s.op]; ok {
+			if err := need(3); err != nil {
+				return fail(err.Error())
+			}
+			rd, err := parseReg(s.args[0])
+			if err != nil {
+				return fail(err.Error())
+			}
+			rs1, err := parseReg(s.args[1])
+			if err != nil {
+				return fail(err.Error())
+			}
+			rs2, err := parseReg(s.args[2])
+			if err != nil {
+				return fail(err.Error())
+			}
+			in = isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+		} else {
+			return fail("unknown mnemonic " + s.op)
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return fail(err.Error())
+	}
+	return in, nil
+}
+
+// seq is the statement's instruction word index, used as the branch pc.
+func (s stmt) seq() int { return s.wordIndex }
+
+// branchOffset resolves a branch target: either an explicit numeric word
+// offset or a label, converted to target - (pc+1).
+func branchOffset(arg string, symbols map[string]int64, pc int) (int32, error) {
+	if v, ok := symbols[arg]; ok {
+		return int32(v) - int32(pc) - 1, nil
+	}
+	v, err := parseInt(arg, symbols)
+	if err != nil {
+		return 0, err
+	}
+	return int32(v), nil
+}

@@ -1,0 +1,366 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	prog, err := Assemble(`
+		; counting loop
+		.equ count, 10
+		movi r1, count
+		movi r2, 0
+	loop:
+		addi r2, r2, 1      ; accumulate
+		subi r1, r1, 1
+		bne  r1, r0, loop   // back edge
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 1, Imm: 10},
+		{Op: isa.MOVI, Rd: 2, Imm: 0},
+		{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 1},
+		{Op: isa.SUBI, Rd: 1, Rs1: 1, Imm: 1},
+		{Op: isa.BNE, Rd: 1, Rs1: 0, Imm: -3},
+		{Op: isa.HALT},
+	}
+	if len(prog.Instructions) != len(want) {
+		t.Fatalf("got %d instructions, want %d:\n%v", len(prog.Instructions), len(want), prog.Instructions)
+	}
+	for i := range want {
+		if prog.Instructions[i] != want[i] {
+			t.Errorf("instr %d: got %v, want %v", i, prog.Instructions[i], want[i])
+		}
+	}
+	if v, ok := prog.Symbol("loop"); !ok || v != 2 {
+		t.Errorf("Symbol(loop) = %d,%v; want 2,true", v, ok)
+	}
+	if v, ok := prog.Symbol("count"); !ok || v != 10 {
+		t.Errorf("Symbol(count) = %d,%v; want 10,true", v, ok)
+	}
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	prog, err := Assemble(`
+		ld r1, [r14+8]
+		ld r2, [r14-4]
+		ld r3, [r14]
+		st [r13+0], r4
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Instruction{
+		{Op: isa.LD, Rd: 1, Rs1: 14, Imm: 8},
+		{Op: isa.LD, Rd: 2, Rs1: 14, Imm: -4},
+		{Op: isa.LD, Rd: 3, Rs1: 14, Imm: 0},
+		{Op: isa.ST, Rd: 4, Rs1: 13, Imm: 0},
+	}
+	for i := range want {
+		if prog.Instructions[i] != want[i] {
+			t.Errorf("instr %d: got %v, want %v", i, prog.Instructions[i], want[i])
+		}
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	src := `
+		nop
+		halt
+		movi r1, -5
+		lui  r1, 0xDEAD
+		addi r1, r2, 3
+		add  r1, r2, r3
+		subi r1, r2, 3
+		sub  r1, r2, r3
+		andi r1, r2, 0xF0
+		and  r1, r2, r3
+		ori  r1, r2, 0xF0
+		or   r1, r2, r3
+		xori r1, r2, 0xF0
+		xor  r1, r2, r3
+		shli r1, r2, 4
+		shri r1, r2, 4
+		muli r1, r2, 173
+		mul  r1, r2, r3
+		divi r1, r2, 173
+		div  r1, r2, r3
+		ld   r1, [r2+0]
+		st   [r2+0], r1
+		beq  r1, r2, 1
+		bne  r1, r2, -1
+		jmp  0
+	`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Instructions) != isa.NumOps {
+		t.Fatalf("covered %d mnemonics, want %d", len(prog.Instructions), isa.NumOps)
+	}
+	seen := map[isa.Op]bool{}
+	for _, in := range prog.Instructions {
+		seen[in.Op] = true
+	}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		if !seen[op] {
+			t.Errorf("mnemonic %s not covered", op)
+		}
+	}
+}
+
+// Assembling the disassembly of a program yields the same instructions.
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+	top:
+		movi r5, 1000
+	inner:
+		ld   r1, [r5+0]
+		addi r5, r5, 4
+		subi r6, r6, 1
+		bne  r6, r0, inner
+		jmp  top
+	`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	for _, in := range prog.Instructions {
+		text.WriteString(in.String())
+		text.WriteByte('\n')
+	}
+	prog2, err := Assemble(text.String())
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text.String())
+	}
+	for i := range prog.Instructions {
+		if prog.Instructions[i] != prog2.Instructions[i] {
+			t.Errorf("instr %d: %v != %v", i, prog.Instructions[i], prog2.Instructions[i])
+		}
+	}
+}
+
+func TestForwardBranch(t *testing.T) {
+	prog, err := Assemble(`
+		beq r1, r2, done
+		nop
+		nop
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Instructions[0].Imm; got != 2 {
+		t.Errorf("forward branch offset = %d, want 2", got)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"frob r1, r2", "unknown mnemonic"},
+		{"addi r1, r2", "needs 3 operands"},
+		{"addi r1, r2, r3, r4", "needs 3 operands"},
+		{"movi rq, 5", "bad register"},
+		{"movi r99, 5", "bad register"},
+		{"movi r1, zzz", "unknown symbol"},
+		{"ld r1, r2", "bad memory operand"},
+		{"ld r1, [q2+0]", "bad register"},
+		{"bne r1, r2, nowhere", "unknown symbol"},
+		{"movi r1, 100000", "immediate"},
+		{".equ 9bad, 5", "invalid .equ name"},
+		{".equ x, 1\n.equ x, 2", "duplicate symbol"},
+		{"dup:\ndup:\nnop", "duplicate symbol"},
+		{"1bad:\nnop", "invalid label"},
+		{".equ only_name", ".equ needs"},
+		{"divi r1, r1, 0", "divisor"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Assemble(%q) error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestSyntaxErrorHasLine(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus r1\n")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type = %T, want *SyntaxError", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("error line = %d, want 3", se.Line)
+	}
+}
+
+func TestBuilderLoop(t *testing.T) {
+	b := NewBuilder()
+	b.Movi(1, 10)
+	b.Label("loop")
+	b.Op3i(isa.ADDI, 2, 2, 1)
+	b.Op3i(isa.SUBI, 1, 1, 1)
+	b.Bne(1, 0, "loop")
+	b.Halt()
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Instructions[3].Imm != -3 {
+		t.Errorf("builder back-branch offset = %d, want -3", prog.Instructions[3].Imm)
+	}
+	if b.Len() != 5 {
+		t.Errorf("Len = %d, want 5", b.Len())
+	}
+}
+
+func TestBuilderForwardJump(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("end")
+	b.Nop()
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Instructions[0].Imm != 2 {
+		t.Errorf("forward jmp offset = %d, want 2", prog.Instructions[0].Imm)
+	}
+}
+
+func TestBuilderMov32(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		want int // instruction count
+	}{
+		{0, 1}, {32767, 1}, {0xFFFF8000, 1}, {0x12345678, 2}, {0xFFFFFFFF, 1}, {65536, 2},
+	}
+	for _, c := range cases {
+		b := NewBuilder()
+		b.Mov32(3, c.v)
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(prog.Instructions) != c.want {
+			t.Errorf("Mov32(%#x) emitted %d instructions, want %d", c.v, len(prog.Instructions), c.want)
+		}
+		// Simulate the materialization.
+		var r uint32
+		for _, in := range prog.Instructions {
+			switch in.Op {
+			case isa.MOVI:
+				r = uint32(in.Imm)
+			case isa.LUI:
+				r = r&0xFFFF | uint32(in.Imm)<<16
+			}
+		}
+		if r != c.v {
+			t.Errorf("Mov32(%#x) materializes %#x", c.v, r)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Program(); err == nil {
+		t.Error("duplicate label should fail")
+	}
+
+	b = NewBuilder()
+	b.Jmp("nowhere")
+	if _, err := b.Program(); err == nil {
+		t.Error("undefined label should fail")
+	}
+
+	b = NewBuilder()
+	b.Movi(99, 0)
+	if _, err := b.Program(); err == nil {
+		t.Error("invalid instruction should fail")
+	}
+	if b.Err() == nil {
+		t.Error("Err() should report the failure")
+	}
+}
+
+func TestProgramWords(t *testing.T) {
+	prog, err := Assemble("movi r1, 1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := prog.Words()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := isa.DecodeProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != prog.Instructions[0] || back[1] != prog.Instructions[1] {
+		t.Error("Words round trip mismatch")
+	}
+}
+
+func TestBuilderMemoryAndRegisterOps(t *testing.T) {
+	b := NewBuilder()
+	b.Movi(1, 7)
+	b.Op3r(isa.ADDR, 2, 1, 1) // r2 = 14
+	b.Ld(3, 4, 8)             // ld r3, [r4+8]
+	b.St(4, 12, 2)            // st [r4+12], r2
+	b.Beq(1, 2, "end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 1, Imm: 7},
+		{Op: isa.ADDR, Rd: 2, Rs1: 1, Rs2: 1},
+		{Op: isa.LD, Rd: 3, Rs1: 4, Imm: 8},
+		{Op: isa.ST, Rd: 2, Rs1: 4, Imm: 12},
+		{Op: isa.BEQ, Rd: 1, Rs1: 2, Imm: 1},
+		{Op: isa.NOP},
+		{Op: isa.HALT},
+	}
+	for i := range want {
+		if prog.Instructions[i] != want[i] {
+			t.Errorf("instr %d: got %v, want %v", i, prog.Instructions[i], want[i])
+		}
+	}
+}
+
+func TestValidIdentEdgeCases(t *testing.T) {
+	// Identifiers with dots and underscores are allowed; leading digits,
+	// empty names, and symbols are not.
+	good := []string{"a", "warm.loop", "_x", "A9_b"}
+	for _, g := range good {
+		if !validIdent(g) {
+			t.Errorf("validIdent(%q) = false", g)
+		}
+	}
+	bad := []string{"", "9a", "a-b", "a b", "a+b"}
+	for _, b := range bad {
+		if validIdent(b) {
+			t.Errorf("validIdent(%q) = true", b)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder constructs SVX32 programs programmatically with label support.
+// Branches to labels may be emitted before the label is defined; offsets
+// are patched when Program is called.
+type Builder struct {
+	ins     []isa.Instruction
+	labels  map[string]int
+	patches []patch
+	err     error
+}
+
+type patch struct {
+	index int    // instruction to patch
+	label string // target label
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.ins) }
+
+// Err returns the first recorded construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asm builder: "+format, args...)
+	}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = len(b.ins)
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Instruction) *Builder {
+	if err := in.Validate(); err != nil {
+		// Branches to labels are validated after patching instead.
+		if !in.IsBranch() {
+			b.fail("instruction %d: %v", len(b.ins), err)
+			return b
+		}
+	}
+	b.ins = append(b.ins, in)
+	return b
+}
+
+// Nop appends a nop.
+func (b *Builder) Nop() *Builder { return b.Emit(isa.Instruction{Op: isa.NOP}) }
+
+// Halt appends a halt.
+func (b *Builder) Halt() *Builder { return b.Emit(isa.Instruction{Op: isa.HALT}) }
+
+// Movi appends rd = imm (sign-extended 16 bit).
+func (b *Builder) Movi(rd isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instruction{Op: isa.MOVI, Rd: rd, Imm: imm})
+}
+
+// Mov32 materializes an arbitrary 32-bit constant in rd using MOVI+LUI
+// (one instruction when the value fits in a signed 16-bit immediate).
+func (b *Builder) Mov32(rd isa.Reg, v uint32) *Builder {
+	s := int32(v)
+	if s >= -32768 && s <= 32767 {
+		return b.Movi(rd, s)
+	}
+	b.Movi(rd, int32(int16(uint16(v))))
+	return b.Emit(isa.Instruction{Op: isa.LUI, Rd: rd, Imm: int32(v >> 16)})
+}
+
+// Op3i appends an immediate-form three-operand instruction.
+func (b *Builder) Op3i(op isa.Op, rd, rs1 isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Op3r appends a register-form three-operand instruction.
+func (b *Builder) Op3r(op isa.Op, rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Ld appends rd = mem[rs1+off].
+func (b *Builder) Ld(rd, rs1 isa.Reg, off int32) *Builder {
+	return b.Emit(isa.Instruction{Op: isa.LD, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// St appends mem[rs1+off] = rd.
+func (b *Builder) St(rs1 isa.Reg, off int32, rd isa.Reg) *Builder {
+	return b.Emit(isa.Instruction{Op: isa.ST, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// Bne appends a branch-if-not-equal to a label.
+func (b *Builder) Bne(a, c isa.Reg, label string) *Builder {
+	b.patches = append(b.patches, patch{len(b.ins), label})
+	return b.Emit(isa.Instruction{Op: isa.BNE, Rd: a, Rs1: c})
+}
+
+// Beq appends a branch-if-equal to a label.
+func (b *Builder) Beq(a, c isa.Reg, label string) *Builder {
+	b.patches = append(b.patches, patch{len(b.ins), label})
+	return b.Emit(isa.Instruction{Op: isa.BEQ, Rd: a, Rs1: c})
+}
+
+// Jmp appends an unconditional jump to a label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.patches = append(b.patches, patch{len(b.ins), label})
+	return b.Emit(isa.Instruction{Op: isa.JMP})
+}
+
+// Program patches label references and returns the finished program.
+func (b *Builder) Program() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	ins := make([]isa.Instruction, len(b.ins))
+	copy(ins, b.ins)
+	for _, p := range b.patches {
+		target, ok := b.labels[p.label]
+		if !ok {
+			return nil, fmt.Errorf("asm builder: undefined label %q", p.label)
+		}
+		ins[p.index].Imm = int32(target - p.index - 1)
+		if err := ins[p.index].Validate(); err != nil {
+			return nil, fmt.Errorf("asm builder: branch to %q: %w", p.label, err)
+		}
+	}
+	symbols := make(map[string]int64, len(b.labels))
+	for name, idx := range b.labels {
+		symbols[name] = int64(idx)
+	}
+	return &Program{Instructions: ins, Symbols: symbols}, nil
+}

@@ -1,0 +1,231 @@
+// Package attack demonstrates the paper's attack model (Section III):
+// sensitive data creates instruction-level differences in execution, and
+// the SAVAT of those differences determines how much signal an attacker
+// receives.
+//
+// The worked example is the classic square-and-multiply modular
+// exponentiation: each 1-bit of the secret exponent executes an extra
+// multiply-and-reduce sequence (MUL and DIV instructions — exactly the
+// "loud" instructions the case study identifies), so per-bit windows of
+// the EM signal separate into two energy classes and the exponent can be
+// read off a single trace when the accumulated SAVAT is large enough.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/activity"
+	"repro/internal/asm"
+	"repro/internal/emsim"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Trace is one execution of the exponentiation with per-bit activity.
+type Trace struct {
+	Base, Exponent, Modulus uint32
+	// Bits holds the exponent bits MSB-first, as executed.
+	Bits []int
+	// Windows holds one activity sample per processed bit.
+	Windows []activity.PhaseSample
+	// Result is the computed base^exp mod m.
+	Result uint32
+}
+
+// modExpProgram builds the square-and-multiply kernel. The per-bit loop
+// body squares, then — only when the current exponent bit is 1 — performs
+// the extra multiply, with both halves reduced modulo m via DIV.
+func modExpProgram(base, exp, mod uint32) (*asm.Program, error) {
+	b := asm.NewBuilder()
+	const (
+		rRes isa.Reg = 1
+		rBas isa.Reg = 2
+		rMod isa.Reg = 3
+		rExp isa.Reg = 4
+		rCnt isa.Reg = 5
+		rTmp isa.Reg = 6
+		rBit isa.Reg = 7
+	)
+	b.Movi(rRes, 1)
+	b.Mov32(rBas, base)
+	b.Mov32(rMod, mod)
+	b.Mov32(rExp, exp)
+	// base %= m, so products stay positive in the signed divider.
+	b.Op3r(isa.DIVR, rTmp, rBas, rMod)
+	b.Op3r(isa.MULR, rTmp, rTmp, rMod)
+	b.Op3r(isa.SUBR, rBas, rBas, rTmp)
+	b.Movi(rCnt, 32)
+	b.Label("bit")
+	// result = result² mod m
+	b.Op3r(isa.MULR, rTmp, rRes, rRes)
+	b.Op3r(isa.DIVR, rBit, rTmp, rMod)
+	b.Op3r(isa.MULR, rBit, rBit, rMod)
+	b.Op3r(isa.SUBR, rRes, rTmp, rBit)
+	// bit = exp >> 31; exp <<= 1
+	b.Op3i(isa.SHRI, rBit, rExp, 31)
+	b.Op3i(isa.SHLI, rExp, rExp, 1)
+	b.Beq(rBit, 0, "skip")
+	// result = result·base mod m (the leaky extra work)
+	b.Op3r(isa.MULR, rTmp, rRes, rBas)
+	b.Op3r(isa.DIVR, rBit, rTmp, rMod)
+	b.Op3r(isa.MULR, rBit, rBit, rMod)
+	b.Op3r(isa.SUBR, rRes, rTmp, rBit)
+	b.Label("skip")
+	b.Op3i(isa.SUBI, rCnt, rCnt, 1)
+	b.Bne(rCnt, 0, "bit")
+	b.Halt()
+	return b.Program()
+}
+
+// modExpRef computes base^exp mod m in Go for verification.
+func modExpRef(base, exp, mod uint32) uint32 {
+	r := uint64(1)
+	b := uint64(base) % uint64(mod)
+	for i := 31; i >= 0; i-- {
+		r = r * r % uint64(mod)
+		if exp>>uint(i)&1 == 1 {
+			r = r * b % uint64(mod)
+		}
+	}
+	return uint32(r)
+}
+
+// RunModExp executes the exponentiation on the machine, recording one
+// activity window per exponent bit, and verifies the computed result
+// against a reference implementation.
+func RunModExp(mc machine.Config, base, exp, mod uint32) (*Trace, error) {
+	if mod == 0 || mod >= 1<<15 {
+		return nil, fmt.Errorf("attack: modulus %d outside (0, 2^15) — squares must stay positive in the signed divider", mod)
+	}
+	if base == 0 {
+		return nil, fmt.Errorf("attack: zero base")
+	}
+	prog, err := modExpProgram(base, exp, mod)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(mc)
+	if err != nil {
+		return nil, err
+	}
+	bitPC, ok := prog.Symbol("bit")
+	if !ok {
+		return nil, fmt.Errorf("attack: kernel missing bit label")
+	}
+	res, err := m.RunPhases(prog.Instructions, map[int]int{int(bitPC): 0}, machine.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Halted {
+		return nil, fmt.Errorf("attack: exponentiation did not halt")
+	}
+	got := res.CPU.Reg(1)
+	want := modExpRef(base, exp, mod)
+	if got != want {
+		return nil, fmt.Errorf("attack: modexp computed %d, want %d", got, want)
+	}
+	if len(res.Samples) != 32 {
+		return nil, fmt.Errorf("attack: %d bit windows, want 32", len(res.Samples))
+	}
+	tr := &Trace{Base: base, Exponent: exp, Modulus: mod, Windows: res.Samples, Result: got}
+	for i := 31; i >= 0; i-- {
+		tr.Bits = append(tr.Bits, int(exp>>uint(i)&1))
+	}
+	return tr, nil
+}
+
+// WindowEnergies returns the EM energy the attacker receives during each
+// bit window at the given distance: group powers are mutually incoherent,
+// so each window's energy is Σ_g |amplitude_g|² × duration, plus Gaussian
+// measurement noise of RMS noiseRMS (joules).
+func WindowEnergies(tr *Trace, mc machine.Config, distance, noiseRMS float64, rng *rand.Rand) ([]float64, error) {
+	return windowEnergies(tr.Windows, mc, distance, noiseRMS, rng)
+}
+
+// windowEnergies computes received EM energy per activity window, shared
+// by the exponentiation and table-lookup attack demos.
+func windowEnergies(windows []activity.PhaseSample, mc machine.Config, distance, noiseRMS float64, rng *rand.Rand) ([]float64, error) {
+	rad, err := emsim.NewRadiator(mc.Sources, distance, 0, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(windows))
+	for i, w := range windows {
+		rates := w.Rates(mc.ClockHz)
+		dur := float64(w.Cycles()) / mc.ClockHz
+		e := 0.0
+		for g := 0; g < emsim.NumGroups; g++ {
+			a := rad.GroupAmplitude(rates, 1, g)
+			e += (real(a)*real(a) + imag(a)*imag(a)) * dur
+		}
+		out[i] = e + rng.NormFloat64()*noiseRMS
+	}
+	return out, nil
+}
+
+// RecoverExponent classifies the window energies into two classes with a
+// 1-D two-means split and returns the recovered bits (high energy = 1)
+// and the fraction that match the true exponent.
+func RecoverExponent(tr *Trace, energies []float64) (bits []int, accuracy float64, err error) {
+	if len(energies) != len(tr.Bits) {
+		return nil, 0, fmt.Errorf("attack: %d energies for %d bits", len(energies), len(tr.Bits))
+	}
+	lo, hi := energies[0], energies[0]
+	for _, e := range energies {
+		lo = math.Min(lo, e)
+		hi = math.Max(hi, e)
+	}
+	// Two-means on the energy axis.
+	c0, c1 := lo, hi
+	for iter := 0; iter < 50; iter++ {
+		var s0, s1 float64
+		var n0, n1 int
+		for _, e := range energies {
+			if math.Abs(e-c0) <= math.Abs(e-c1) {
+				s0 += e
+				n0++
+			} else {
+				s1 += e
+				n1++
+			}
+		}
+		if n0 == 0 || n1 == 0 {
+			break
+		}
+		nc0, nc1 := s0/float64(n0), s1/float64(n1)
+		if nc0 == c0 && nc1 == c1 {
+			break
+		}
+		c0, c1 = nc0, nc1
+	}
+	bits = make([]int, len(energies))
+	correct := 0
+	for i, e := range energies {
+		if math.Abs(e-c1) < math.Abs(e-c0) {
+			bits[i] = 1
+		}
+		if bits[i] == tr.Bits[i] {
+			correct++
+		}
+	}
+	return bits, float64(correct) / float64(len(bits)), nil
+}
+
+// RequiredRepetitions estimates how many repetitions of an A/B difference
+// the attacker must accumulate before it stands out of the measurement
+// noise: the signal energy grows linearly with n while the noise energy's
+// standard deviation grows as √n, so n ≈ (targetSNR·σ_noise / SAVAT)².
+// This is the paper's point that huge SAVAT values enable attacks even
+// when sensitive data creates a seemingly small difference in execution.
+func RequiredRepetitions(savatJ, noiseRMSJ, targetSNR float64) (int, error) {
+	if savatJ <= 0 || noiseRMSJ < 0 || targetSNR <= 0 {
+		return 0, fmt.Errorf("attack: bad parameters savat=%g noise=%g snr=%g", savatJ, noiseRMSJ, targetSNR)
+	}
+	n := math.Ceil(math.Pow(targetSNR*noiseRMSJ/savatJ, 2))
+	if n < 1 {
+		n = 1
+	}
+	return int(n), nil
+}

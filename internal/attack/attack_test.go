@@ -1,0 +1,267 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func TestModExpRefQuick(t *testing.T) {
+	f := func(base, exp uint32, modSeed uint16) bool {
+		mod := uint32(modSeed)
+		if mod == 0 {
+			return true
+		}
+		// Compare against big-step Go computation.
+		want := uint32(1)
+		acc := uint64(1)
+		b := uint64(base % mod)
+		for i := 31; i >= 0; i-- {
+			acc = acc * acc % uint64(mod)
+			if exp>>uint(i)&1 == 1 {
+				acc = acc * b % uint64(mod)
+			}
+		}
+		want = uint32(acc)
+		return modExpRef(base, exp, mod) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunModExpErrors(t *testing.T) {
+	mc := machine.Core2Duo()
+	if _, err := RunModExp(mc, 7, 5, 0); err == nil {
+		t.Error("zero modulus should fail")
+	}
+	if _, err := RunModExp(mc, 7, 5, 1<<15); err == nil {
+		t.Error("oversized modulus should fail")
+	}
+	if _, err := RunModExp(mc, 0, 5, 101); err == nil {
+		t.Error("zero base should fail")
+	}
+	if _, err := RunModExp(machine.Config{}, 7, 5, 101); err == nil {
+		t.Error("bad machine should fail")
+	}
+}
+
+// The simulated exponentiation must compute correct results and produce
+// exactly one window per exponent bit.
+func TestRunModExpCorrectness(t *testing.T) {
+	mc := machine.Core2Duo()
+	cases := []struct{ base, exp, mod uint32 }{
+		{7, 0xB1A5ED, 24593},
+		{2, 1, 3},
+		{123456789, 0xFFFFFFFF, 32749},
+		{3, 0x80000001, 101},
+	}
+	for _, c := range cases {
+		tr, err := RunModExp(mc, c.base, c.exp, c.mod)
+		if err != nil {
+			t.Fatalf("(%d,%#x,%d): %v", c.base, c.exp, c.mod, err)
+		}
+		if tr.Result != modExpRef(c.base, c.exp, c.mod) {
+			t.Errorf("result mismatch for %#x", c.exp)
+		}
+		if len(tr.Bits) != 32 || len(tr.Windows) != 32 {
+			t.Fatalf("windows/bits: %d/%d", len(tr.Windows), len(tr.Bits))
+		}
+		// 1-bits must take longer (extra MUL+DIV sequence).
+		var c0, c1, n0, n1 float64
+		for i, b := range tr.Bits {
+			if b == 1 {
+				c1 += float64(tr.Windows[i].Cycles())
+				n1++
+			} else {
+				c0 += float64(tr.Windows[i].Cycles())
+				n0++
+			}
+		}
+		if n0 > 0 && n1 > 0 && c1/n1 <= c0/n0 {
+			t.Errorf("1-bit windows (%v cycles) should exceed 0-bit windows (%v)", c1/n1, c0/n0)
+		}
+	}
+}
+
+// The full attack: with the case-study machines' EM signatures, a single
+// trace at 10 cm recovers the exponent perfectly at low noise.
+func TestExponentRecovery(t *testing.T) {
+	for _, mc := range machine.CaseStudyMachines() {
+		tr, err := RunModExp(mc, 7, 0xDEADBEEF, 24593)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		energies, err := WindowEnergies(tr, mc, 0.10, 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits, acc, err := RecoverExponent(tr, energies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc != 1.0 {
+			t.Errorf("%s: noiseless recovery accuracy %v, bits %v", mc.Name, acc, bits)
+		}
+	}
+}
+
+// Accuracy degrades toward guessing as measurement noise grows.
+func TestRecoveryDegradesWithNoise(t *testing.T) {
+	mc := machine.Core2Duo()
+	tr, err := RunModExp(mc, 7, 0xCAFEBABE, 24593)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	clean, err := WindowEnergies(tr, mc, 0.10, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise RMS at 10× the signal separation.
+	lo, hi := clean[0], clean[0]
+	for _, e := range clean {
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	noisy, err := WindowEnergies(tr, mc, 0.10, 10*(hi-lo), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, accClean, err := RecoverExponent(tr, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, accNoisy, err := RecoverExponent(tr, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accNoisy >= accClean {
+		t.Errorf("noise should hurt: clean %v vs noisy %v", accClean, accNoisy)
+	}
+}
+
+func TestRecoverExponentErrors(t *testing.T) {
+	tr := &Trace{Bits: []int{0, 1}}
+	if _, _, err := RecoverExponent(tr, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestRequiredRepetitions(t *testing.T) {
+	n, err := RequiredRepetitions(4.2e-21, 42e-21, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 900 {
+		t.Errorf("repetitions = %d, want 900", n)
+	}
+	// Louder events need fewer repetitions.
+	loud, err := RequiredRepetitions(11.5e-21, 42e-21, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loud >= n {
+		t.Errorf("louder instruction should need fewer repetitions: %d vs %d", loud, n)
+	}
+	// Noiseless: single observation suffices.
+	one, err := RequiredRepetitions(1e-21, 0, 3)
+	if err != nil || one != 1 {
+		t.Errorf("noiseless repetitions = %d, %v", one, err)
+	}
+	if _, err := RequiredRepetitions(0, 1, 1); err == nil {
+		t.Error("zero SAVAT should fail")
+	}
+	if _, err := RequiredRepetitions(1, -1, 1); err == nil {
+		t.Error("negative noise should fail")
+	}
+	if _, err := RequiredRepetitions(1, 1, 0); err == nil {
+		t.Error("zero SNR should fail")
+	}
+}
+
+func TestDetectionProbability(t *testing.T) {
+	// Zero signal: coin flip.
+	p, err := DetectionProbability(0, 1e-21, 1)
+	if err != nil || math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("zero-signal p = %v, %v", p, err)
+	}
+	// Noiseless: certain.
+	p, err = DetectionProbability(1e-21, 0, 1)
+	if err != nil || p != 1 {
+		t.Errorf("noiseless p = %v, %v", p, err)
+	}
+	// Monotone in signal and in repetitions.
+	p1, _ := DetectionProbability(1e-21, 10e-21, 1)
+	p2, _ := DetectionProbability(4e-21, 10e-21, 1)
+	p3, _ := DetectionProbability(1e-21, 10e-21, 100)
+	if !(p2 > p1 && p3 > p1) {
+		t.Errorf("monotonicity violated: %v %v %v", p1, p2, p3)
+	}
+	if p1 <= 0.5 || p1 >= 1 || p2 >= 1 {
+		t.Errorf("probabilities out of range: %v %v", p1, p2)
+	}
+	// SNR=2 after repetitions: Φ(1) ≈ 0.841.
+	p, _ = DetectionProbability(2e-21, 1e-21, 1)
+	if math.Abs(p-0.8413) > 0.001 {
+		t.Errorf("Φ(1) = %v, want ≈0.8413", p)
+	}
+	if _, err := DetectionProbability(-1, 1, 1); err == nil {
+		t.Error("negative savat should fail")
+	}
+	if _, err := DetectionProbability(1, 1, 0); err == nil {
+		t.Error("zero repetitions should fail")
+	}
+}
+
+func TestRunLookupErrors(t *testing.T) {
+	mc := machine.Core2Duo()
+	if _, err := RunLookup(mc, nil); err == nil {
+		t.Error("empty bits should fail")
+	}
+	if _, err := RunLookup(mc, make([]int, 65)); err == nil {
+		t.Error("too many bits should fail")
+	}
+	if _, err := RunLookup(machine.Config{}, []int{1}); err == nil {
+		t.Error("bad machine should fail")
+	}
+}
+
+// Secret-dependent cache behaviour leaks: miss windows are much slower and
+// much louder than hit windows, and the secret is recoverable from EM
+// energies alone.
+func TestLookupLeak(t *testing.T) {
+	mc := machine.Core2Duo()
+	bits := []int{1, 0, 0, 1, 1, 0, 1, 0, 0, 0, 1, 1, 1, 0, 1, 0}
+	tr, err := RunLookup(mc, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timing separation (the classic cache side channel).
+	for i, b := range bits {
+		cyc := tr.Windows[i].Cycles()
+		if b == 1 && cyc < 50 {
+			t.Errorf("miss window %d only %d cycles", i, cyc)
+		}
+		if b == 0 && cyc > 50 {
+			t.Errorf("hit window %d took %d cycles", i, cyc)
+		}
+	}
+	// EM separation.
+	rng := rand.New(rand.NewSource(5))
+	rec, acc, err := RecoverLookupSecret(tr, mc, 0.10, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Errorf("noiseless lookup recovery accuracy %v (rec %v)", acc, rec)
+	}
+}

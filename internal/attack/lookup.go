@@ -1,0 +1,144 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/activity"
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// This file implements the paper's other headline programmer guidance
+// (Section V): "special care should be taken to avoid situations where a
+// memory access instruction might have an L2 hit or miss depending on the
+// value of some sensitive data item." The workload is a table lookup whose
+// line is either cache-resident or not depending on a secret bit — the
+// access pattern behind classic AES T-table leaks — observed through the
+// EM side channel instead of timing.
+
+// LookupTrace is one execution of the secret-indexed lookup loop.
+type LookupTrace struct {
+	// SecretBits are the bits that selected the cached (0) or uncached (1)
+	// table, in access order.
+	SecretBits []int
+	// Windows holds one activity sample per lookup.
+	Windows []activity.PhaseSample
+}
+
+// DetectionProbability returns the probability that a single observation
+// correctly distinguishes A from B when the received difference energy is
+// savatJ and the per-observation noise is Gaussian with RMS noiseRMSJ:
+// the decision threshold sits halfway, so p = Q(−SNR/2) = Φ(SNR/2).
+// Accumulating n repetitions scales the SNR by √n (see
+// RequiredRepetitions).
+func DetectionProbability(savatJ, noiseRMSJ float64, n int) (float64, error) {
+	if savatJ < 0 || noiseRMSJ < 0 || n < 1 {
+		return 0, fmt.Errorf("attack: bad parameters savat=%g noise=%g n=%d", savatJ, noiseRMSJ, n)
+	}
+	if noiseRMSJ == 0 {
+		if savatJ > 0 {
+			return 1, nil
+		}
+		return 0.5, nil
+	}
+	snr := savatJ * math.Sqrt(float64(n)) / noiseRMSJ
+	// Φ(snr/2) via erfc.
+	return 0.5 * math.Erfc(-snr/(2*math.Sqrt2)), nil
+}
+
+// lookupProgram builds the secret-indexed lookup loop: each iteration
+// loads from the hot (cache-resident) table or from a cold region
+// depending on the current secret bit. The hot table is warmed first; the
+// cold stream sweeps fresh lines so it always misses.
+func lookupProgram(bits []int) (*asm.Program, error) {
+	if len(bits) == 0 || len(bits) > 64 {
+		return nil, fmt.Errorf("attack: %d secret bits outside [1,64]", len(bits))
+	}
+	const (
+		rHot  isa.Reg = 1
+		rCold isa.Reg = 2
+		rVal  isa.Reg = 3
+		rCnt  isa.Reg = 4
+		hot   uint32  = 0x0100_0000
+		cold  uint32  = 0x0300_0000
+	)
+	b := asm.NewBuilder()
+	b.Mov32(rHot, hot)
+	b.Mov32(rCold, cold)
+	// Warm the one hot line.
+	b.Ld(rVal, rHot, 0)
+	for i, bit := range bits {
+		b.Label(fmt.Sprintf("bit%d", i))
+		if bit == 0 {
+			b.Ld(rVal, rHot, 0) // L1 hit
+		} else {
+			b.Ld(rVal, rCold, 0)                    // cold miss to DRAM
+			b.Op3i(isa.ADDI, rCold, rCold, 0x40<<6) // next cold page
+		}
+		// Fixed filler so both paths retire the same instruction count.
+		b.Op3i(isa.ADDI, rCnt, rCnt, 1)
+		if bit == 0 {
+			b.Op3i(isa.ADDI, rCold, rCold, 0) // balance the pointer update
+		}
+	}
+	b.Label("end")
+	b.Halt()
+	return b.Program()
+}
+
+// RunLookup executes the secret-indexed lookup on the machine and returns
+// per-bit activity windows.
+func RunLookup(mc machine.Config, bits []int) (*LookupTrace, error) {
+	prog, err := lookupProgram(bits)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(mc)
+	if err != nil {
+		return nil, err
+	}
+	phaseAt := map[int]int{}
+	for i := range bits {
+		idx, ok := prog.Symbol(fmt.Sprintf("bit%d", i))
+		if !ok {
+			return nil, fmt.Errorf("attack: missing bit%d label", i)
+		}
+		phaseAt[int(idx)] = i
+	}
+	end, ok := prog.Symbol("end")
+	if !ok {
+		return nil, fmt.Errorf("attack: missing end label")
+	}
+	phaseAt[int(end)] = len(bits)
+	res, err := m.RunPhases(prog.Instructions, phaseAt, machine.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Halted {
+		return nil, fmt.Errorf("attack: lookup did not halt")
+	}
+	tr := &LookupTrace{SecretBits: append([]int(nil), bits...)}
+	for _, s := range res.Samples {
+		if s.ID >= 0 && s.ID < len(bits) {
+			tr.Windows = append(tr.Windows, s)
+		}
+	}
+	if len(tr.Windows) != len(bits) {
+		return nil, fmt.Errorf("attack: %d windows for %d bits", len(tr.Windows), len(bits))
+	}
+	return tr, nil
+}
+
+// RecoverLookupSecret classifies per-window EM energies (high = miss = 1)
+// and returns the recovered bits and accuracy, like RecoverExponent.
+func RecoverLookupSecret(tr *LookupTrace, mc machine.Config, distance, noiseRMS float64, rng *rand.Rand) ([]int, float64, error) {
+	energies, err := windowEnergies(tr.Windows, mc, distance, noiseRMS, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	proxy := &Trace{Bits: tr.SecretBits}
+	return RecoverExponent(proxy, energies)
+}

@@ -1,0 +1,251 @@
+// Package cache implements a set-associative, write-back, write-allocate
+// cache model with true-LRU replacement.
+//
+// The model is behavioural, not timed: each access reports exactly which
+// transactions it caused (hit, fill from below, dirty write-back to below).
+// Timing and per-transaction switching energy are assigned by the levels
+// above (internal/memhier and internal/machine), which is what the SAVAT
+// methodology needs — the paper's STL2 discussion hinges on a store hit in
+// L2 generating *two* L2 transactions (fetch into L1 plus a later dirty
+// write-back), and that behaviour falls out of this model naturally.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name      string // e.g. "L1D"
+	SizeBytes int    // total capacity
+	Assoc     int    // ways per set
+	LineBytes int    // line size (power of two)
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("cache %s: non-positive size %d", c.Name, c.SizeBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache %s: non-positive associativity %d", c.Name, c.Assoc)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a positive power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(c.Assoc*c.LineBytes) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by assoc*line %d", c.Name, c.SizeBytes, c.Assoc*c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.Assoc * c.LineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.Assoc * c.LineBytes) }
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Stats counts cache activity since construction or Reset.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	ReadHits    uint64
+	WriteHits   uint64
+	Fills       uint64 // lines brought in from below
+	WriteBacks  uint64 // dirty lines evicted to below
+	CleanEvicts uint64
+}
+
+// Misses returns total read+write misses.
+func (s Stats) Misses() uint64 { return s.Reads + s.Writes - s.ReadHits - s.WriteHits }
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// MissRate returns misses/accesses, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses()) / float64(a)
+	}
+	return 0
+}
+
+// Result describes the consequences of one access at this level.
+type Result struct {
+	Hit           bool
+	Fill          bool   // line was allocated (miss): one read transaction below
+	WriteBack     bool   // a dirty victim was evicted: one write transaction below
+	WriteBackAddr uint64 // line-aligned address of the written-back victim
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg        Config
+	sets       [][]line
+	setsMask   uint64
+	lineShift  uint
+	stamp      uint64
+	stats      Stats
+	inclusiveN int
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Sets()
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([][]line, nsets),
+		setsMask: uint64(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	for ls := cfg.LineBytes; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	return c, nil
+}
+
+// MustNew is New for known-valid configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset invalidates all lines and zeroes the statistics.
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi] = line{}
+		}
+	}
+	c.stats = Stats{}
+	c.stamp = 0
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineBytes) - 1)
+}
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	l := addr >> c.lineShift
+	return l & c.setsMask, l >> uint(popcount(c.setsMask))
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Access performs a read (write=false) or write (write=true) of the line
+// containing addr and returns the resulting transactions. On a miss the
+// line is allocated (write-allocate); writes mark the line dirty.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	c.stamp++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+
+	for wi := range ways {
+		if ways[wi].valid && ways[wi].tag == tag {
+			ways[wi].lru = c.stamp
+			if write {
+				ways[wi].dirty = true
+				c.stats.WriteHits++
+			} else {
+				c.stats.ReadHits++
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: pick the LRU victim (preferring invalid ways).
+	victim := 0
+	for wi := range ways {
+		if !ways[wi].valid {
+			victim = wi
+			break
+		}
+		if ways[wi].lru < ways[victim].lru {
+			victim = wi
+		}
+	}
+	res := Result{Fill: true}
+	if ways[victim].valid {
+		if ways[victim].dirty {
+			res.WriteBack = true
+			res.WriteBackAddr = c.reconstruct(set, ways[victim].tag)
+			c.stats.WriteBacks++
+		} else {
+			c.stats.CleanEvicts++
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	c.stats.Fills++
+	return res
+}
+
+// reconstruct rebuilds the line-aligned address from set and tag.
+func (c *Cache) reconstruct(set, tag uint64) uint64 {
+	return (tag<<uint(popcount(c.setsMask)) | set) << c.lineShift
+}
+
+// Contains reports whether the line holding addr is currently resident
+// (without touching LRU state); used by tests and invariant checks.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Dirty reports whether the line holding addr is resident and dirty.
+func (c *Cache) Dirty(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return w.dirty
+		}
+	}
+	return false
+}
+
+// ResidentLines returns the number of valid lines (for occupancy checks).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, w := range set {
+			if w.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+// Package cluster groups instruction events by how distinguishable their
+// side-channel signals are, using pairwise SAVAT as the distance metric —
+// the strategy the paper proposes (Section III and VII) for taming the
+// O(N²) measurement cost of large instruction sets: cluster opcodes with
+// SAVAT as distance, then explore sequences using class representatives.
+//
+// Agglomerative average-linkage clustering over the symmetrized SAVAT
+// matrix recovers the four groups the paper reads off Figure 9: the
+// off-chip accesses {LDM, STM}, the L2 hits {LDL2, STL2}, the
+// arithmetic/L1 group {ADD, SUB, MUL, NOI, LDL1, STL1}, and {DIV}.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/savat"
+)
+
+// Merge records one agglomeration step.
+type Merge struct {
+	// A and B are indices of the merged clusters: values < n refer to
+	// leaf events (matrix order); values ≥ n refer to the cluster created
+	// by merge number (value − n).
+	A, B int
+	// Distance is the average-linkage distance at which the merge occurred
+	// (joules).
+	Distance float64
+}
+
+// Dendrogram is the full agglomeration history of one matrix.
+type Dendrogram struct {
+	Events []savat.Event
+	Merges []Merge
+}
+
+// Cluster builds the dendrogram for a SAVAT matrix. The distance between
+// events a and b is the symmetrized SAVAT value minus the mean of the two
+// diagonal (A/A) values: the diagonal is the measurement floor — noise,
+// interference, and residual loop mismatch (paper Section V) — not signal,
+// and rows with slow loops (LDM, DIV) carry a proportionally larger floor
+// that would otherwise masquerade as distinguishability. After the
+// adjustment, pairs whose signals the attacker genuinely cannot separate
+// have distance ≈ 0 and cluster first.
+func Cluster(m *savat.Matrix) (*Dendrogram, error) {
+	n := m.Size()
+	if n < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 events, have %d", n)
+	}
+	sym := adjustedDistances(m)
+
+	// members[i] = leaf indices of active cluster i; nil = consumed.
+	members := make(map[int][]int, n)
+	for i := 0; i < n; i++ {
+		members[i] = []int{i}
+	}
+	d := &Dendrogram{Events: append([]savat.Event(nil), m.Events...)}
+
+	avgDist := func(a, b []int) float64 {
+		sum := 0.0
+		for _, i := range a {
+			for _, j := range b {
+				sum += sym.Vals[i][j]
+			}
+		}
+		return sum / float64(len(a)*len(b))
+	}
+
+	next := n
+	for len(members) > 1 {
+		// Find the closest active pair (deterministic order).
+		ids := make([]int, 0, len(members))
+		for id := range members {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		bestA, bestB, bestD := -1, -1, 0.0
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				dd := avgDist(members[ids[x]], members[ids[y]])
+				if bestA < 0 || dd < bestD {
+					bestA, bestB, bestD = ids[x], ids[y], dd
+				}
+			}
+		}
+		d.Merges = append(d.Merges, Merge{A: bestA, B: bestB, Distance: bestD})
+		members[next] = append(append([]int{}, members[bestA]...), members[bestB]...)
+		delete(members, bestA)
+		delete(members, bestB)
+		next++
+	}
+	return d, nil
+}
+
+// CutK cuts the dendrogram into k clusters (1 ≤ k ≤ number of events) and
+// returns them ordered by their first event's matrix position.
+func (d *Dendrogram) CutK(k int) ([][]savat.Event, error) {
+	n := len(d.Events)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: cut of %d events into %d clusters", n, k)
+	}
+	return d.cut(len(d.Merges) - (k - 1)), nil
+}
+
+// CutDistance cuts the dendrogram keeping only merges below maxDist; pairs
+// with SAVAT above the threshold end up in different clusters.
+func (d *Dendrogram) CutDistance(maxDist float64) [][]savat.Event {
+	applied := 0
+	for _, m := range d.Merges {
+		if m.Distance <= maxDist {
+			applied++
+		} else {
+			break
+		}
+	}
+	return d.cut(applied)
+}
+
+// cut applies the first `applied` merges and returns the clusters.
+func (d *Dendrogram) cut(applied int) [][]savat.Event {
+	n := len(d.Events)
+	members := make(map[int][]int, n)
+	for i := 0; i < n; i++ {
+		members[i] = []int{i}
+	}
+	for i := 0; i < applied && i < len(d.Merges); i++ {
+		m := d.Merges[i]
+		members[n+i] = append(append([]int{}, members[m.A]...), members[m.B]...)
+		delete(members, m.A)
+		delete(members, m.B)
+	}
+	var groups [][]int
+	for _, leaves := range members {
+		s := append([]int(nil), leaves...)
+		sort.Ints(s)
+		groups = append(groups, s)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	out := make([][]savat.Event, len(groups))
+	for gi, g := range groups {
+		for _, leaf := range g {
+			out[gi] = append(out[gi], d.Events[leaf])
+		}
+	}
+	return out
+}
+
+// adjustedDistances symmetrizes the matrix and subtracts the per-pair
+// measurement floor (the mean of the two diagonals), clamping at zero.
+func adjustedDistances(m *savat.Matrix) *savat.Matrix {
+	sym := m.Symmetrized()
+	n := m.Size()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			adj := sym.Vals[i][j] - (m.Vals[i][i]+m.Vals[j][j])/2
+			if adj < 0 {
+				adj = 0
+			}
+			sym.Vals[i][j] = adj
+		}
+	}
+	return sym
+}
+
+// Silhouette returns a crude clustering-quality score for a cut, using the
+// same floor-adjusted distances as Cluster: the mean over events of
+// (nearest-other-cluster distance − own-cluster distance) / max(of the
+// two). Values near 1 indicate tight, well-separated clusters.
+func Silhouette(m *savat.Matrix, groups [][]savat.Event) (float64, error) {
+	sym := adjustedDistances(m)
+	idx := func(e savat.Event) (int, error) {
+		for i, ev := range m.Events {
+			if ev == e {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("cluster: event %v not in matrix", e)
+	}
+	mean := func(i int, group []savat.Event) (float64, error) {
+		sum, n := 0.0, 0
+		for _, e := range group {
+			j, err := idx(e)
+			if err != nil {
+				return 0, err
+			}
+			if j == i {
+				continue
+			}
+			sum += sym.Vals[i][j]
+			n++
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		return sum / float64(n), nil
+	}
+
+	total, count := 0.0, 0
+	for gi, g := range groups {
+		for _, e := range g {
+			i, err := idx(e)
+			if err != nil {
+				return 0, err
+			}
+			a, err := mean(i, g)
+			if err != nil {
+				return 0, err
+			}
+			b := 0.0
+			first := true
+			for gj, og := range groups {
+				if gj == gi {
+					continue
+				}
+				v, err := mean(i, og)
+				if err != nil {
+					return 0, err
+				}
+				if first || v < b {
+					b = v
+					first = false
+				}
+			}
+			if first {
+				continue // single cluster: no silhouette
+			}
+			den := a
+			if b > den {
+				den = b
+			}
+			if den > 0 {
+				total += (b - a) / den
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("cluster: silhouette undefined for %d groups", len(groups))
+	}
+	return total / float64(count), nil
+}

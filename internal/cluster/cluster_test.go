@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/savat"
+)
+
+func fig9(t *testing.T) *savat.Matrix {
+	t.Helper()
+	return paperdata.Experiments()[0].Matrix()
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster(savat.NewMatrix([]savat.Event{savat.ADD})); err == nil {
+		t.Error("single-event matrix should fail")
+	}
+}
+
+func TestDendrogramShape(t *testing.T) {
+	d, err := Cluster(fig9(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Merges) != 10 {
+		t.Fatalf("11 events need 10 merges, got %d", len(d.Merges))
+	}
+	// Merge distances are non-decreasing for average linkage on this data.
+	for i := 1; i < len(d.Merges); i++ {
+		if d.Merges[i].Distance < d.Merges[i-1].Distance*0.7 {
+			t.Errorf("merge %d distance %v far below previous %v",
+				i, d.Merges[i].Distance, d.Merges[i-1].Distance)
+		}
+	}
+}
+
+// The headline result: cutting Figure 9 at four clusters recovers exactly
+// the paper's Section V groups.
+func TestFigure9FourGroups(t *testing.T) {
+	d, err := Cluster(fig9(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := d.CutK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]savat.Event{
+		{savat.LDM, savat.STM},
+		{savat.LDL2, savat.STL2},
+		{savat.LDL1, savat.STL1, savat.NOI, savat.ADD, savat.SUB, savat.MUL},
+		{savat.DIV},
+	}
+	if !sameGroups(groups, want) {
+		t.Errorf("groups = %v, want %v", groups, want)
+	}
+}
+
+func sameGroups(a, b [][]savat.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	norm := func(gs [][]savat.Event) []string {
+		out := make([]string, 0, len(gs))
+		for _, g := range gs {
+			names := make([]string, len(g))
+			for i, e := range g {
+				names[i] = e.String()
+			}
+			sort.Strings(names)
+			out = append(out, reflect.ValueOf(names).Interface().([]string)[0]+":"+join(names))
+		}
+		sort.Strings(out)
+		return out
+	}
+	return reflect.DeepEqual(norm(a), norm(b))
+}
+
+func join(ss []string) string {
+	out := ""
+	for _, s := range ss {
+		out += s + ","
+	}
+	return out
+}
+
+func TestCutKBounds(t *testing.T) {
+	d, err := Cluster(fig9(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CutK(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := d.CutK(12); err == nil {
+		t.Error("k>n should fail")
+	}
+	one, err := d.CutK(1)
+	if err != nil || len(one) != 1 || len(one[0]) != 11 {
+		t.Errorf("CutK(1) = %v, %v", one, err)
+	}
+	all, err := d.CutK(11)
+	if err != nil || len(all) != 11 {
+		t.Errorf("CutK(11) = %d groups, %v", len(all), err)
+	}
+}
+
+func TestCutDistance(t *testing.T) {
+	d, err := Cluster(fig9(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A threshold of 0.3 zJ of floor-adjusted SAVAT separates the four
+	// Section V groups: intra-group excess is ≲0.25 zJ, the closest
+	// inter-group link (DIV to the arithmetic cluster) is ≈0.4 zJ.
+	groups := d.CutDistance(0.3e-21)
+	if len(groups) != 4 {
+		t.Errorf("CutDistance(2.5 zJ) = %d groups: %v", len(groups), groups)
+	}
+	if got := d.CutDistance(-1); len(got) != 11 {
+		t.Errorf("negative threshold should keep all separate, got %d", len(got))
+	}
+	if got := d.CutDistance(1); len(got) != 1 {
+		t.Errorf("huge threshold should merge all, got %d", len(got))
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	m := fig9(t)
+	d, err := Cluster(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := d.CutK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFour, err := Silhouette(m, four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sFour < 0.3 {
+		t.Errorf("four-group silhouette = %v, want strong separation", sFour)
+	}
+	// A bad cut scores worse.
+	two, err := d.CutK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTwo, err := Silhouette(m, two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sFour <= sTwo {
+		t.Errorf("four groups (%v) should beat two (%v)", sFour, sTwo)
+	}
+	// Single cluster: undefined.
+	one, _ := d.CutK(1)
+	if _, err := Silhouette(m, one); err == nil {
+		t.Error("silhouette of one cluster should fail")
+	}
+	// Unknown event: error.
+	if _, err := Silhouette(m, [][]savat.Event{{savat.Event(99)}, {savat.ADD}}); err == nil {
+		t.Error("unknown event should fail")
+	}
+}

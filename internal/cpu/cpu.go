@@ -1,0 +1,271 @@
+// Package cpu implements the in-order scalar SVX32 core used by all three
+// simulated laptops.
+//
+// The core executes one instruction per Step, charging a class-dependent
+// latency (the iterative divider and the memory hierarchy dominate), and
+// accumulates per-component activity events that the machine layer turns
+// into radiated EM signal. The model is deliberately simple — SAVAT depends
+// on *relative* activity-rate differences between alternation-loop halves,
+// which an in-order timing model captures; the absolute throughput of a
+// 4-wide out-of-order core only rescales all rates together.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/activity"
+	"repro/internal/isa"
+	"repro/internal/memhier"
+)
+
+// Config sets the core's timing and activity parameters.
+type Config struct {
+	ALUCycles          int     // simple integer op latency
+	MulCycles          int     // multiplier latency
+	DivCycles          int     // iterative divider latency (machine-specific)
+	BranchCycles       int     // correctly predicted branch
+	MispredictCycles   int     // added on a misprediction
+	MulEvents          float64 // multiplier switching events per MUL
+	DivEventsPerCycle  float64 // divider switching events per active cycle
+	FetchEventsPerInst float64 // front-end switching events per instruction
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	if c.ALUCycles <= 0 || c.MulCycles <= 0 || c.DivCycles <= 0 || c.BranchCycles <= 0 {
+		return fmt.Errorf("cpu: non-positive latency in %+v", c)
+	}
+	if c.MispredictCycles < 0 {
+		return fmt.Errorf("cpu: negative mispredict penalty")
+	}
+	if c.MulEvents <= 0 || c.DivEventsPerCycle <= 0 || c.FetchEventsPerInst <= 0 {
+		return fmt.Errorf("cpu: non-positive event weights in %+v", c)
+	}
+	return nil
+}
+
+// DefaultConfig returns a generic mid-2000s laptop core configuration.
+func DefaultConfig() Config {
+	return Config{
+		ALUCycles:          1,
+		MulCycles:          3,
+		DivCycles:          22,
+		BranchCycles:       1,
+		MispredictCycles:   12,
+		MulEvents:          3,
+		DivEventsPerCycle:  1,
+		FetchEventsPerInst: 1,
+	}
+}
+
+// CPU is one simulated core.
+type CPU struct {
+	cfg    Config
+	prog   []isa.Instruction
+	mem    *Memory
+	hier   *memhier.Hierarchy
+	regs   [isa.NumRegs]uint32
+	pc     int
+	cycle  uint64
+	halted bool
+	act    activity.Vector
+
+	retired     uint64
+	mispredicts uint64
+}
+
+// New builds a core running prog against the given memory hierarchy.
+func New(cfg Config, prog []isa.Instruction, hier *memhier.Hierarchy) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("cpu: empty program")
+	}
+	if hier == nil {
+		return nil, fmt.Errorf("cpu: nil memory hierarchy")
+	}
+	return &CPU{cfg: cfg, prog: prog, mem: NewMemory(), hier: hier}, nil
+}
+
+// PC returns the current program counter (instruction word index).
+func (c *CPU) PC() int { return c.pc }
+
+// Cycle returns the current cycle count.
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// Halted reports whether a HALT has retired.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Retired returns the number of retired instructions.
+func (c *CPU) Retired() uint64 { return c.retired }
+
+// Mispredicts returns the number of branch mispredictions.
+func (c *CPU) Mispredicts() uint64 { return c.mispredicts }
+
+// Reg reads an architectural register.
+func (c *CPU) Reg(r isa.Reg) uint32 { return c.regs[r] }
+
+// SetReg writes an architectural register (used to set up workloads).
+func (c *CPU) SetReg(r isa.Reg, v uint32) { c.regs[r] = v }
+
+// Mem exposes the data memory for workload setup and inspection.
+func (c *CPU) Mem() *Memory { return c.mem }
+
+// TakeActivity returns the activity accumulated since the previous call
+// and resets the accumulator.
+func (c *CPU) TakeActivity() activity.Vector {
+	v := c.act
+	c.act = activity.Vector{}
+	return v
+}
+
+// AddActivity injects extra activity events; the SAVAT kernel runner uses
+// this for the loop-half code-placement asymmetry.
+func (c *CPU) AddActivity(comp activity.Component, n float64) {
+	c.act.Add(comp, n)
+}
+
+// Step executes one instruction. It returns an error on PC overrun or an
+// undefined opcode; a retired HALT sets Halted and further Steps fail.
+func (c *CPU) Step() error {
+	if c.halted {
+		return fmt.Errorf("cpu: step after halt")
+	}
+	if c.pc < 0 || c.pc >= len(c.prog) {
+		return fmt.Errorf("cpu: pc %d outside program of %d words", c.pc, len(c.prog))
+	}
+	in := c.prog[c.pc]
+	c.act.Add(activity.Fetch, c.cfg.FetchEventsPerInst)
+	next := c.pc + 1
+	lat := c.cfg.ALUCycles
+
+	switch in.Op {
+	case isa.NOP:
+		// front-end only
+	case isa.HALT:
+		c.halted = true
+	case isa.MOVI:
+		c.regs[in.Rd] = uint32(in.Imm)
+		c.act.Add(activity.ALU, 1)
+	case isa.LUI:
+		c.regs[in.Rd] = c.regs[in.Rd]&0xFFFF | uint32(in.Imm)<<16
+		c.act.Add(activity.ALU, 1)
+	case isa.ADDI:
+		c.regs[in.Rd] = c.regs[in.Rs1] + uint32(in.Imm)
+		c.act.Add(activity.ALU, 1)
+	case isa.ADDR:
+		c.regs[in.Rd] = c.regs[in.Rs1] + c.regs[in.Rs2]
+		c.act.Add(activity.ALU, 1)
+	case isa.SUBI:
+		c.regs[in.Rd] = c.regs[in.Rs1] - uint32(in.Imm)
+		c.act.Add(activity.ALU, 1)
+	case isa.SUBR:
+		c.regs[in.Rd] = c.regs[in.Rs1] - c.regs[in.Rs2]
+		c.act.Add(activity.ALU, 1)
+	case isa.ANDI:
+		c.regs[in.Rd] = c.regs[in.Rs1] & uint32(in.Imm)
+		c.act.Add(activity.ALU, 1)
+	case isa.ANDR:
+		c.regs[in.Rd] = c.regs[in.Rs1] & c.regs[in.Rs2]
+		c.act.Add(activity.ALU, 1)
+	case isa.ORI:
+		c.regs[in.Rd] = c.regs[in.Rs1] | uint32(in.Imm)
+		c.act.Add(activity.ALU, 1)
+	case isa.ORR:
+		c.regs[in.Rd] = c.regs[in.Rs1] | c.regs[in.Rs2]
+		c.act.Add(activity.ALU, 1)
+	case isa.XORI:
+		c.regs[in.Rd] = c.regs[in.Rs1] ^ uint32(in.Imm)
+		c.act.Add(activity.ALU, 1)
+	case isa.XORR:
+		c.regs[in.Rd] = c.regs[in.Rs1] ^ c.regs[in.Rs2]
+		c.act.Add(activity.ALU, 1)
+	case isa.SHLI:
+		c.regs[in.Rd] = c.regs[in.Rs1] << uint(in.Imm)
+		c.act.Add(activity.ALU, 1)
+	case isa.SHRI:
+		c.regs[in.Rd] = c.regs[in.Rs1] >> uint(in.Imm)
+		c.act.Add(activity.ALU, 1)
+	case isa.MULI:
+		c.regs[in.Rd] = uint32(int32(c.regs[in.Rs1]) * in.Imm)
+		c.act.Add(activity.Mul, c.cfg.MulEvents)
+		lat = c.cfg.MulCycles
+	case isa.MULR:
+		c.regs[in.Rd] = uint32(int32(c.regs[in.Rs1]) * int32(c.regs[in.Rs2]))
+		c.act.Add(activity.Mul, c.cfg.MulEvents)
+		lat = c.cfg.MulCycles
+	case isa.DIVI:
+		c.regs[in.Rd] = uint32(divide(int32(c.regs[in.Rs1]), in.Imm))
+		lat = c.cfg.DivCycles
+		c.act.Add(activity.Div, c.cfg.DivEventsPerCycle*float64(lat))
+	case isa.DIVR:
+		c.regs[in.Rd] = uint32(divide(int32(c.regs[in.Rs1]), int32(c.regs[in.Rs2])))
+		lat = c.cfg.DivCycles
+		c.act.Add(activity.Div, c.cfg.DivEventsPerCycle*float64(lat))
+	case isa.LD:
+		addr := uint64(c.regs[in.Rs1] + uint32(in.Imm))
+		c.regs[in.Rd] = c.mem.Load32(addr)
+		r := c.hier.Access(addr, false)
+		c.act.AddVector(r.Activity)
+		lat = r.Latency
+	case isa.ST:
+		addr := uint64(c.regs[in.Rs1] + uint32(in.Imm))
+		c.mem.Store32(addr, c.regs[in.Rd])
+		r := c.hier.Access(addr, true)
+		c.act.AddVector(r.Activity)
+		lat = r.Latency
+	case isa.BEQ, isa.BNE, isa.JMP:
+		taken := true
+		switch in.Op {
+		case isa.BEQ:
+			taken = c.regs[in.Rd] == c.regs[in.Rs1]
+		case isa.BNE:
+			taken = c.regs[in.Rd] != c.regs[in.Rs1]
+		}
+		c.act.Add(activity.Branch, 1)
+		lat = c.cfg.BranchCycles
+		// Static prediction: backward taken, forward not-taken; JMP always
+		// predicted taken.
+		predictTaken := in.Imm < 0 || in.Op == isa.JMP
+		if taken != predictTaken {
+			lat += c.cfg.MispredictCycles
+			c.mispredicts++
+		}
+		if taken {
+			next = c.pc + 1 + int(in.Imm)
+		}
+	default:
+		return fmt.Errorf("cpu: undefined opcode %d at pc %d", in.Op, c.pc)
+	}
+
+	c.pc = next
+	c.cycle += uint64(lat)
+	c.retired++
+	return nil
+}
+
+// divide implements the divider's saturating semantics: division by zero
+// yields -1 (all ones), and the INT32_MIN / -1 overflow yields INT32_MIN.
+func divide(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return -1
+	case a == -1<<31 && b == -1:
+		return -1 << 31
+	default:
+		return a / b
+	}
+}
+
+// Run steps until HALT or maxSteps, returning the number of retired
+// instructions.
+func (c *CPU) Run(maxSteps uint64) (uint64, error) {
+	start := c.retired
+	for !c.halted && c.retired-start < maxSteps {
+		if err := c.Step(); err != nil {
+			return c.retired - start, err
+		}
+	}
+	return c.retired - start, nil
+}

@@ -1,0 +1,51 @@
+package cpu
+
+// Memory is a sparse paged byte-addressable data memory. It stores actual
+// program data (the caches in internal/memhier model behaviour and timing
+// only), so workloads like the modular-exponentiation attack demo compute
+// real values.
+type Memory struct {
+	pages map[uint64]*[pageBytes]byte
+}
+
+const pageBytes = 4096
+
+// NewMemory returns an empty memory; unwritten locations read as zero.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageBytes]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageBytes]byte {
+	pn := addr / pageBytes
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageBytes]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Load32 reads a 32-bit little-endian word; addr is aligned down to 4.
+func (m *Memory) Load32(addr uint64) uint32 {
+	addr &^= 3
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	o := addr % pageBytes
+	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+}
+
+// Store32 writes a 32-bit little-endian word; addr is aligned down to 4.
+func (m *Memory) Store32(addr uint64, v uint32) {
+	addr &^= 3
+	p := m.page(addr, true)
+	o := addr % pageBytes
+	p[o] = byte(v)
+	p[o+1] = byte(v >> 8)
+	p[o+2] = byte(v >> 16)
+	p[o+3] = byte(v >> 24)
+}
+
+// PageCount returns the number of materialized pages.
+func (m *Memory) PageCount() int { return len(m.pages) }

@@ -1,0 +1,109 @@
+// Package dsp provides the signal-processing primitives the simulated
+// spectrum analyzer is built from: a radix-2 FFT, window functions,
+// periodogram and Welch power-spectral-density estimation, a Goertzel
+// single-bin DFT, band-power integration, and decimation.
+//
+// Conventions: signals are complex baseband samples; PSDs are one-sided in
+// W/Hz against a 1 Ω reference (|x|² is watts), with frequencies in Hz.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place forward discrete Fourier transform of x.
+// len(x) must be a power of two.
+func FFT(x []complex128) error {
+	return fft(x, false)
+}
+
+// IFFT computes the in-place inverse DFT of x (normalized by 1/N).
+// len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	if err := fft(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func fft(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley–Tukey butterflies.
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= step
+			}
+		}
+	}
+	return nil
+}
+
+// Goertzel evaluates the DFT of x at a single (possibly non-bin)
+// normalized frequency f/fs and returns the complex projection X(f)
+// (no 1/N normalization, matching FFT output scaling).
+func Goertzel(x []complex128, freqNorm float64) complex128 {
+	// Complex-input Goertzel via direct recurrence on the rotated sum.
+	w := cmplx.Exp(complex(0, -2*math.Pi*freqNorm))
+	var acc complex128
+	rot := complex(1, 0)
+	for _, v := range x {
+		acc += v * rot
+		rot *= w
+	}
+	return acc
+}
+
+// NextPow2 returns the smallest power of two ≥ n (n ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Decimate returns every factor-th sample of x after block averaging
+// (a crude anti-alias filter adequate for the envelope signals here).
+func Decimate(x []complex128, factor int) ([]complex128, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("dsp: decimation factor %d", factor)
+	}
+	out := make([]complex128, 0, len(x)/factor)
+	for i := 0; i+factor <= len(x); i += factor {
+		var s complex128
+		for j := 0; j < factor; j++ {
+			s += x[i+j]
+		}
+		out = append(out, s/complex(float64(factor), 0))
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spectrum is a power-spectral-density estimate of complex baseband data.
+// Bin k covers frequency Freq(k) = k·fs/N for k < N/2 and (k−N)·fs/N for
+// k ≥ N/2 (negative frequencies). Values are in W/Hz.
+type Spectrum struct {
+	PSD        []float64
+	SampleRate float64
+}
+
+// Bins returns the number of frequency bins.
+func (s *Spectrum) Bins() int { return len(s.PSD) }
+
+// BinWidth returns the bin spacing in Hz.
+func (s *Spectrum) BinWidth() float64 { return s.SampleRate / float64(len(s.PSD)) }
+
+// Freq returns the center frequency of bin k (negative for k ≥ N/2).
+func (s *Spectrum) Freq(k int) float64 {
+	n := len(s.PSD)
+	if k >= n/2 {
+		k -= n
+	}
+	return float64(k) * s.SampleRate / float64(n)
+}
+
+// BinFor returns the bin index whose center is closest to f. f may be
+// negative; it must lie within ±fs/2.
+func (s *Spectrum) BinFor(f float64) (int, error) {
+	n := len(s.PSD)
+	half := s.SampleRate / 2
+	if f < -half || f >= half {
+		return 0, fmt.Errorf("dsp: frequency %g outside ±%g", f, half)
+	}
+	k := int(math.Round(f / s.BinWidth()))
+	if k < 0 {
+		k += n
+	}
+	if k == n {
+		k = 0
+	}
+	return k, nil
+}
+
+// BandPower integrates the PSD over [lo, hi] (Hz, may span zero) and
+// returns total power in watts.
+func (s *Spectrum) BandPower(lo, hi float64) (float64, error) {
+	if hi < lo {
+		return 0, fmt.Errorf("dsp: inverted band [%g,%g]", lo, hi)
+	}
+	klo, err := s.BinFor(lo)
+	if err != nil {
+		return 0, err
+	}
+	khi, err := s.BinFor(hi)
+	if err != nil {
+		return 0, err
+	}
+	bw := s.BinWidth()
+	n := len(s.PSD)
+	total := 0.0
+	for k := klo; ; k = (k + 1) % n {
+		total += s.PSD[k] * bw
+		if k == khi {
+			break
+		}
+	}
+	return total, nil
+}
+
+// PeakIn returns the bin index and PSD value of the maximum within
+// [lo, hi] Hz.
+func (s *Spectrum) PeakIn(lo, hi float64) (int, float64, error) {
+	klo, err := s.BinFor(lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	khi, err := s.BinFor(hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := len(s.PSD)
+	best, bestV := klo, s.PSD[klo]
+	for k := klo; ; k = (k + 1) % n {
+		if s.PSD[k] > bestV {
+			best, bestV = k, s.PSD[k]
+		}
+		if k == khi {
+			break
+		}
+	}
+	return best, bestV, nil
+}
+
+// Periodogram estimates the PSD of x with a single windowed FFT.
+// len(x) must be a power of two.
+func Periodogram(x []complex128, fs float64, win Window) (*Spectrum, error) {
+	if fs <= 0 {
+		return nil, fmt.Errorf("dsp: sample rate %g", fs)
+	}
+	n := len(x)
+	coeff, err := win.Coefficients(n)
+	if err != nil {
+		return nil, err
+	}
+	_, ng, err := win.Gains(n)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]complex128, n)
+	for i := range x {
+		buf[i] = x[i] * complex(coeff[i], 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	psd := make([]float64, n)
+	scale := 1 / (fs * float64(n) * ng)
+	for k, v := range buf {
+		re, im := real(v), imag(v)
+		psd[k] = (re*re + im*im) * scale
+	}
+	return &Spectrum{PSD: psd, SampleRate: fs}, nil
+}
+
+// Welch estimates the PSD by averaging windowed periodograms of segments
+// of length segLen (power of two) with 50% overlap.
+func Welch(x []complex128, fs float64, segLen int, win Window) (*Spectrum, error) {
+	if segLen <= 0 || segLen&(segLen-1) != 0 {
+		return nil, fmt.Errorf("dsp: Welch segment length %d not a power of two", segLen)
+	}
+	if len(x) < segLen {
+		return nil, fmt.Errorf("dsp: Welch needs ≥%d samples, have %d", segLen, len(x))
+	}
+	acc := make([]float64, segLen)
+	step := segLen / 2
+	count := 0
+	for start := 0; start+segLen <= len(x); start += step {
+		p, err := Periodogram(x[start:start+segLen], fs, win)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range p.PSD {
+			acc[k] += v
+		}
+		count++
+	}
+	for k := range acc {
+		acc[k] /= float64(count)
+	}
+	return &Spectrum{PSD: acc, SampleRate: fs}, nil
+}

@@ -1,0 +1,69 @@
+package dsp
+
+import "fmt"
+
+// STFT is a short-time Fourier transform: power spectral density per time
+// frame, used to visualize how the alternation line drifts during a
+// capture (the dispersion annotated in the paper's Figure 7).
+type STFT struct {
+	// Frames[t][k] is the PSD (W/Hz) of frame t at bin k, with the same
+	// bin↔frequency mapping as Spectrum.
+	Frames     [][]float64
+	SampleRate float64
+	// HopSamples is the stride between frame starts.
+	HopSamples int
+	// FrameLen is the FFT length per frame.
+	FrameLen int
+}
+
+// FrameTime returns the start time of frame t in seconds.
+func (s *STFT) FrameTime(t int) float64 {
+	return float64(t*s.HopSamples) / s.SampleRate
+}
+
+// Spectrum returns frame t as a Spectrum for band-power and peak queries.
+func (s *STFT) Spectrum(t int) (*Spectrum, error) {
+	if t < 0 || t >= len(s.Frames) {
+		return nil, fmt.Errorf("dsp: frame %d outside [0,%d)", t, len(s.Frames))
+	}
+	return &Spectrum{PSD: s.Frames[t], SampleRate: s.SampleRate}, nil
+}
+
+// PeakTrack returns the peak frequency within [lo,hi] Hz for every frame —
+// the drift track of a spectral line.
+func (s *STFT) PeakTrack(lo, hi float64) ([]float64, error) {
+	out := make([]float64, len(s.Frames))
+	for t := range s.Frames {
+		sp, err := s.Spectrum(t)
+		if err != nil {
+			return nil, err
+		}
+		k, _, err := sp.PeakIn(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = sp.Freq(k)
+	}
+	return out, nil
+}
+
+// ComputeSTFT computes a windowed STFT with the given frame length (power
+// of two) and 50% overlap.
+func ComputeSTFT(x []complex128, fs float64, frameLen int, win Window) (*STFT, error) {
+	if frameLen <= 0 || frameLen&(frameLen-1) != 0 {
+		return nil, fmt.Errorf("dsp: STFT frame length %d not a power of two", frameLen)
+	}
+	if len(x) < frameLen {
+		return nil, fmt.Errorf("dsp: STFT needs ≥%d samples, have %d", frameLen, len(x))
+	}
+	hop := frameLen / 2
+	s := &STFT{SampleRate: fs, HopSamples: hop, FrameLen: frameLen}
+	for start := 0; start+frameLen <= len(x); start += hop {
+		p, err := Periodogram(x[start:start+frameLen], fs, win)
+		if err != nil {
+			return nil, err
+		}
+		s.Frames = append(s.Frames, p.PSD)
+	}
+	return s, nil
+}

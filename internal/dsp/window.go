@@ -1,0 +1,92 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window identifies a tapering function applied before spectral analysis.
+type Window uint8
+
+const (
+	// Rectangular applies no taper: best RBW, worst leakage.
+	Rectangular Window = iota
+	// Hann is the general-purpose taper used by default.
+	Hann
+	// Blackman trades RBW for very low sidelobes.
+	Blackman
+	// FlatTop gives accurate amplitude readout of discrete tones, like a
+	// spectrum analyzer's flat-top RBW filter.
+	FlatTop
+)
+
+// String returns the window name.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Blackman:
+		return "blackman"
+	case FlatTop:
+		return "flattop"
+	}
+	return fmt.Sprintf("window(%d)", uint8(w))
+}
+
+// Coefficients returns the n window coefficients.
+func (w Window) Coefficients(n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dsp: window length %d", n)
+	}
+	out := make([]float64, n)
+	den := float64(n - 1)
+	if n == 1 {
+		den = 1
+	}
+	for i := range out {
+		t := 2 * math.Pi * float64(i) / den
+		switch w {
+		case Rectangular:
+			out[i] = 1
+		case Hann:
+			out[i] = 0.5 - 0.5*math.Cos(t)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(t) + 0.08*math.Cos(2*t)
+		case FlatTop:
+			out[i] = 0.21557895 - 0.41663158*math.Cos(t) + 0.277263158*math.Cos(2*t) -
+				0.083578947*math.Cos(3*t) + 0.006947368*math.Cos(4*t)
+		default:
+			return nil, fmt.Errorf("dsp: unknown window %d", uint8(w))
+		}
+	}
+	return out, nil
+}
+
+// Gains returns the coherent gain (mean of coefficients) and the noise
+// gain (mean of squared coefficients) for a window of length n; PSD
+// estimators divide by the noise gain so white-noise levels are unbiased.
+func (w Window) Gains(n int) (coherent, noise float64, err error) {
+	c, err := w.Coefficients(n)
+	if err != nil {
+		return 0, 0, err
+	}
+	var s, s2 float64
+	for _, v := range c {
+		s += v
+		s2 += v * v
+	}
+	fn := float64(n)
+	return s / fn, s2 / fn, nil
+}
+
+// ENBW returns the equivalent noise bandwidth of the window in bins:
+// n·Σw²/(Σw)². The RBW of a windowed FFT is ENBW·fs/n.
+func (w Window) ENBW(n int) (float64, error) {
+	cg, ng, err := w.Gains(n)
+	if err != nil {
+		return 0, err
+	}
+	return ng / (cg * cg), nil
+}

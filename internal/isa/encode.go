@@ -1,0 +1,104 @@
+package isa
+
+import "fmt"
+
+// SVX32 word layout:
+//
+//	bits 31:24  opcode
+//	bits 23:20  rd
+//	bits 19:16  rs1
+//	bits 15:0   imm16            (immediate forms, branches, jumps)
+//	bits 15:12  rs2, bits 11:0 0 (register forms)
+
+// Encode packs the instruction into a 32-bit word. It returns an error if
+// the instruction does not validate.
+func Encode(in Instruction) (uint32, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	w := uint32(in.Op)<<24 | uint32(in.Rd)<<20 | uint32(in.Rs1)<<16
+	if in.Op.HasImm() {
+		w |= uint32(uint16(in.Imm))
+	} else if in.Op.ReadsRs2() {
+		w |= uint32(in.Rs2) << 12
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for instructions known to be valid; it panics on
+// error and is intended for statically constructed programs and tests.
+func MustEncode(in Instruction) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word into an Instruction. It returns an error on
+// undefined opcodes; all field values are in range by construction.
+func Decode(w uint32) (Instruction, error) {
+	op := Op(w >> 24)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: undefined opcode %d in word %#08x", uint8(op), w)
+	}
+	in := Instruction{
+		Op:  op,
+		Rd:  Reg(w >> 20 & 0xF),
+		Rs1: Reg(w >> 16 & 0xF),
+	}
+	if op.HasImm() {
+		raw := uint16(w)
+		if min, _ := immRange(op); min < 0 {
+			in.Imm = int32(int16(raw)) // sign-extend
+		} else {
+			in.Imm = int32(raw) // zero-extend
+		}
+	} else if op.ReadsRs2() {
+		in.Rs2 = Reg(w >> 12 & 0xF)
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a sequence of instructions.
+func EncodeProgram(ins []Instruction) ([]uint32, error) {
+	words := make([]uint32, len(ins))
+	for i, in := range ins {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d (%s): %w", i, in, err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// DecodeProgram decodes a sequence of instruction words.
+func DecodeProgram(words []uint32) ([]Instruction, error) {
+	ins := make([]Instruction, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("word %d: %w", i, err)
+		}
+		ins[i] = in
+	}
+	return ins, nil
+}
+
+// Disassemble renders words as newline-separated assembler text with
+// word-index comments; undecodable words render as .word directives.
+func Disassemble(words []uint32) string {
+	out := make([]byte, 0, len(words)*24)
+	for i, w := range words {
+		in, err := Decode(w)
+		var line string
+		if err != nil {
+			line = fmt.Sprintf(".word %#08x", w)
+		} else {
+			line = in.String()
+		}
+		out = append(out, fmt.Sprintf("%4d: %s\n", i, line)...)
+	}
+	return string(out)
+}

@@ -1,0 +1,305 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	want := map[Op]string{
+		NOP: "nop", HALT: "halt", MOVI: "movi", LUI: "lui",
+		ADDI: "addi", ADDR: "add", SUBI: "subi", SUBR: "sub",
+		MULI: "muli", MULR: "mul", DIVI: "divi", DIVR: "div",
+		LD: "ld", ST: "st", BEQ: "beq", BNE: "bne", JMP: "jmp",
+	}
+	for op, name := range want {
+		if op.String() != name {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), name)
+		}
+	}
+	if Op(200).Valid() {
+		t.Error("Op(200) should be invalid")
+	}
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("invalid op string = %q", got)
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	cases := []struct {
+		op Op
+		c  Class
+	}{
+		{NOP, ClassNop}, {HALT, ClassSys},
+		{MOVI, ClassALU}, {ADDI, ClassALU}, {XORR, ClassALU}, {SHLI, ClassALU},
+		{MULI, ClassMul}, {MULR, ClassMul},
+		{DIVI, ClassDiv}, {DIVR, ClassDiv},
+		{LD, ClassLoad}, {ST, ClassStore},
+		{BEQ, ClassBranch}, {BNE, ClassBranch}, {JMP, ClassBranch},
+	}
+	for _, c := range cases {
+		if c.op.Class() != c.c {
+			t.Errorf("%s.Class() = %v, want %v", c.op, c.op.Class(), c.c)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := ClassNop; c <= ClassBranch; c++ {
+		if s := c.String(); s == "" || strings.Contains(s, "class(") {
+			t.Errorf("Class(%d).String() = %q", c, s)
+		}
+	}
+	if s := Class(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("invalid class string = %q", s)
+	}
+}
+
+func TestInvalidClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Class() on invalid op should panic")
+		}
+	}()
+	_ = Op(250).Class()
+}
+
+func TestRegisterFlags(t *testing.T) {
+	if !ST.ReadsRd() {
+		t.Error("ST must read rd (store data)")
+	}
+	if ST.WritesRd() {
+		t.Error("ST must not write rd")
+	}
+	if !LD.WritesRd() || LD.ReadsRd() {
+		t.Error("LD must write and not read rd")
+	}
+	if !BNE.ReadsRd() || !BNE.ReadsRs1() {
+		t.Error("BNE compares rd and rs1")
+	}
+	if !ADDR.ReadsRs2() || ADDI.ReadsRs2() {
+		t.Error("rs2 usage flags wrong for ADDR/ADDI")
+	}
+	if !LUI.ReadsRd() {
+		t.Error("LUI merges into rd and must read it")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Op: NOP},
+		{Op: HALT},
+		{Op: MOVI, Rd: 3, Imm: -1234},
+		{Op: LUI, Rd: 3, Imm: 0xBEEF},
+		{Op: ADDI, Rd: 1, Rs1: 2, Imm: 173},
+		{Op: SUBI, Rd: 1, Rs1: 1, Imm: 173},
+		{Op: ADDR, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: ANDI, Rd: 7, Rs1: 7, Imm: 0xFF00},
+		{Op: ORI, Rd: 7, Rs1: 7, Imm: 0xFFFF},
+		{Op: XORR, Rd: 8, Rs1: 9, Rs2: 10},
+		{Op: SHLI, Rd: 2, Rs1: 2, Imm: 31},
+		{Op: MULI, Rd: 1, Rs1: 1, Imm: 173},
+		{Op: DIVI, Rd: 1, Rs1: 1, Imm: 173},
+		{Op: DIVR, Rd: 1, Rs1: 1, Rs2: 2},
+		{Op: LD, Rd: 1, Rs1: 14, Imm: 64},
+		{Op: ST, Rd: 2, Rs1: 14, Imm: -64},
+		{Op: BEQ, Rd: 1, Rs1: 2, Imm: -5},
+		{Op: BNE, Rd: 1, Rs1: 2, Imm: 17},
+		{Op: JMP, Imm: -32768},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x): %v", w, err)
+		}
+		if got != in {
+			t.Errorf("round trip: got %+v, want %+v", got, in)
+		}
+	}
+}
+
+// randomValid produces a random encodable instruction.
+func randomValid(r *rand.Rand) Instruction {
+	for {
+		in := Instruction{
+			Op:  Op(r.Intn(NumOps)),
+			Rd:  Reg(r.Intn(NumRegs)),
+			Rs1: Reg(r.Intn(NumRegs)),
+		}
+		if in.Op.HasImm() {
+			min, max := immRange(in.Op)
+			in.Imm = min + r.Int31n(max-min+1)
+		} else if in.Op.ReadsRs2() {
+			in.Rs2 = Reg(r.Intn(NumRegs))
+		}
+		if in.Validate() == nil {
+			return in
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomValid(r)
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Decoding any word either fails or re-encodes to a word that decodes to
+// the same instruction (decode is a retraction of encode).
+func TestDecodeReEncodeQuick(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		if err := in.Validate(); err != nil {
+			return true // decoded but unencodable (e.g. divi #0): acceptable
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		in2, err := Decode(w2)
+		return err == nil && in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Instruction{
+		{Op: Op(240)},
+		{Op: ADDI, Rd: 16},
+		{Op: ADDI, Rs1: 99},
+		{Op: ADDR, Rs2: 31},
+		{Op: MOVI, Imm: 40000},
+		{Op: MOVI, Imm: -40000},
+		{Op: ANDI, Imm: -1},
+		{Op: ANDI, Imm: 0x10000},
+		{Op: SHLI, Imm: 32},
+		{Op: DIVI, Rd: 1, Rs1: 1, Imm: 0},
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", in)
+		}
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode on invalid instruction should panic")
+		}
+	}()
+	MustEncode(Instruction{Op: Op(255)})
+}
+
+func TestDecodeUndefinedOpcode(t *testing.T) {
+	if _, err := Decode(uint32(opCount) << 24); err == nil {
+		t.Error("Decode of undefined opcode should fail")
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: NOP}, "nop"},
+		{Instruction{Op: HALT}, "halt"},
+		{Instruction{Op: MOVI, Rd: 3, Imm: -7}, "movi r3, -7"},
+		{Instruction{Op: ADDI, Rd: 1, Rs1: 2, Imm: 173}, "addi r1, r2, 173"},
+		{Instruction{Op: ADDR, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instruction{Op: LD, Rd: 1, Rs1: 14, Imm: 8}, "ld r1, [r14+8]"},
+		{Instruction{Op: LD, Rd: 1, Rs1: 14, Imm: -8}, "ld r1, [r14-8]"},
+		{Instruction{Op: ST, Rd: 2, Rs1: 14, Imm: 0}, "st [r14+0], r2"},
+		{Instruction{Op: BNE, Rd: 1, Rs1: 2, Imm: -4}, "bne r1, r2, -4"},
+		{Instruction{Op: JMP, Imm: 3}, "jmp 3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestIsMemIsBranch(t *testing.T) {
+	if !(Instruction{Op: LD}).IsMem() || !(Instruction{Op: ST}).IsMem() {
+		t.Error("LD/ST must be memory instructions")
+	}
+	if (Instruction{Op: ADDI}).IsMem() {
+		t.Error("ADDI is not a memory instruction")
+	}
+	for _, op := range []Op{BEQ, BNE, JMP} {
+		if !(Instruction{Op: op}).IsBranch() {
+			t.Errorf("%s must be a branch", op)
+		}
+	}
+	if (Instruction{Op: LD}).IsBranch() {
+		t.Error("LD is not a branch")
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	prog := []Instruction{
+		{Op: MOVI, Rd: 1, Imm: 10},
+		{Op: ADDI, Rd: 1, Rs1: 1, Imm: -1},
+		{Op: BNE, Rd: 1, Rs1: 0, Imm: -2},
+		{Op: HALT},
+	}
+	words, err := EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if back[i] != prog[i] {
+			t.Errorf("instr %d: got %v, want %v", i, back[i], prog[i])
+		}
+	}
+
+	if _, err := EncodeProgram([]Instruction{{Op: Op(99)}}); err == nil {
+		t.Error("EncodeProgram with invalid instruction should fail")
+	}
+	if _, err := DecodeProgram([]uint32{0xFF000000}); err == nil {
+		t.Error("DecodeProgram with invalid word should fail")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	words := []uint32{
+		MustEncode(Instruction{Op: MOVI, Rd: 1, Imm: 5}),
+		MustEncode(Instruction{Op: HALT}),
+		0xFE000000, // undefined
+	}
+	text := Disassemble(words)
+	for _, want := range []string{"movi r1, 5", "halt", ".word 0xfe000000"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Disassemble output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package paperdata embeds the measurement results published in the SAVAT
+// paper (Callan, Zajić, Prvulovic, MICRO 2014) so that simulated results
+// can be compared against them quantitatively: the 11×11 pairwise SAVAT
+// matrices of Figures 9 (Core 2 Duo, 10 cm), 12 (Pentium 3 M, 10 cm),
+// 14 (Turion X2, 10 cm), 17 (Core 2 Duo, 50 cm) and 18 (Core 2 Duo,
+// 100 cm), all in zeptojoules, with rows = instruction A and columns =
+// instruction B in the order LDM, STM, LDL2, STL2, LDL1, STL1, NOI, ADD,
+// SUB, MUL, DIV.
+//
+// The Figure 12 matrix was reassembled from the paper text using the
+// A-vs-B / B-vs-A symmetry the paper itself relies on (e.g. LDM/LDL2 =
+// 42.6 against LDL2/LDM = 44.0) to place two values displaced by the
+// text extraction; Figures 9, 14, 17 and 18 read out directly.
+package paperdata
+
+import (
+	"fmt"
+
+	"repro/internal/savat"
+)
+
+// Order is the row/column event order of all embedded matrices.
+var Order = savat.Events()
+
+// Figure9 is the Core 2 Duo matrix at 10 cm and 80 kHz (zJ).
+var Figure9 = [11][11]float64{
+	{1.8, 2.4, 7.9, 11.5, 4.6, 4.4, 4.3, 4.2, 4.4, 4.2, 5.1},
+	{2.3, 2.4, 8.8, 11.8, 4.3, 4.2, 3.8, 3.9, 3.9, 4.3, 4.2},
+	{7.7, 7.7, 0.6, 0.8, 3.9, 3.5, 4.3, 3.6, 4.8, 3.8, 6.2},
+	{11.5, 10.6, 0.8, 0.7, 5.1, 6.1, 6.1, 6.1, 6.1, 6.2, 10.1},
+	{4.4, 4.2, 3.3, 5.8, 0.7, 0.6, 0.7, 0.7, 0.7, 0.7, 1.3},
+	{4.5, 4.2, 3.8, 4.9, 0.7, 0.6, 0.7, 0.6, 0.6, 0.6, 1.2},
+	{4.1, 3.8, 4.1, 6.4, 0.7, 0.7, 0.6, 0.6, 0.7, 0.6, 1.0},
+	{4.2, 4.1, 4.1, 7.0, 0.7, 0.7, 0.6, 0.7, 0.6, 0.6, 1.0},
+	{4.4, 4.0, 3.8, 7.3, 0.7, 0.6, 0.7, 0.6, 0.6, 0.6, 1.1},
+	{4.4, 3.9, 3.7, 5.7, 0.7, 0.7, 0.6, 0.6, 0.6, 0.6, 1.1},
+	{5.0, 4.6, 6.9, 9.3, 1.3, 1.2, 1.0, 1.1, 1.1, 1.1, 0.8},
+}
+
+// Figure12 is the Pentium 3 M matrix at 10 cm and 80 kHz (zJ).
+var Figure12 = [11][11]float64{
+	{2.9, 29.2, 42.6, 51.8, 27.6, 28.6, 21.3, 25.5, 26.3, 25.8, 13.8},
+	{23.5, 8.8, 16.6, 19.9, 11.8, 11.4, 8.3, 11.9, 12.3, 12.0, 5.6},
+	{44.0, 15.4, 0.8, 1.2, 2.9, 2.6, 4.4, 4.0, 3.7, 4.8, 21.7},
+	{50.5, 16.9, 1.2, 0.8, 4.6, 4.6, 6.9, 6.6, 6.4, 7.3, 28.3},
+	{30.2, 11.0, 2.2, 4.4, 0.8, 0.8, 1.1, 1.0, 1.0, 1.3, 11.8},
+	{29.7, 9.9, 2.5, 4.3, 0.8, 0.8, 1.2, 1.1, 1.0, 1.2, 11.6},
+	{28.7, 12.3, 2.7, 4.9, 0.8, 0.8, 0.9, 0.8, 0.8, 0.9, 10.4},
+	{26.5, 11.3, 3.4, 6.4, 0.9, 1.0, 0.8, 0.9, 0.8, 0.9, 10.0},
+	{27.5, 11.5, 3.2, 5.8, 0.9, 0.9, 0.8, 0.9, 0.9, 0.9, 10.2},
+	{27.7, 11.5, 3.5, 6.5, 1.0, 1.0, 0.8, 0.9, 0.9, 0.9, 9.6},
+	{14.4, 5.2, 22.3, 27.8, 11.8, 11.9, 7.8, 12.4, 13.0, 10.4, 1.9},
+}
+
+// Figure14 is the Turion X2 matrix at 10 cm and 80 kHz (zJ).
+var Figure14 = [11][11]float64{
+	{5.6, 6.5, 23.4, 19.7, 9.5, 7.1, 15.1, 12.0, 13.1, 9.0, 4.6},
+	{24.0, 4.6, 7.7, 7.0, 3.4, 2.8, 3.0, 2.9, 2.8, 3.7, 33.9},
+	{45.3, 8.7, 1.2, 9.9, 8.9, 9.0, 6.8, 10.5, 7.6, 9.9, 56.1},
+	{25.4, 7.8, 2.5, 4.3, 7.4, 8.4, 3.2, 5.7, 5.0, 6.4, 46.0},
+	{18.1, 3.8, 5.1, 4.3, 0.9, 0.9, 0.9, 1.1, 0.9, 1.0, 17.1},
+	{15.0, 3.8, 7.8, 5.0, 0.9, 0.9, 0.9, 1.1, 1.0, 1.1, 19.6},
+	{20.3, 3.4, 6.3, 3.5, 1.0, 1.0, 1.1, 1.5, 1.3, 1.2, 17.0},
+	{14.3, 3.5, 6.9, 3.4, 0.9, 1.0, 0.9, 0.9, 0.9, 0.9, 13.4},
+	{12.3, 3.5, 4.2, 2.8, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 17.0},
+	{11.3, 3.7, 5.6, 2.1, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 13.6},
+	{5.1, 32.2, 52.6, 42.7, 17.7, 17.1, 17.1, 16.1, 15.9, 17.6, 4.3},
+}
+
+// Figure17 is the Core 2 Duo matrix at 50 cm and 80 kHz (zJ).
+var Figure17 = [11][11]float64{
+	{1.7, 1.9, 1.3, 1.3, 1.2, 1.2, 1.2, 1.2, 1.2, 1.2, 1.3},
+	{2.0, 2.2, 1.5, 1.6, 1.4, 1.4, 1.4, 1.4, 1.4, 1.4, 1.5},
+	{1.2, 1.5, 0.6, 0.6, 0.7, 0.7, 0.6, 0.7, 0.7, 0.7, 0.8},
+	{1.3, 1.6, 0.6, 0.6, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.9},
+	{1.2, 1.4, 0.6, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.7, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.7, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.7, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.7, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.6, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.3, 1.5, 0.8, 0.9, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.8},
+}
+
+// Figure18 is the Core 2 Duo matrix at 100 cm and 80 kHz (zJ).
+var Figure18 = [11][11]float64{
+	{1.7, 1.9, 1.2, 1.2, 1.2, 1.1, 1.1, 1.1, 1.2, 1.1, 1.3},
+	{2.0, 2.2, 1.4, 1.4, 1.4, 1.4, 1.4, 1.4, 1.4, 1.4, 1.5},
+	{1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+	{1.3, 1.5, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.8},
+}
+
+// Experiment identifies one published matrix.
+type Experiment struct {
+	ID       string  // e.g. "fig9"
+	Machine  string  // machine.Config name
+	Distance float64 // metres
+	Values   *[11][11]float64
+}
+
+// Experiments lists the five published matrices in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig9", "Core2Duo", 0.10, &Figure9},
+		{"fig12", "Pentium3M", 0.10, &Figure12},
+		{"fig14", "TurionX2", 0.10, &Figure14},
+		{"fig17", "Core2Duo", 0.50, &Figure17},
+		{"fig18", "Core2Duo", 1.00, &Figure18},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("paperdata: unknown experiment %q", id)
+}
+
+// Matrix converts an embedded table to a savat.Matrix in joules.
+func (e Experiment) Matrix() *savat.Matrix {
+	m := savat.NewMatrix(Order)
+	for i := range e.Values {
+		for j := range e.Values[i] {
+			m.Vals[i][j] = e.Values[i][j] * 1e-21
+		}
+	}
+	return m
+}
+
+// SelectedPairs is the pair list of the paper's bar charts
+// (Figures 11, 13, 15, 16), in chart order.
+var SelectedPairs = [][2]savat.Event{
+	{savat.ADD, savat.ADD},
+	{savat.ADD, savat.MUL},
+	{savat.ADD, savat.LDL1},
+	{savat.ADD, savat.DIV},
+	{savat.ADD, savat.LDL2},
+	{savat.ADD, savat.LDM},
+	{savat.LDL1, savat.LDL2},
+	{savat.LDL2, savat.LDM},
+	{savat.STL1, savat.STL2},
+	{savat.STL2, savat.STM},
+	{savat.STL2, savat.DIV},
+}

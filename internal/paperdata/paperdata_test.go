@@ -1,0 +1,150 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/savat"
+	"repro/internal/stats"
+)
+
+func TestExperimentsComplete(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 5 {
+		t.Fatalf("expected 5 published matrices, got %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Machine == "" || e.Distance <= 0 || e.Values == nil {
+			t.Errorf("experiment %s incomplete: %+v", e.ID, e)
+		}
+		for i := range e.Values {
+			for j := range e.Values[i] {
+				if v := e.Values[i][j]; v <= 0 || v > 100 {
+					t.Errorf("%s[%d][%d] = %v zJ implausible", e.ID, i, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig9")
+	if err != nil || e.Machine != "Core2Duo" {
+		t.Errorf("ByID(fig9) = %+v, %v", e, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown ID should fail")
+	}
+}
+
+func TestMatrixConversion(t *testing.T) {
+	m := Experiments()[0].Matrix()
+	if got := m.MustAt(savat.LDM, savat.STL2); got != 11.5e-21 {
+		t.Errorf("LDM/STL2 = %v, want 11.5 zJ", got)
+	}
+	if got := m.MustAt(savat.ADD, savat.ADD); math.Abs(got-0.7e-21) > 1e-27 {
+		t.Errorf("ADD/ADD = %v, want 0.7 zJ", got)
+	}
+}
+
+// Figure 9's structural claim, from the paper's Section V: each diagonal
+// is (essentially) the smallest value in its row and column. The published
+// values are rounded to 0.1 zJ, so a few 0.6-vs-0.7 near-ties appear at
+// zero tolerance; none survives a 20% tolerance.
+func TestFigure9DiagonalProperty(t *testing.T) {
+	m := Experiments()[0].Matrix()
+	if viol := m.DiagonalViolations(0.20); len(viol) != 0 {
+		t.Fatalf("Figure 9 diagonal violations beyond rounding: %v", viol)
+	}
+	// The paper's named exception is present at zero tolerance.
+	found := false
+	for _, v := range m.DiagonalViolations(0) {
+		if v.Diagonal == savat.STM && v.Other == savat.LDM {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the paper's STM/LDM exception should be visible at zero tolerance")
+	}
+}
+
+// The paper's four groups are visible in Figure 9: intra-group mean SAVAT
+// well below inter-group mean.
+func TestFigure9GroupStructure(t *testing.T) {
+	m := Experiments()[0].Matrix()
+	offchip := []savat.Event{savat.LDM, savat.STM}
+	l2 := []savat.Event{savat.LDL2, savat.STL2}
+	arith := []savat.Event{savat.LDL1, savat.STL1, savat.NOI, savat.ADD, savat.SUB, savat.MUL}
+	for _, pair := range [][2][]savat.Event{{offchip, l2}, {offchip, arith}, {l2, arith}} {
+		intra, inter, err := m.GroupMeans(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if intra >= 0.6*inter {
+			t.Errorf("group structure violated: intra %v vs inter %v", intra, inter)
+		}
+	}
+}
+
+// A/B vs B/A symmetry: the paper treats the difference as measurement
+// error, so the published matrices must be strongly rank-symmetric —
+// this validates the Figure 12 text reconstruction described in the
+// package comment.
+func TestMatrixSymmetry(t *testing.T) {
+	for _, e := range Experiments() {
+		m := e.Matrix()
+		var upper, lower []float64
+		for i := 0; i < 11; i++ {
+			for j := i + 1; j < 11; j++ {
+				upper = append(upper, m.Vals[i][j])
+				lower = append(lower, m.Vals[j][i])
+			}
+		}
+		r, err := stats.SpearmanRank(upper, lower)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < 0.8 {
+			t.Errorf("%s: A/B vs B/A rank correlation %v, want ≥0.8", e.ID, r)
+		}
+	}
+}
+
+// Distance claims: Figure 17/18 off-chip rows dominate, and values barely
+// drop between 50 cm and 100 cm.
+func TestDistanceClaims(t *testing.T) {
+	m50 := mustMatrix(t, "fig17")
+	m100 := mustMatrix(t, "fig18")
+	if m50.MustAt(savat.ADD, savat.LDM) <= m50.MustAt(savat.ADD, savat.LDL2) {
+		t.Error("at 50 cm off-chip should dominate L2")
+	}
+	drop := m50.MustAt(savat.ADD, savat.LDM) / m100.MustAt(savat.ADD, savat.LDM)
+	if drop > 1.5 {
+		t.Errorf("50→100 cm drop %v, paper says small", drop)
+	}
+}
+
+func mustMatrix(t *testing.T, id string) *savat.Matrix {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Matrix()
+}
+
+func TestSelectedPairs(t *testing.T) {
+	if len(SelectedPairs) != 11 {
+		t.Errorf("selected pairs = %d, want the 11 chart bars", len(SelectedPairs))
+	}
+	for _, p := range SelectedPairs {
+		if !p[0].Valid() || !p[1].Valid() {
+			t.Errorf("invalid pair %v", p)
+		}
+	}
+}

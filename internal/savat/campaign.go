@@ -1,0 +1,159 @@
+package savat
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// CampaignOptions configure a full pairwise measurement campaign.
+type CampaignOptions struct {
+	// Events to measure pairwise; defaults to all 11 Figure 5 events.
+	Events []Event
+	// Repeats is the number of independent measurements per cell
+	// (paper: 10, over multiple days).
+	Repeats int
+	// Seed feeds the deterministic per-cell, per-repetition rngs.
+	Seed int64
+	// Parallelism bounds concurrent cell measurements (0 = GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, receives one call per finished cell.
+	Progress func(done, total int)
+}
+
+// DefaultCampaignOptions mirrors the paper's campaign: all 11 events,
+// 10 repetitions.
+func DefaultCampaignOptions() CampaignOptions {
+	return CampaignOptions{Events: Events(), Repeats: 10, Seed: 1}
+}
+
+// RunCampaign measures the full pairwise SAVAT matrix for one machine and
+// one measurement configuration. Every (row, col, repetition) triple gets
+// its own seeded rng, so results are reproducible and independent of
+// scheduling; the kernel (and its calibrated loop count) is built once per
+// cell and reused across repetitions, as the paper's fixed binary was.
+func RunCampaign(mc machine.Config, cfg Config, opts CampaignOptions) (*MatrixStats, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	events := opts.Events
+	if len(events) == 0 {
+		events = Events()
+	}
+	if opts.Repeats <= 0 {
+		return nil, fmt.Errorf("savat: campaign repeats %d", opts.Repeats)
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	n := len(events)
+	out := &MatrixStats{
+		Machine:  mc.Name,
+		Distance: cfg.Distance,
+		Mean:     NewMatrix(events),
+	}
+	out.Cells = make([][]stats.Summary, n)
+	for i := range out.Cells {
+		out.Cells[i] = make([]stats.Summary, n)
+	}
+
+	type cell struct{ i, j int }
+	work := make(chan cell)
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+
+	worker := func() {
+		defer wg.Done()
+		for c := range work {
+			a, b := events[c.i], events[c.j]
+			k, err := BuildKernel(mc, a, b, cfg.Frequency)
+			if err == nil {
+				vals := make([]float64, opts.Repeats)
+				for r := 0; r < opts.Repeats && err == nil; r++ {
+					rng := rand.New(rand.NewSource(cellSeed(opts.Seed, c.i, c.j, r)))
+					var meas *Measurement
+					meas, err = MeasureKernel(mc, k, cfg, rng)
+					if err == nil {
+						vals[r] = meas.SAVAT
+					}
+				}
+				if err == nil {
+					s := stats.Summarize(vals)
+					mu.Lock()
+					out.Mean.Vals[c.i][c.j] = s.Mean
+					out.Cells[c.i][c.j] = s
+					done++
+					if opts.Progress != nil {
+						opts.Progress(done, n*n)
+					}
+					mu.Unlock()
+				}
+			}
+			if err != nil {
+				select {
+				case errCh <- fmt.Errorf("savat: cell %v/%v: %w", a, b, err):
+				default:
+				}
+			}
+		}
+	}
+
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go worker()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			work <- cell{i, j}
+		}
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return out, nil
+}
+
+// cellSeed derives a deterministic seed for one (cell, repetition).
+func cellSeed(base int64, i, j, rep int) int64 {
+	h := uint64(base)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 +
+		uint64(j)*0x94D049BB133111EB + uint64(rep)*0xD6E8FEB86659FD93
+	h ^= h >> 31
+	return int64(h&0x7FFFFFFFFFFFFFFF) + 1
+}
+
+// MeasurePair is a convenience wrapper: one cell, `repeats` repetitions,
+// returning the per-repetition values and their summary.
+func MeasurePair(mc machine.Config, a, b Event, cfg Config, repeats int, seed int64) ([]float64, stats.Summary, error) {
+	if repeats <= 0 {
+		return nil, stats.Summary{}, fmt.Errorf("savat: repeats %d", repeats)
+	}
+	k, err := BuildKernel(mc, a, b, cfg.Frequency)
+	if err != nil {
+		return nil, stats.Summary{}, err
+	}
+	vals := make([]float64, repeats)
+	for r := range vals {
+		rng := rand.New(rand.NewSource(cellSeed(seed, int(a), int(b), r)))
+		m, err := MeasureKernel(mc, k, cfg, rng)
+		if err != nil {
+			return nil, stats.Summary{}, err
+		}
+		vals[r] = m.SAVAT
+	}
+	return vals, stats.Summarize(vals), nil
+}

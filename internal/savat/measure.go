@@ -1,0 +1,191 @@
+package savat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/activity"
+	"repro/internal/emsim"
+	"repro/internal/machine"
+	"repro/internal/noise"
+	"repro/internal/specan"
+)
+
+// Config holds the measurement-setup parameters shared by a campaign.
+type Config struct {
+	// Distance is the antenna distance in metres (paper: 0.10, 0.50, 1.00).
+	Distance float64
+	// Frequency is the intended alternation frequency in Hz (paper: 80 kHz).
+	Frequency float64
+	// BandHalfWidth is the half-width of the measured band around the
+	// alternation frequency (paper: 1 kHz).
+	BandHalfWidth float64
+	// SampleRate is the receiver capture rate in Hz; it must exceed twice
+	// the alternation frequency.
+	SampleRate float64
+	// Duration is the capture length in seconds (paper: ≈1 s for 1 Hz RBW).
+	Duration float64
+	// WarmupPeriods alternation periods are simulated and discarded before
+	// the steady-state activity rates are extracted over MeasurePeriods.
+	WarmupPeriods  int
+	MeasurePeriods int
+	// Environment is the noise environment.
+	Environment noise.Environment
+	// Analyzer is the spectrum-analyzer setup.
+	Analyzer specan.Config
+	// Jitter is the alternation-period instability model.
+	Jitter emsim.Jitter
+}
+
+// DefaultConfig mirrors the paper's setup: 10 cm, 80 kHz, ±1 kHz band,
+// 1 s capture analyzed at the instrument's finest RBW, lab noise.
+func DefaultConfig() Config {
+	return Config{
+		Distance:       0.10,
+		Frequency:      80e3,
+		BandHalfWidth:  1e3,
+		SampleRate:     1 << 18,
+		Duration:       1.0,
+		WarmupPeriods:  3,
+		MeasurePeriods: 6,
+		Environment:    noise.Lab(),
+		Analyzer:       specan.DefaultConfig(),
+		Jitter:         emsim.DefaultJitter(),
+	}
+}
+
+// FastConfig is DefaultConfig with a quarter-second capture — ~4× faster
+// with a proportionally coarser RBW; used by tests and benchmarks.
+func FastConfig() Config {
+	c := DefaultConfig()
+	c.Duration = 0.25
+	return c
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	switch {
+	case c.Distance <= 0:
+		return fmt.Errorf("savat: non-positive distance %g", c.Distance)
+	case c.Frequency <= 0:
+		return fmt.Errorf("savat: non-positive frequency %g", c.Frequency)
+	case c.BandHalfWidth <= 0 || c.BandHalfWidth >= c.Frequency:
+		return fmt.Errorf("savat: band half-width %g outside (0, f0)", c.BandHalfWidth)
+	case c.SampleRate < 2*(c.Frequency+c.BandHalfWidth):
+		return fmt.Errorf("savat: sample rate %g below Nyquist for %g Hz", c.SampleRate, c.Frequency)
+	case c.Duration <= 0:
+		return fmt.Errorf("savat: non-positive duration %g", c.Duration)
+	case c.WarmupPeriods < 0 || c.MeasurePeriods <= 0:
+		return fmt.Errorf("savat: bad period counts warmup=%d measure=%d", c.WarmupPeriods, c.MeasurePeriods)
+	}
+	if err := c.Environment.Validate(); err != nil {
+		return err
+	}
+	return c.Analyzer.Validate()
+}
+
+// Measurement is the result of one A/B SAVAT measurement.
+type Measurement struct {
+	A, B Event
+	// SAVAT is the signal energy available to the attacker per A/B
+	// instruction pair, in joules (the paper reports zeptojoules).
+	SAVAT float64
+	// BandPower is the received power integrated over the measurement
+	// band, in watts.
+	BandPower float64
+	// PairsPerSecond is the divisor used (loop count / achieved period).
+	PairsPerSecond float64
+	// LoopCount is the calibrated inst_loop_count.
+	LoopCount int
+	// ActualFrequency is the achieved alternation frequency (cycle-level;
+	// the additional run-time drift appears in the spectrum, not here).
+	ActualFrequency float64
+	// Trace is the recorded spectrum (for the Figure 7/8 plots).
+	Trace *specan.Trace
+}
+
+// ZJ returns the SAVAT value in zeptojoules (10⁻²¹ J), the paper's unit.
+func (m *Measurement) ZJ() float64 { return m.SAVAT * 1e21 }
+
+// Measure runs the complete pipeline for one event pair on one machine.
+// The rng drives every stochastic stage (component spatial phases, period
+// drift, noise realization), so a fixed seed reproduces the measurement
+// exactly; campaigns use a fresh rng per repetition.
+func Measure(mc machine.Config, a, b Event, cfg Config, rng *rand.Rand) (*Measurement, error) {
+	k, err := BuildKernel(mc, a, b, cfg.Frequency)
+	if err != nil {
+		return nil, err
+	}
+	return MeasureKernel(mc, k, cfg, rng)
+}
+
+// MeasureKernel measures a prebuilt kernel (avoids re-calibrating the loop
+// count across campaign repetitions).
+func MeasureKernel(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand) (*Measurement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("savat: nil rng")
+	}
+
+	// 1. Cycle-accurate steady-state activity of the alternation loop.
+	alt, err := k.Alternation(mc, cfg.WarmupPeriods, cfg.MeasurePeriods)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Radiate: per-component coupling at the measurement distance with
+	// campaign-specific spatial phases, synthesized over the capture.
+	rad, err := emsim.NewRadiator(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, rng)
+	if err != nil {
+		return nil, err
+	}
+	spec := emsim.Alternation{
+		Rates:       [2]activity.Vector{alt.PhaseStats[0].MeanRates, alt.PhaseStats[1].MeanRates},
+		HalfSeconds: alt.HalfSeconds,
+	}
+	n := int(cfg.Duration * cfg.SampleRate)
+	jit := cfg.Jitter
+	if jit.AmpNoiseStd == 0 {
+		jit.AmpNoiseStd = mc.AmplitudeNoiseStd
+	}
+	groups, err := rad.SynthesizeGroups(spec, cfg.SampleRate, n, jit, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Environment noise, as one more incoherent contribution.
+	noiseStream := make([]complex128, n)
+	if err := cfg.Environment.Apply(noiseStream, cfg.SampleRate, rng); err != nil {
+		return nil, err
+	}
+
+	// 4. Spectrum analysis and band power around the intended frequency.
+	// Group signals and noise are mutually incoherent: powers add.
+	an, err := specan.New(cfg.Analyzer)
+	if err != nil {
+		return nil, err
+	}
+	streams := append(groups[:], noiseStream)
+	tr, err := an.AnalyzeIncoherent(streams, cfg.SampleRate)
+	if err != nil {
+		return nil, err
+	}
+	p, err := tr.BandPower(cfg.Frequency, cfg.BandHalfWidth)
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Energy per A/B instruction pair.
+	pairs := alt.PairsPerSecond()
+	return &Measurement{
+		A: k.A, B: k.B,
+		SAVAT:           p / pairs,
+		BandPower:       p,
+		PairsPerSecond:  pairs,
+		LoopCount:       k.LoopCount,
+		ActualFrequency: alt.ActualFrequency(),
+		Trace:           tr,
+	}, nil
+}

@@ -1,0 +1,299 @@
+package savat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/emsim"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/memhier"
+	"repro/internal/stats"
+)
+
+// This file implements the naive methodology of the paper's Figure 2 —
+// capture the signal of a fragment containing instruction A, separately
+// capture the fragment with B, align the two records, and integrate the
+// area between them — so its failure modes can be demonstrated
+// quantitatively against the alternation methodology:
+//
+//   - the single-instruction difference is tiny relative to the overall
+//     signal, and the oscilloscope's vertical error scales with the
+//     *overall* signal (range-proportional error);
+//   - the two captures are never perfectly aligned in time;
+//   - even a high-end real-time oscilloscope takes only a handful of
+//     samples during the instruction of interest.
+
+// ScopeConfig models the real-time oscilloscope of the naive approach.
+type ScopeConfig struct {
+	// SampleRate in samples/second; the paper notes that >50 GS/s
+	// instruments cost hundreds of thousands of dollars.
+	SampleRate float64
+	// VerticalError is the RMS measurement error as a fraction of the
+	// capture's full-scale amplitude (the paper's example uses 0.5%).
+	VerticalError float64
+	// AlignmentJitter is the maximum misalignment between the A and B
+	// captures, in scope samples.
+	AlignmentJitter int
+}
+
+// DefaultScopeConfig is a generous high-end instrument: 50 GS/s, 0.5%
+// vertical error, one sample of trigger jitter.
+func DefaultScopeConfig() ScopeConfig {
+	return ScopeConfig{SampleRate: 50e9, VerticalError: 0.005, AlignmentJitter: 1}
+}
+
+// Validate reports the first configuration problem.
+func (c ScopeConfig) Validate() error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("savat: scope sample rate %g", c.SampleRate)
+	}
+	if c.VerticalError < 0 {
+		return fmt.Errorf("savat: negative vertical error %g", c.VerticalError)
+	}
+	if c.AlignmentJitter < 0 {
+		return fmt.Errorf("savat: negative alignment jitter %d", c.AlignmentJitter)
+	}
+	return nil
+}
+
+// NaiveResult reports one naive-methodology comparison.
+type NaiveResult struct {
+	A, B Event
+	// TrueDiff is the noiseless, perfectly aligned area between the A and
+	// B amplitude records (volt·seconds) — what the naive method tries to
+	// estimate.
+	TrueDiff float64
+	// Diffs are the per-repetition measured areas.
+	Diffs []float64
+	// RelErrors are |measured − true| / true per repetition.
+	RelErrors []float64
+}
+
+// MeanRelError returns the average relative error of the naive estimates.
+func (r *NaiveResult) MeanRelError() float64 { return stats.Mean(r.RelErrors) }
+
+// naiveFragment builds the straight-line program of Figure 2: identical
+// surrounding activity with the instruction under test in the middle, and
+// returns the program plus the instruction index of the test slot.
+func naiveFragment(e Event, mc machine.Config) (*asm.Program, int, error) {
+	bld := asm.NewBuilder()
+	bld.Mov32(regPtrA, arrayABase)
+	bld.Movi(regStVal, -1)
+	bld.Movi(regArith, 173)
+	// Cache preconditioning so the event hits at its intended level:
+	// L1 events touch their line; L2 events touch it and then evict it
+	// from L1 with a conflicting sweep; memory events stay cold.
+	switch e {
+	case LDL1, STL1:
+		bld.Ld(regValue, regPtrA, 0)
+	case LDL2, STL2:
+		bld.Ld(regValue, regPtrA, 0)
+		bld.Mov32(regTmpA, arrayABase+1<<20)
+		bld.Mov32(regCount, uint32(2*mc.Mem.L1.SizeBytes/mc.Mem.L1.LineBytes))
+		bld.Label("evict")
+		bld.Ld(regValue, regTmpA, 0)
+		bld.Op3i(isa.ADDI, regTmpA, regTmpA, int32(mc.Mem.L1.LineBytes))
+		bld.Op3i(isa.SUBI, regCount, regCount, 1)
+		bld.Bne(regCount, regZero, "evict")
+	}
+	// Surrounding activity: a fixed ALU mix on both sides of the slot.
+	filler := func(n int) {
+		for i := 0; i < n; i++ {
+			switch i % 3 {
+			case 0:
+				bld.Op3i(isa.ADDI, regTmpB, regTmpB, 7)
+			case 1:
+				bld.Op3i(isa.XORI, regTmpB, regTmpB, 0x55)
+			case 2:
+				bld.Op3i(isa.SHLI, regTmpB, regTmpB, 1)
+			}
+		}
+	}
+	filler(40)
+	slot := bld.Len()
+	if in, ok := testInstruction(e, regPtrA); ok {
+		bld.Emit(in)
+	}
+	filler(40)
+	bld.Halt()
+	prog, err := bld.Program()
+	return prog, slot, err
+}
+
+// captureAmplitude executes the fragment and returns the received
+// amplitude per core cycle (coherent group sum — the oscilloscope sees the
+// instantaneous field), along with the cycle range occupied by the test
+// slot.
+func captureAmplitude(mc machine.Config, e Event, rad *emsim.Radiator) (amp []float64, slotStart, slotEnd uint64, err error) {
+	prog, slot, err := naiveFragment(e, mc)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	hier, err := memhier.New(mc.Mem)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	core, err := cpu.New(mc.CPU, prog.Instructions, hier)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	for !core.Halted() {
+		pc := core.PC()
+		start := core.Cycle()
+		if err := core.Step(); err != nil {
+			return nil, 0, 0, err
+		}
+		end := core.Cycle()
+		if pc == slot && e != NOI {
+			slotStart, slotEnd = start, end
+		}
+		v := core.TakeActivity()
+		// Spread the instruction's events uniformly over its cycles and
+		// convert to per-second rates for the radiator.
+		cycles := end - start
+		if cycles == 0 {
+			continue
+		}
+		rates := v.Scale(mc.ClockHz / float64(cycles))
+		var total complex128
+		for g := 0; g < emsim.NumGroups; g++ {
+			total += rad.GroupAmplitude(rates, 1, g)
+		}
+		a := real(total)*real(total) + imag(total)*imag(total)
+		a = math.Sqrt(a)
+		for c := uint64(0); c < cycles; c++ {
+			amp = append(amp, a)
+		}
+	}
+	if e == NOI {
+		// The empty slot sits between the fillers; mark one cycle there.
+		slotStart = uint64(len(amp)) / 2
+		slotEnd = slotStart + 1
+	}
+	return amp, slotStart, slotEnd, nil
+}
+
+// sampleScope converts a per-cycle amplitude record to scope samples and
+// adds range-proportional vertical noise.
+func sampleScope(amp []float64, clockHz float64, sc ScopeConfig, rng *rand.Rand) []float64 {
+	n := int(float64(len(amp)) / clockHz * sc.SampleRate)
+	if n < 1 {
+		n = 1
+	}
+	fullScale := 0.0
+	for _, a := range amp {
+		fullScale = math.Max(fullScale, a)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		cyc := int(float64(i) / sc.SampleRate * clockHz)
+		if cyc >= len(amp) {
+			cyc = len(amp) - 1
+		}
+		out[i] = amp[cyc] + rng.NormFloat64()*sc.VerticalError*fullScale
+	}
+	return out
+}
+
+// areaBetween integrates |a−b| over the window [lo,hi) of scope samples,
+// with b shifted by `shift` samples, returning volt·seconds.
+func areaBetween(a, b []float64, lo, hi, shift int, sampleRate float64) float64 {
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		va, vb := 0.0, 0.0
+		if i >= 0 && i < len(a) {
+			va = a[i]
+		}
+		if j := i + shift; j >= 0 && j < len(b) {
+			vb = b[j]
+		}
+		sum += math.Abs(va - vb)
+	}
+	return sum / sampleRate
+}
+
+// NaiveMeasure runs the naive methodology `repeats` times for the A/B
+// pair at the given distance and reports the estimates and their relative
+// errors against the noiseless truth. Compare NaiveResult.MeanRelError
+// with the alternation methodology's σ/mean ≈ 0.05.
+func NaiveMeasure(mc machine.Config, a, b Event, distance float64, sc ScopeConfig, repeats int, seed int64) (*NaiveResult, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if !a.Valid() || !b.Valid() {
+		return nil, fmt.Errorf("savat: invalid event pair %v/%v", a, b)
+	}
+	if a.IsExtension() || b.IsExtension() {
+		return nil, fmt.Errorf("savat: naive methodology supports only the Figure 5 events, not %v/%v", a, b)
+	}
+	if repeats <= 0 {
+		return nil, fmt.Errorf("savat: repeats %d", repeats)
+	}
+	// Truth: one fixed reference radiator, perfect alignment, no scope.
+	truthRng := rand.New(rand.NewSource(1))
+	truthRad, err := emsim.NewRadiator(mc.Sources, distance, mc.AsymmetrySourceAmp, truthRng)
+	if err != nil {
+		return nil, err
+	}
+	ampA, sA, eA, err := captureAmplitude(mc, a, truthRad)
+	if err != nil {
+		return nil, err
+	}
+	ampB, _, _, err := captureAmplitude(mc, b, truthRad)
+	if err != nil {
+		return nil, err
+	}
+	// Window: the A slot extended by the pipeline settle time, in cycles.
+	winLo, winHi := int(sA), int(eA)+4
+	trueDiff := 0.0
+	for i := winLo; i < winHi; i++ {
+		va, vb := 0.0, 0.0
+		if i < len(ampA) {
+			va = ampA[i]
+		}
+		if i < len(ampB) {
+			vb = ampB[i]
+		}
+		trueDiff += math.Abs(va - vb)
+	}
+	trueDiff /= mc.ClockHz
+	if trueDiff == 0 {
+		trueDiff = math.SmallestNonzeroFloat64
+	}
+
+	res := &NaiveResult{A: a, B: b, TrueDiff: trueDiff}
+	for r := 0; r < repeats; r++ {
+		rng := rand.New(rand.NewSource(cellSeed(seed, int(a), int(b), r)))
+		rad, err := emsim.NewRadiator(mc.Sources, distance, mc.AsymmetrySourceAmp, rng)
+		if err != nil {
+			return nil, err
+		}
+		rawA, sA2, eA2, err := captureAmplitude(mc, a, rad)
+		if err != nil {
+			return nil, err
+		}
+		rawB, _, _, err := captureAmplitude(mc, b, rad)
+		if err != nil {
+			return nil, err
+		}
+		sa := sampleScope(rawA, mc.ClockHz, sc, rng)
+		sb := sampleScope(rawB, mc.ClockHz, sc, rng)
+		shift := 0
+		if sc.AlignmentJitter > 0 {
+			shift = rng.Intn(2*sc.AlignmentJitter+1) - sc.AlignmentJitter
+		}
+		lo := int(float64(sA2) / mc.ClockHz * sc.SampleRate)
+		hi := int(float64(eA2+4)/mc.ClockHz*sc.SampleRate) + 1
+		d := areaBetween(sa, sb, lo, hi, shift, sc.SampleRate)
+		res.Diffs = append(res.Diffs, d)
+		res.RelErrors = append(res.RelErrors, math.Abs(d-trueDiff)/trueDiff)
+	}
+	return res, nil
+}

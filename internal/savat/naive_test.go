@@ -1,0 +1,101 @@
+package savat
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestScopeConfigValidate(t *testing.T) {
+	if err := DefaultScopeConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ScopeConfig{
+		{SampleRate: 0},
+		{SampleRate: 1e9, VerticalError: -1},
+		{SampleRate: 1e9, AlignmentJitter: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad scope config %+v validated", c)
+		}
+	}
+}
+
+func TestNaiveMeasureErrors(t *testing.T) {
+	mc := machine.Core2Duo()
+	sc := DefaultScopeConfig()
+	if _, err := NaiveMeasure(machine.Config{}, ADD, LDM, 0.1, sc, 2, 1); err == nil {
+		t.Error("bad machine should fail")
+	}
+	if _, err := NaiveMeasure(mc, Event(99), LDM, 0.1, sc, 2, 1); err == nil {
+		t.Error("bad event should fail")
+	}
+	if _, err := NaiveMeasure(mc, ADD, LDM, 0.1, ScopeConfig{}, 2, 1); err == nil {
+		t.Error("bad scope should fail")
+	}
+	if _, err := NaiveMeasure(mc, ADD, LDM, 0.1, sc, 0, 1); err == nil {
+		t.Error("zero repeats should fail")
+	}
+}
+
+// The paper's Section III argument: when the single-instruction difference
+// is much smaller than the overall signal (two same-latency instructions),
+// the naive methodology's range-proportional error and misalignment swamp
+// the true difference — far beyond the alternation methodology's ≈5%
+// repeatability — even with a generous 50 GS/s, 0.5%-error instrument.
+func TestNaiveErrorIsLarge(t *testing.T) {
+	mc := machine.Core2Duo()
+	res, err := NaiveMeasure(mc, LDL1, STL1, 0.10, DefaultScopeConfig(), 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diffs) != 8 || len(res.RelErrors) != 8 {
+		t.Fatalf("result sizes: %d/%d", len(res.Diffs), len(res.RelErrors))
+	}
+	if res.TrueDiff <= 0 {
+		t.Fatalf("true difference %v", res.TrueDiff)
+	}
+	if res.MeanRelError() < 0.5 {
+		t.Errorf("naive relative error = %v, expected ≫ the alternation method's 0.05",
+			res.MeanRelError())
+	}
+}
+
+// The naive method degrades further for fast events at lower sample rates
+// (the paper: few samples during the instruction of interest).
+func TestNaiveWorseAtLowSampleRate(t *testing.T) {
+	mc := machine.Core2Duo()
+	hi := DefaultScopeConfig()
+	lo := hi
+	lo.SampleRate = 2e9 // one sample per cycle
+	resHi, err := NaiveMeasure(mc, ADD, DIV, 0.10, hi, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLo, err := NaiveMeasure(mc, ADD, DIV, 0.10, lo, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not strictly monotone per-seed, but the low-rate error should not be
+	// dramatically better.
+	if resLo.MeanRelError() < 0.3*resHi.MeanRelError() {
+		t.Errorf("low-rate scope (%v) implausibly beats high-rate (%v)",
+			resLo.MeanRelError(), resHi.MeanRelError())
+	}
+}
+
+// A/A naive comparison: the true difference is essentially zero, so the
+// naive estimate is pure measurement artifact.
+func TestNaiveSameInstruction(t *testing.T) {
+	mc := machine.Core2Duo()
+	res, err := NaiveMeasure(mc, ADD, ADD, 0.10, DefaultScopeConfig(), 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diffs {
+		if d < 0 {
+			t.Error("area must be non-negative")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package savat
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/emsim"
+	"repro/internal/machine"
+)
+
+// Predict computes the expected SAVAT analytically, without synthesizing
+// or analyzing any signal. The alternation is a rectangular wave between
+// the two halves' group amplitudes with duty cycle d = τ_A/(τ_A+τ_B)
+// (the halves execute equal instruction counts but take different times);
+// its +f₀ spectral line — the one inside the measurement band — carries
+// |Δamp|²·sin²(πd)/π² watts per coherence group, groups add in power, and
+// the asymmetry source rides the core group of the A half. Dividing by
+// the A/B pairs per second gives the noiseless SAVAT at the paper's
+// 10 cm reference.
+//
+// This is NOT how the library measures — the measurement pipeline
+// synthesizes the waveform, adds the environment, and integrates band
+// power on the simulated analyzer — but it provides an independent
+// closed-form cross-check: in a quiet environment with no drift, Measure
+// must agree with Predict up to windowing losses and the residual noise
+// floor. The cross-validation test in predict_test.go pins that
+// agreement, which exercises the synthesis, FFT, PSD normalization, and
+// band-power integration end to end against first principles.
+func Predict(mc machine.Config, a, b Event, frequency float64) (float64, error) {
+	return PredictAt(mc, a, b, frequency, emsim.RefDistance)
+}
+
+// PredictAt is Predict at an explicit antenna distance.
+func PredictAt(mc machine.Config, a, b Event, frequency, distance float64) (float64, error) {
+	k, err := BuildKernel(mc, a, b, frequency)
+	if err != nil {
+		return 0, err
+	}
+	return PredictKernelAt(mc, k, distance)
+}
+
+// PredictKernelAt is the analytic prediction for a prebuilt kernel.
+// Per-campaign gain jitter has zero mean, so the expectation is taken by
+// averaging the fundamental power over several radiator draws.
+func PredictKernelAt(mc machine.Config, k *Kernel, distance float64) (float64, error) {
+	alt, err := k.Alternation(mc, 3, 6)
+	if err != nil {
+		return 0, err
+	}
+	duty := alt.HalfSeconds[0] / alt.Period()
+	sin2 := math.Sin(math.Pi * duty)
+	sin2 *= sin2
+	const draws = 8
+	var total float64
+	for d := int64(0); d < draws; d++ {
+		rng := rand.New(rand.NewSource(1000 + d))
+		rad, err := emsim.NewRadiator(mc.Sources, distance, mc.AsymmetrySourceAmp, rng)
+		if err != nil {
+			return 0, err
+		}
+		var p float64
+		for g := 0; g < emsim.NumGroups; g++ {
+			ampA := rad.GroupAmplitude(alt.PhaseStats[0].MeanRates, 0, g)
+			ampB := rad.GroupAmplitude(alt.PhaseStats[1].MeanRates, 1, g)
+			diff := ampA - ampB
+			p += (real(diff)*real(diff) + imag(diff)*imag(diff)) * sin2 / (math.Pi * math.Pi)
+		}
+		total += p
+	}
+	return total / draws / alt.PairsPerSecond(), nil
+}

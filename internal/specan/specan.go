@@ -1,0 +1,176 @@
+// Package specan models the spectrum analyzer used in the paper's
+// measurement setup (an Agilent MXA-class instrument): windowed FFT
+// analysis at a requested resolution bandwidth, a sensitivity floor, and
+// band-power markers.
+//
+// The SAVAT pipeline records the spectrum around the alternation frequency
+// and integrates the received power in a ±1 kHz band (paper Section IV);
+// both operations live here.
+package specan
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+)
+
+// Config describes the analyzer settings.
+type Config struct {
+	// RBW is the requested resolution bandwidth in Hz. The achieved RBW is
+	// ENBW·fs/segment and is reported on the trace; it is never better
+	// than the capture length allows.
+	RBW float64
+	// Window is the RBW filter shape; Hann by default.
+	Window dsp.Window
+	// FloorPSD is the instrument sensitivity floor in W/Hz; trace values
+	// below it are reported at the floor (≈6×10⁻¹⁸ for the paper's MXA).
+	FloorPSD float64
+}
+
+// DefaultConfig mirrors the paper's settings: 1 Hz RBW request, Hann
+// filter, MXA-class sensitivity.
+func DefaultConfig() Config {
+	return Config{RBW: 1, Window: dsp.Hann, FloorPSD: 6e-18}
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	if c.RBW <= 0 {
+		return fmt.Errorf("specan: non-positive RBW %g", c.RBW)
+	}
+	if c.FloorPSD < 0 {
+		return fmt.Errorf("specan: negative floor %g", c.FloorPSD)
+	}
+	return nil
+}
+
+// Trace is one recorded spectrum.
+type Trace struct {
+	Spectrum  *dsp.Spectrum
+	ActualRBW float64 // achieved resolution bandwidth in Hz
+	FloorPSD  float64
+}
+
+// Analyzer is the instrument.
+type Analyzer struct {
+	cfg Config
+}
+
+// New builds an analyzer.
+func New(cfg Config) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analyzer{cfg: cfg}, nil
+}
+
+// MustNew is New for known-valid configurations.
+func MustNew(cfg Config) *Analyzer {
+	a, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Config returns the analyzer settings.
+func (a *Analyzer) Config() Config { return a.cfg }
+
+// Analyze records the spectrum of the capture x at sample rate fs.
+// The segment length is chosen as the largest power of two that fits the
+// capture and meets (or comes closest to) the requested RBW; segments are
+// averaged Welch-style when the capture is longer than one segment.
+func (a *Analyzer) Analyze(x []complex128, fs float64) (*Trace, error) {
+	return a.AnalyzeIncoherent([][]complex128{x}, fs)
+}
+
+// AnalyzeIncoherent records the spectrum of several mutually-incoherent
+// captures of equal length — signals whose spatial field structure differs
+// so that their powers, not their amplitudes, add at the detector (see
+// internal/emsim). The displayed PSD is the sum of the per-capture PSDs,
+// with the sensitivity floor applied once to the sum. Nil captures are
+// skipped.
+func (a *Analyzer) AnalyzeIncoherent(xs [][]complex128, fs float64) (*Trace, error) {
+	if fs <= 0 {
+		return nil, fmt.Errorf("specan: sample rate %g", fs)
+	}
+	var x []complex128
+	n := -1
+	for _, s := range xs {
+		if s == nil {
+			continue
+		}
+		if n >= 0 && len(s) != n {
+			return nil, fmt.Errorf("specan: capture length mismatch %d vs %d", len(s), n)
+		}
+		n = len(s)
+		x = s
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("specan: capture of %d samples too short", n)
+	}
+	maxSeg := 1
+	for maxSeg*2 <= len(x) {
+		maxSeg *= 2
+	}
+	enbw, err := a.cfg.Window.ENBW(maxSeg)
+	if err != nil {
+		return nil, err
+	}
+	// Segment length needed for the requested RBW.
+	need := dsp.NextPow2(int(enbw * fs / a.cfg.RBW))
+	seg := maxSeg
+	if need < seg {
+		seg = need
+	}
+	sum := make([]float64, seg)
+	for _, s := range xs {
+		if s == nil {
+			continue
+		}
+		spec, err := dsp.Welch(s, fs, seg, a.cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range spec.PSD {
+			sum[i] += v
+		}
+	}
+	enbw, err = a.cfg.Window.ENBW(seg)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{
+		Spectrum:  &dsp.Spectrum{PSD: sum, SampleRate: fs},
+		ActualRBW: enbw * fs / float64(seg),
+		FloorPSD:  a.cfg.FloorPSD,
+	}
+	// Apply the sensitivity floor once, to the summed display.
+	for i, v := range sum {
+		if v < tr.FloorPSD {
+			sum[i] = tr.FloorPSD
+		}
+	}
+	return tr, nil
+}
+
+// BandPower integrates the displayed PSD over center ± halfSpan Hz and
+// returns watts — the paper's "total received signal power in the
+// frequency band from 1 kHz below to 1 kHz above the alternation
+// frequency".
+func (t *Trace) BandPower(center, halfSpan float64) (float64, error) {
+	if halfSpan <= 0 {
+		return 0, fmt.Errorf("specan: non-positive half span %g", halfSpan)
+	}
+	return t.Spectrum.BandPower(center-halfSpan, center+halfSpan)
+}
+
+// Peak returns the frequency and PSD of the strongest bin within
+// center ± halfSpan.
+func (t *Trace) Peak(center, halfSpan float64) (freq, psd float64, err error) {
+	k, v, err := t.Spectrum.PeakIn(center-halfSpan, center+halfSpan)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t.Spectrum.Freq(k), v, nil
+}

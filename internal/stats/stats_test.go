@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestBasics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "Mean", Mean(xs), 5, 1e-12)
+	approx(t, "Variance", Variance(xs), 32.0/7, 1e-12)
+	approx(t, "StdDev", StdDev(xs), math.Sqrt(32.0/7), 1e-12)
+	approx(t, "RelStdDev", RelStdDev(xs), math.Sqrt(32.0/7)/5, 1e-12)
+	approx(t, "Median", Median(xs), 4.5, 1e-12)
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("empty/single inputs should give 0")
+	}
+	if RelStdDev([]float64{0, 0}) != 0 {
+		t.Error("zero-mean RelStdDev should be 0")
+	}
+	if Median(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Error("empty Median/Percentile should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, "P0", Percentile(xs, 0), 1, 1e-12)
+	approx(t, "P100", Percentile(xs, 100), 5, 1e-12)
+	approx(t, "P25", Percentile(xs, 25), 2, 1e-12)
+	approx(t, "P50", Percentile(xs, 50), 3, 1e-12)
+	approx(t, "P-clamped", Percentile(xs, -10), 1, 1e-12)
+	approx(t, "P-clamped-high", Percentile(xs, 200), 5, 1e-12)
+	// Interpolation.
+	approx(t, "P10", Percentile(xs, 10), 1.4, 1e-12)
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(empty) should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestSummary(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	approx(t, "Summary RelStdDev", s.RelStdDev(), 0.5, 1e-12)
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("Summary.String = %q", s.String())
+	}
+	if (Summary{}).RelStdDev() != 0 {
+		t.Error("zero Summary RelStdDev should be 0")
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty Summarize should be zero value")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "perfect correlation", r, 1, 1e-12)
+
+	neg := []float64{8, 6, 4, 2}
+	r, err = Correlation(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "perfect anticorrelation", r, -1, 1e-12)
+
+	if _, err := Correlation(xs, ys[:2]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Correlation([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero variance should fail")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone but nonlinear: Spearman = 1, Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	rs, err := SpearmanRank(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Spearman monotone", rs, 1, 1e-12)
+
+	// Ties are handled with averaged ranks.
+	rs, err = SpearmanRank([]float64{1, 2, 2, 3}, []float64{10, 20, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Spearman ties", rs, 1, 1e-12)
+
+	if _, err := SpearmanRank(xs, ys[:3]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+// Properties: mean within [min,max]; variance non-negative and
+// translation-invariant.
+func TestMomentsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		shifted := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			shifted[i] = xs[i] + 1234.5
+		}
+		min, max := MinMax(xs)
+		m := Mean(xs)
+		if m < min-1e-9 || m > max+1e-9 {
+			return false
+		}
+		if Variance(xs) < 0 {
+			return false
+		}
+		return math.Abs(Variance(xs)-Variance(shifted)) < 1e-6*(1+Variance(xs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
