@@ -9,17 +9,28 @@
 // Sections: events, machines, fig7, fig8, fig9, fig12, fig14, fig16,
 // fig17, fig18, repeatability, naive, groups, savat1, sequences,
 // extensions.
+//
+// All campaigns share one per-cell result cache, so experiments that
+// revisit a figure's matrix (repeatability, groups, savat1 reuse fig9;
+// fig16 reuses fig17/fig18) measure each cell only once. With
+// -cache-dir the cache persists on disk and later runs — including a
+// run interrupted with Ctrl-C — skip every cell already measured.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
 
+	"repro/internal/cliconf"
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/paperdata"
 	"repro/internal/report"
@@ -28,10 +39,11 @@ import (
 )
 
 type runner struct {
-	cfgBase  savat.Config
-	repeats  int
-	seed     int64
-	matrices map[string]*savat.MatrixStats // cached campaign results by figure ID
+	ctx     context.Context
+	cfgBase savat.Config
+	repeats int
+	seed    int64
+	cache   *engine.Cache // shared across figures: repeated matrices hit it
 }
 
 func main() {
@@ -43,25 +55,44 @@ func main() {
 
 func run() error {
 	var (
-		section = flag.String("section", "all", "which experiment to regenerate")
-		fast    = flag.Bool("fast", false, "quarter-second captures and 3 campaigns per cell")
-		repeats = flag.Int("repeats", 0, "override campaigns per cell (default 10, fast 3)")
-		seed    = flag.Int64("seed", 1, "base random seed")
+		cf       = cliconf.Register(flag.CommandLine, cliconf.Repeats|cliconf.Seed|cliconf.Fast)
+		section  = flag.String("section", "all", "which experiment to regenerate")
+		cacheDir = flag.String("cache-dir", "", "persist per-cell results here and reuse them across runs")
 	)
 	flag.Parse()
 
+	cfg, err := cf.MeasureConfig()
+	if err != nil {
+		return err
+	}
+	cache, err := engine.NewCache(0, *cacheDir)
+	if err != nil {
+		return err
+	}
+	// Ctrl-C cancels the running campaign; with -cache-dir the cells
+	// measured so far are already persisted, so a rerun resumes there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	r := &runner{
-		cfgBase:  savat.DefaultConfig(),
-		repeats:  10,
-		seed:     *seed,
-		matrices: map[string]*savat.MatrixStats{},
+		ctx:     ctx,
+		cfgBase: cfg,
+		repeats: cf.Repeats,
+		seed:    cf.Seed,
+		cache:   cache,
 	}
-	if *fast {
-		r.cfgBase = savat.FastConfig()
-		r.repeats = 3
-	}
-	if *repeats > 0 {
-		r.repeats = *repeats
+	// -fast drops to 3 campaigns per cell unless -repeats was given
+	// explicitly.
+	if cf.Fast {
+		repeatsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "repeats" {
+				repeatsSet = true
+			}
+		})
+		if !repeatsSet {
+			r.repeats = 3
+		}
 	}
 
 	sections := []struct {
@@ -160,14 +191,14 @@ func (r *runner) fig8() error {
 		"Figure 8 — recorded spectrum for 80 kHz ADD/ADD alternation (expect only the floor:\ninstrument sensitivity, diffuse RF background, residual loop mismatch, a weak carrier)")
 }
 
-// campaign runs (or returns the cached) campaign for one published figure.
+// campaign measures one published figure's matrix. Per-cell results go
+// through the shared engine cache, so a figure revisited by a later
+// section — or a matrix that only differs in event order — reruns in
+// milliseconds with every cell cache-served.
 func (r *runner) campaign(id string) (*savat.MatrixStats, paperdata.Experiment, error) {
 	exp, err := paperdata.ByID(id)
 	if err != nil {
 		return nil, exp, err
-	}
-	if got, ok := r.matrices[id]; ok {
-		return got, exp, nil
 	}
 	mc, err := machine.ConfigByName(exp.Machine)
 	if err != nil {
@@ -178,17 +209,31 @@ func (r *runner) campaign(id string) (*savat.MatrixStats, paperdata.Experiment, 
 	opts := savat.DefaultCampaignOptions()
 	opts.Repeats = r.repeats
 	opts.Seed = r.seed
-	opts.Progress = func(done, total int) {
-		fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", id, done, total)
-		if done == total {
+	opts.Cache = r.cache
+	ch := make(chan engine.ProgressEvent, 64)
+	opts.Monitor = ch
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		shown := false
+		for ev := range ch {
+			// Cache-served replays finish too fast to be worth drawing.
+			if !ev.Cached || shown {
+				shown = true
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells (%d cached)",
+					id, ev.Stats.Done, ev.Stats.Total, ev.Stats.Cached)
+			}
+		}
+		if shown {
 			fmt.Fprintln(os.Stderr)
 		}
-	}
-	res, err := savat.RunCampaign(mc, cfg, opts)
+	}()
+	res, err := savat.RunCampaignContext(r.ctx, mc, cfg, opts)
+	wg.Wait()
 	if err != nil {
 		return nil, exp, err
 	}
-	r.matrices[id] = res
 	return res, exp, nil
 }
 

@@ -9,15 +9,23 @@
 //	savat -machine Core2Duo -distance 0.10 -matrix -format table
 //	savat -machine Pentium3M -matrix -format heatmap
 //	savat -machine TurionX2 -matrix -format csv > turion.csv
+//
+// Long campaigns are resumable: -checkpoint persists finished cells and
+// a re-run with the same flags continues where the previous one (or a
+// Ctrl-C) left off; -cache-dir memoizes per-cell results across runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
 
-	"repro/internal/machine"
+	"repro/internal/cliconf"
+	"repro/internal/engine"
 	"repro/internal/paperdata"
 	"repro/internal/report"
 	"repro/internal/savat"
@@ -32,29 +40,24 @@ func main() {
 
 func run() error {
 	var (
-		machineName = flag.String("machine", "Core2Duo", "system to simulate: Core2Duo, Pentium3M, TurionX2")
-		distance    = flag.Float64("distance", 0.10, "antenna distance in metres")
-		freq        = flag.Float64("freq", 80e3, "intended alternation frequency in Hz")
-		pair        = flag.String("pair", "", "single pair to measure, e.g. ADD/LDM")
-		matrix      = flag.Bool("matrix", false, "measure the full 11×11 matrix")
-		repeats     = flag.Int("repeats", 10, "measurement campaigns per cell")
-		seed        = flag.Int64("seed", 1, "base random seed")
-		format      = flag.String("format", "table", "matrix output: table, heatmap, csv, bars, stats")
-		fast        = flag.Bool("fast", false, "quarter-second captures (≈4× faster, coarser RBW)")
-		dumpKernel  = flag.Bool("kernel", false, "with -pair: print the generated alternation kernel instead of measuring")
+		cf         = cliconf.Register(flag.CommandLine, cliconf.All)
+		pair       = flag.String("pair", "", "single pair to measure, e.g. ADD/LDM")
+		matrix     = flag.Bool("matrix", false, "measure the full 11×11 matrix")
+		format     = flag.String("format", "table", "matrix output: table, heatmap, csv, bars, stats")
+		dumpKernel = flag.Bool("kernel", false, "with -pair: print the generated alternation kernel instead of measuring")
+		cacheDir   = flag.String("cache-dir", "", "persist per-cell results here and reuse them across runs")
+		checkpoint = flag.String("checkpoint", "", "with -matrix: checkpoint file for resumable campaigns")
 	)
 	flag.Parse()
 
-	mc, err := machine.ConfigByName(*machineName)
+	mc, err := cf.MachineConfig()
 	if err != nil {
 		return err
 	}
-	cfg := savat.DefaultConfig()
-	if *fast {
-		cfg = savat.FastConfig()
+	cfg, err := cf.MeasureConfig()
+	if err != nil {
+		return err
 	}
-	cfg.Distance = *distance
-	cfg.Frequency = *freq
 
 	switch {
 	case *pair != "" && *dumpKernel:
@@ -83,7 +86,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		vals, sum, err := savat.MeasurePair(mc, a, b, cfg, *repeats, *seed)
+		vals, sum, err := savat.MeasurePair(mc, a, b, cfg, cf.Repeats, cf.Seed)
 		if err != nil {
 			return err
 		}
@@ -97,22 +100,51 @@ func run() error {
 		return nil
 
 	case *matrix:
+		// Ctrl-C cancels the campaign; with -checkpoint the finished
+		// cells are saved and the next identical run resumes from them.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+
 		opts := savat.DefaultCampaignOptions()
-		opts.Repeats = *repeats
-		opts.Seed = *seed
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rmeasuring %d/%d cells", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
+		opts.Repeats = cf.Repeats
+		opts.Seed = cf.Seed
+		opts.CheckpointPath = *checkpoint
+		if *cacheDir != "" {
+			cache, err := engine.NewCache(0, *cacheDir)
+			if err != nil {
+				return err
 			}
+			opts.Cache = cache
 		}
-		res, err := savat.RunCampaign(mc, cfg, opts)
+		ch := make(chan engine.ProgressEvent, 64)
+		opts.Monitor = ch
+		var last engine.Stats
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ev := range ch {
+				last = ev.Stats
+				fmt.Fprintf(os.Stderr, "\rmeasuring %d/%d cells (%d cached)",
+					ev.Stats.Done, ev.Stats.Total, ev.Stats.Cached)
+			}
+			fmt.Fprintln(os.Stderr)
+		}()
+		res, err := savat.RunCampaignContext(ctx, mc, cfg, opts)
+		wg.Wait()
 		if err != nil {
+			if *checkpoint != "" && ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "interrupted at %d/%d cells; checkpoint saved to %s — rerun to resume\n",
+					last.Done, last.Total, *checkpoint)
+			}
 			return err
 		}
+		fmt.Fprintf(os.Stderr, "engine: %d cells (%d cached, %d computed, %d retries) in %s (%.1f cells/s)\n",
+			res.Engine.Done, res.Engine.Cached, res.Engine.Computed, res.Engine.Retries,
+			res.Engine.Elapsed.Round(1e7), res.Engine.CellsPerSecond())
 		switch *format {
 		case "table":
-			fmt.Printf("%s at %.2f m — SAVAT in zJ (mean of %d campaigns)\n", res.Machine, res.Distance, *repeats)
+			fmt.Printf("%s at %.2f m — SAVAT in zJ (mean of %d campaigns)\n", res.Machine, res.Distance, cf.Repeats)
 			fmt.Print(report.MatrixTable(res.Mean))
 		case "heatmap":
 			fmt.Print(report.Heatmap(res.Mean))

@@ -1,20 +1,33 @@
-// Command savatcmp compares two SAVAT matrices saved as CSV (by
-// `savat -matrix -format csv` or by hand from published data): rank
-// correlation, typical cell ratio, and the largest per-cell deviations.
-// Useful for comparing machines, distances, seeds, or model variants.
+// Command savatcmp compares two SAVAT matrices: rank correlation,
+// typical cell ratio, and the largest per-cell deviations. Useful for
+// comparing machines, distances, seeds, or model variants.
+//
+// With two arguments it compares CSV files (saved by
+// `savat -matrix -format csv` or by hand from published data):
 //
 //	savat -machine Core2Duo -matrix -format csv -fast > a.csv
 //	savat -machine TurionX2 -matrix -format csv -fast > b.csv
 //	savatcmp a.csv b.csv
+//
+// With one argument it measures the configured machine live and
+// compares the result against the file — e.g. checking a saved matrix
+// against a model change, or a published matrix against the simulation:
+//
+//	savatcmp -machine Core2Duo -distance 0.5 -fast baseline.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
+	"sync"
 
+	"repro/internal/cliconf"
+	"repro/internal/engine"
 	"repro/internal/report"
 	"repro/internal/savat"
 	"repro/internal/stats"
@@ -28,19 +41,37 @@ func main() {
 }
 
 func run() error {
-	var top = flag.Int("top", 10, "how many largest deviations to list")
+	var (
+		cf  = cliconf.Register(flag.CommandLine, cliconf.All)
+		top = flag.Int("top", 10, "how many largest deviations to list")
+	)
 	flag.Parse()
-	if flag.NArg() != 2 {
-		return fmt.Errorf("usage: savatcmp [-top N] a.csv b.csv")
+
+	var a, b *savat.Matrix
+	var aName, bName string
+	switch flag.NArg() {
+	case 2:
+		var err error
+		if a, err = load(flag.Arg(0)); err != nil {
+			return err
+		}
+		if b, err = load(flag.Arg(1)); err != nil {
+			return err
+		}
+		aName, bName = flag.Arg(0), flag.Arg(1)
+	case 1:
+		var err error
+		if b, err = load(flag.Arg(0)); err != nil {
+			return err
+		}
+		if a, err = measureLive(cf); err != nil {
+			return err
+		}
+		aName, bName = "live "+cf.Machine, flag.Arg(0)
+	default:
+		return fmt.Errorf("usage: savatcmp [flags] a.csv b.csv  |  savatcmp [flags] baseline.csv")
 	}
-	a, err := load(flag.Arg(0))
-	if err != nil {
-		return err
-	}
-	b, err := load(flag.Arg(1))
-	if err != nil {
-		return err
-	}
+
 	if a.Size() != b.Size() {
 		return fmt.Errorf("matrix sizes differ: %d vs %d", a.Size(), b.Size())
 	}
@@ -80,6 +111,7 @@ func run() error {
 	if n == 0 {
 		return fmt.Errorf("no comparable cells")
 	}
+	fmt.Printf("A: %s\nB: %s\n", aName, bName)
 	fmt.Printf("cells compared:        %d\n", n)
 	fmt.Printf("Spearman rank corr:    %.3f\n", rho)
 	fmt.Printf("typical cell ratio:    %.2fx\n", math.Pow(10, logSum/float64(n)))
@@ -96,6 +128,42 @@ func run() error {
 			c.name, c.av*1e21, c.bv*1e21, math.Pow(10, c.logRatio))
 	}
 	return nil
+}
+
+// measureLive runs a full matrix campaign on the configured machine.
+func measureLive(cf *cliconf.Flags) (*savat.Matrix, error) {
+	mc, err := cf.MachineConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := cf.MeasureConfig()
+	if err != nil {
+		return nil, err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := savat.DefaultCampaignOptions()
+	opts.Repeats = cf.Repeats
+	opts.Seed = cf.Seed
+	ch := make(chan engine.ProgressEvent, 64)
+	opts.Monitor = ch
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ev := range ch {
+			fmt.Fprintf(os.Stderr, "\rmeasuring %s: %d/%d cells",
+				mc.Name, ev.Stats.Done, ev.Stats.Total)
+		}
+		fmt.Fprintln(os.Stderr)
+	}()
+	res, err := savat.RunCampaignContext(ctx, mc, cfg, opts)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return res.Mean, nil
 }
 
 func load(path string) (*savat.Matrix, error) {

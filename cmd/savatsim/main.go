@@ -18,9 +18,9 @@ import (
 
 	"repro/internal/activity"
 	"repro/internal/asm"
+	"repro/internal/cliconf"
 	"repro/internal/cpu"
 	"repro/internal/isa"
-	"repro/internal/machine"
 	"repro/internal/memhier"
 )
 
@@ -33,9 +33,9 @@ func main() {
 
 func run() error {
 	var (
-		machineName = flag.String("machine", "Core2Duo", "system to simulate")
-		maxSteps    = flag.Uint64("max-steps", 10_000_000, "instruction budget")
-		regs        = flag.Bool("regs", true, "print final register state")
+		cf       = cliconf.Register(flag.CommandLine, cliconf.Machine)
+		maxSteps = flag.Uint64("max-steps", 10_000_000, "instruction budget")
+		regs     = flag.Bool("regs", true, "print final register state")
 	)
 	flag.Parse()
 
@@ -47,7 +47,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	mc, err := machine.ConfigByName(*machineName)
+	mc, err := cf.MachineConfig()
 	if err != nil {
 		return err
 	}

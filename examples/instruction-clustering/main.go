@@ -14,8 +14,10 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/savat"
@@ -27,13 +29,19 @@ func main() {
 
 	opts := savat.DefaultCampaignOptions()
 	opts.Repeats = 2
-	opts.Progress = func(done, total int) {
-		fmt.Fprintf(os.Stderr, "\rmeasuring %d/%d pairs", done, total)
-		if done == total {
-			fmt.Fprintln(os.Stderr)
+	ch := make(chan engine.ProgressEvent, 64)
+	opts.Monitor = ch
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ev := range ch {
+			fmt.Fprintf(os.Stderr, "\rmeasuring %d/%d cells", ev.Stats.Done, ev.Stats.Total)
 		}
-	}
+		fmt.Fprintln(os.Stderr)
+	}()
 	res, err := savat.RunCampaign(mc, cfg, opts)
+	wg.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,143 @@
+// Package cliconf centralizes the measurement-setup flags shared by the
+// CLI tools — machine, antenna distance, alternation frequency, campaign
+// repeats, seed, and the fast (quarter-second capture) mode — and
+// validates them with typed sentinel errors, so every command registers
+// and rejects a bad setup the same way.
+package cliconf
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/savat"
+)
+
+// Sentinel validation errors; test with errors.Is.
+var (
+	// ErrUnknownMachine reports a -machine that is not a case-study system.
+	ErrUnknownMachine = errors.New("cliconf: unknown machine")
+	// ErrBadDistance reports a non-positive -distance.
+	ErrBadDistance = errors.New("cliconf: distance must be positive")
+	// ErrBadFrequency reports a non-positive -freq.
+	ErrBadFrequency = errors.New("cliconf: frequency must be positive")
+	// ErrBadRepeats reports a -repeats below one.
+	ErrBadRepeats = errors.New("cliconf: repeats must be at least 1")
+)
+
+// Set selects which of the shared flags a command registers.
+type Set uint
+
+const (
+	// Machine registers -machine (case-study system name).
+	Machine Set = 1 << iota
+	// Distance registers -distance (antenna distance in metres).
+	Distance
+	// Frequency registers -freq (intended alternation frequency in Hz).
+	Frequency
+	// Repeats registers -repeats (measurement campaigns per cell).
+	Repeats
+	// Seed registers -seed (base random seed).
+	Seed
+	// Fast registers -fast (quarter-second captures).
+	Fast
+	// All registers every shared flag.
+	All = Machine | Distance | Frequency | Repeats | Seed | Fast
+)
+
+// Flags holds the parsed values of the shared measurement-setup flags.
+// Fields whose flag was not registered keep their defaults and are not
+// validated.
+type Flags struct {
+	Machine   string
+	Distance  float64
+	Frequency float64
+	Repeats   int
+	Seed      int64
+	Fast      bool
+
+	set Set
+}
+
+// Register adds the selected shared flags to fs with the paper's
+// defaults (Core 2 Duo, 10 cm, 80 kHz, 10 repeats, seed 1) and returns
+// the destination Flags.
+func Register(fs *flag.FlagSet, which Set) *Flags {
+	f := &Flags{
+		Machine:   "Core2Duo",
+		Distance:  0.10,
+		Frequency: 80e3,
+		Repeats:   10,
+		Seed:      1,
+		set:       which,
+	}
+	if which&Machine != 0 {
+		fs.StringVar(&f.Machine, "machine", f.Machine, "system to simulate: Core2Duo, Pentium3M, TurionX2")
+	}
+	if which&Distance != 0 {
+		fs.Float64Var(&f.Distance, "distance", f.Distance, "antenna distance in metres")
+	}
+	if which&Frequency != 0 {
+		fs.Float64Var(&f.Frequency, "freq", f.Frequency, "intended alternation frequency in Hz")
+	}
+	if which&Repeats != 0 {
+		fs.IntVar(&f.Repeats, "repeats", f.Repeats, "measurement campaigns per cell")
+	}
+	if which&Seed != 0 {
+		fs.Int64Var(&f.Seed, "seed", f.Seed, "base random seed")
+	}
+	if which&Fast != 0 {
+		fs.BoolVar(&f.Fast, "fast", f.Fast, "quarter-second captures (≈4× faster, coarser RBW)")
+	}
+	return f
+}
+
+// Validate reports the first problem among the registered flags as a
+// wrapped sentinel error.
+func (f *Flags) Validate() error {
+	if f.set&Machine != 0 {
+		if _, err := machine.ConfigByName(f.Machine); err != nil {
+			return fmt.Errorf("%w: %q (have Core2Duo, Pentium3M, TurionX2)", ErrUnknownMachine, f.Machine)
+		}
+	}
+	if f.set&Distance != 0 && f.Distance <= 0 {
+		return fmt.Errorf("%w: %g m", ErrBadDistance, f.Distance)
+	}
+	if f.set&Frequency != 0 && f.Frequency <= 0 {
+		return fmt.Errorf("%w: %g Hz", ErrBadFrequency, f.Frequency)
+	}
+	if f.set&Repeats != 0 && f.Repeats < 1 {
+		return fmt.Errorf("%w: %d", ErrBadRepeats, f.Repeats)
+	}
+	return nil
+}
+
+// MachineConfig validates the flags and returns the selected case-study
+// system.
+func (f *Flags) MachineConfig() (machine.Config, error) {
+	if err := f.Validate(); err != nil {
+		return machine.Config{}, err
+	}
+	return machine.ConfigByName(f.Machine)
+}
+
+// MeasureConfig validates the flags and returns the measurement setup
+// they imply: the default (or, with -fast, the quarter-second) config
+// with the registered distance and frequency applied.
+func (f *Flags) MeasureConfig() (savat.Config, error) {
+	if err := f.Validate(); err != nil {
+		return savat.Config{}, err
+	}
+	cfg := savat.DefaultConfig()
+	if f.set&Fast != 0 && f.Fast {
+		cfg = savat.FastConfig()
+	}
+	if f.set&Distance != 0 {
+		cfg.Distance = f.Distance
+	}
+	if f.set&Frequency != 0 {
+		cfg.Frequency = f.Frequency
+	}
+	return cfg, nil
+}

@@ -1,0 +1,102 @@
+package cliconf
+
+import (
+	"errors"
+	"flag"
+	"testing"
+)
+
+func parse(t *testing.T, which Set, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, which)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDefaultsValid(t *testing.T) {
+	f := parse(t, All)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("paper defaults invalid: %v", err)
+	}
+	if f.Machine != "Core2Duo" || f.Distance != 0.10 || f.Frequency != 80e3 ||
+		f.Repeats != 10 || f.Seed != 1 || f.Fast {
+		t.Errorf("defaults = %+v", f)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want error
+	}{
+		{[]string{"-machine", "Cray1"}, ErrUnknownMachine},
+		{[]string{"-distance", "0"}, ErrBadDistance},
+		{[]string{"-distance", "-0.5"}, ErrBadDistance},
+		{[]string{"-freq", "0"}, ErrBadFrequency},
+		{[]string{"-repeats", "0"}, ErrBadRepeats},
+	}
+	for _, c := range cases {
+		f := parse(t, All, c.args...)
+		if err := f.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("args %v: err = %v, want %v", c.args, err, c.want)
+		}
+	}
+}
+
+func TestUnregisteredFlagsNotValidated(t *testing.T) {
+	// A command that only registers -machine must not trip over the
+	// zero values of the flags it never exposed.
+	f := parse(t, Machine)
+	f.Repeats = 0
+	f.Distance = 0
+	if err := f.Validate(); err != nil {
+		t.Errorf("unregistered fields validated: %v", err)
+	}
+}
+
+func TestMachineConfig(t *testing.T) {
+	f := parse(t, Machine, "-machine", "TurionX2")
+	mc, err := f.MachineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Name != "TurionX2" {
+		t.Errorf("machine = %s", mc.Name)
+	}
+	f = parse(t, Machine, "-machine", "nope")
+	if _, err := f.MachineConfig(); !errors.Is(err, ErrUnknownMachine) {
+		t.Errorf("err = %v, want ErrUnknownMachine", err)
+	}
+}
+
+func TestMeasureConfig(t *testing.T) {
+	f := parse(t, All, "-fast", "-distance", "0.5", "-freq", "40e3")
+	cfg, err := f.MeasureConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Distance != 0.5 || cfg.Frequency != 40e3 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.Duration != 0.25 {
+		t.Errorf("fast config not applied: duration %v", cfg.Duration)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("produced config invalid: %v", err)
+	}
+
+	// Without the Distance flag registered, the default stands even if
+	// the field was clobbered.
+	f = parse(t, Fast)
+	f.Distance = 99
+	cfg, err = f.MeasureConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Distance != 0.10 {
+		t.Errorf("unregistered distance applied: %v", cfg.Distance)
+	}
+}

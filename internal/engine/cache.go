@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DefaultCacheCapacity is the in-memory LRU size used when an Engine is
+// created without an explicit cache (≈34 full 11×11×10 campaigns).
+const DefaultCacheCapacity = 4096
+
+// Key hashes arbitrary cell-identity material into the fixed-width
+// content address used by the cache and the checkpoint fingerprint.
+// Callers pass a canonical dump of everything that determines a cell's
+// value (machine config, measurement config, pair, seed, repetition);
+// two cells share a cache slot exactly when that material matches.
+func Key(material string) string {
+	h := sha256.Sum256([]byte(material))
+	return hex.EncodeToString(h[:])
+}
+
+// Cache memoizes per-cell results under content-addressed keys. It has
+// an in-memory LRU layer and, when created with a directory, a
+// JSON-on-disk layer: every Put is persisted as <dir>/<key>.json, and a
+// Get that misses in memory falls back to disk (promoting the value
+// back into the LRU). The disk layer is what lets interrupted or
+// repeated campaigns skip finished cells across processes. All methods
+// are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	dir      string
+
+	hits, misses, diskHits uint64
+}
+
+type cacheEntry struct {
+	key string
+	val float64
+}
+
+// diskCell is the on-disk JSON schema for one cached cell.
+type diskCell struct {
+	Value float64 `json:"value"`
+}
+
+// NewCache returns a cache holding up to capacity entries in memory
+// (capacity <= 0 uses DefaultCacheCapacity). A non-empty dir enables the
+// JSON-on-disk layer; the directory is created if needed.
+func NewCache(capacity int, dir string) (*Cache, error) {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		dir:      dir,
+	}, nil
+}
+
+// Get returns the cached value for key, consulting memory first and
+// then the disk layer.
+func (c *Cache) Get(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	if c.dir != "" {
+		data, err := os.ReadFile(c.path(key))
+		if err == nil {
+			var cell diskCell
+			if json.Unmarshal(data, &cell) == nil {
+				c.insertLocked(key, cell.Value)
+				c.hits++
+				c.diskHits++
+				return cell.Value, true
+			}
+		}
+	}
+	c.misses++
+	return 0, false
+}
+
+// Put stores the value for key in memory and, when the disk layer is
+// enabled, on disk. Disk write failures are deliberately swallowed: the
+// cache is an accelerator, and a full or read-only disk must not fail
+// the campaign.
+func (c *Cache) Put(key string, v float64) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.ll.MoveToFront(el)
+	} else {
+		c.insertLocked(key, v)
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
+		if data, err := json.Marshal(diskCell{Value: v}); err == nil {
+			writeFileAtomic(c.path(key), data)
+		}
+	}
+}
+
+// insertLocked adds a fresh entry, evicting the LRU tail past capacity.
+func (c *Cache) insertLocked(key string, v float64) {
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: v})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of entries resident in memory.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats counts cache traffic since creation.
+type CacheStats struct {
+	Hits     uint64 // Get calls served (DiskHits included)
+	Misses   uint64 // Get calls not served by either layer
+	DiskHits uint64 // hits that needed the disk layer
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// writeFileAtomic writes data via a temp file and rename so readers
+// never observe a partial file. Errors are returned for callers that
+// care (checkpointing) and ignorable for those that don't (cache).
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// checkpointVersion is bumped on any incompatible format change.
+const checkpointVersion = 1
+
+// Checkpoint is the JSON-on-disk record of a campaign's finished cells.
+// The fingerprint binds it to one exact campaign — the engine refuses
+// to resume a checkpoint whose fingerprint or grid shape differs from
+// the spec it is given, rather than silently mixing results. Cells are
+// kept sorted by (row, col, rep) so the same set of finished cells
+// always serializes to the same bytes.
+type Checkpoint struct {
+	Version     int              `json:"version"`
+	Fingerprint string           `json:"fingerprint"`
+	Rows        int              `json:"rows"`
+	Cols        int              `json:"cols"`
+	Reps        int              `json:"reps"`
+	Cells       []CheckpointCell `json:"cells"`
+}
+
+// CheckpointCell is one finished cell.
+type CheckpointCell struct {
+	Row   int     `json:"row"`
+	Col   int     `json:"col"`
+	Rep   int     `json:"rep"`
+	Value float64 `json:"value"`
+}
+
+// Complete reports whether every cell of the grid is present.
+func (cp *Checkpoint) Complete() bool {
+	return len(cp.Cells) == cp.Rows*cp.Cols*cp.Reps
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("engine: checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("engine: checkpoint %s: version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	if cp.Rows <= 0 || cp.Cols <= 0 || cp.Reps <= 0 {
+		return nil, fmt.Errorf("engine: checkpoint %s: bad grid %dx%dx%d", path, cp.Rows, cp.Cols, cp.Reps)
+	}
+	for _, c := range cp.Cells {
+		if c.Row < 0 || c.Row >= cp.Rows || c.Col < 0 || c.Col >= cp.Cols || c.Rep < 0 || c.Rep >= cp.Reps {
+			return nil, fmt.Errorf("engine: checkpoint %s: cell (%d,%d,%d) outside grid", path, c.Row, c.Col, c.Rep)
+		}
+	}
+	return &cp, nil
+}
+
+// save writes the checkpoint atomically (temp file + rename), sorting
+// cells for deterministic bytes.
+func (cp *Checkpoint) save(path string) error {
+	sort.Slice(cp.Cells, func(a, b int) bool {
+		x, y := cp.Cells[a], cp.Cells[b]
+		if x.Row != y.Row {
+			return x.Row < y.Row
+		}
+		if x.Col != y.Col {
+			return x.Col < y.Col
+		}
+		return x.Rep < y.Rep
+	})
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return fmt.Errorf("engine: checkpoint %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+// Package engine executes measurement campaigns: a worker pool fans out
+// the cells of a (row, col, repetition) grid, a content-addressed
+// per-cell result cache (in-memory LRU with an optional JSON-on-disk
+// layer) and periodic checkpointing make campaigns resumable, transient
+// cell failures are retried with exponential backoff, and progress is
+// streamed as typed events with a running Stats snapshot.
+//
+// The engine is deliberately ignorant of what a cell computes: the
+// caller provides the compute function, the cache-key material that
+// identifies each cell's result, and a fingerprint identifying the
+// whole campaign. The savat package builds its pairwise-SAVAT campaigns
+// on top; any grid of deterministic, independent float-valued cells
+// schedules the same way.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrCheckpointMismatch is returned by Run when the checkpoint file at
+// Options.CheckpointPath belongs to a different campaign (fingerprint
+// or grid shape differs). Delete the file or point the engine at the
+// matching campaign to proceed.
+var ErrCheckpointMismatch = errors.New("engine: checkpoint belongs to a different campaign")
+
+// Spec describes one campaign: the grid shape, the identity of its
+// results, and how to compute a cell.
+type Spec struct {
+	// Rows, Cols, Reps define the cell grid; every combination in
+	// [0,Rows)×[0,Cols)×[0,Reps) is one cell.
+	Rows, Cols, Reps int
+	// Fingerprint canonically identifies everything that determines the
+	// campaign's values. It binds checkpoint files to their campaign;
+	// required when checkpointing is enabled.
+	Fingerprint string
+	// Key returns the cache-key material identifying one cell's result
+	// (hashed with Key before use). Nil disables result caching.
+	Key func(row, col, rep int) string
+	// Compute produces the value of one cell. It must be deterministic
+	// in (row, col, rep) — resumability and cache correctness depend on
+	// it — and should honor ctx cancellation where it can.
+	Compute func(ctx context.Context, row, col, rep int) (float64, error)
+}
+
+func (s Spec) validate() error {
+	if s.Rows <= 0 || s.Cols <= 0 || s.Reps <= 0 {
+		return fmt.Errorf("engine: bad grid %dx%dx%d", s.Rows, s.Cols, s.Reps)
+	}
+	if s.Compute == nil {
+		return fmt.Errorf("engine: nil Compute")
+	}
+	return nil
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Parallelism bounds concurrent cell computations (0 = GOMAXPROCS).
+	Parallelism int
+	// MaxAttempts bounds compute attempts per cell (0 = 3). Attempts
+	// beyond the first back off exponentially from RetryBackoff.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt (0 = 10ms).
+	RetryBackoff time.Duration
+	// Retryable, when non-nil, limits retries to errors it accepts;
+	// a nil predicate treats every compute error as transient.
+	Retryable func(error) bool
+	// Cache memoizes cell results across Run calls and — with a disk
+	// directory — across processes. Nil uses a fresh in-memory cache of
+	// DefaultCacheCapacity.
+	Cache *Cache
+	// CheckpointPath, when non-empty, persists finished cells there
+	// every CheckpointEvery cells and when the campaign ends (including
+	// cancellation and failure). If the file already exists and matches
+	// the spec's fingerprint, its cells are restored instead of being
+	// recomputed.
+	CheckpointPath string
+	// CheckpointEvery is the number of finished cells between periodic
+	// checkpoint writes (0 = 64).
+	CheckpointEvery int
+	// Monitor, when non-nil, receives one ProgressEvent per finished
+	// cell. Run closes it when the campaign ends, so an Engine with a
+	// Monitor serves exactly one Run; drain the channel until it closes —
+	// sends block.
+	Monitor chan<- ProgressEvent
+}
+
+// Engine runs campaigns with one shared cache and cumulative stats.
+// An Engine is cheap; sharing one across Run calls shares its cache.
+type Engine struct {
+	opts Options
+
+	mu  sync.Mutex
+	cum Stats
+}
+
+// New returns an engine with defaults applied. It panics only on a
+// cache-directory error, which callers avoid by passing a prebuilt
+// Cache; with a nil Cache an in-memory cache is always constructible.
+func New(opts Options) *Engine {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 10 * time.Millisecond
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 64
+	}
+	if opts.Cache == nil {
+		opts.Cache, _ = NewCache(DefaultCacheCapacity, "") // memory-only: cannot fail
+	}
+	return &Engine{opts: opts}
+}
+
+// Cache returns the engine's result cache.
+func (e *Engine) Cache() *Cache { return e.opts.Cache }
+
+// Stats returns the cumulative statistics over all completed Run calls.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cum
+}
+
+// Result is one campaign's output.
+type Result struct {
+	// Values holds every cell value, indexed [row][col][rep].
+	Values [][][]float64
+	// Stats are the final scheduling statistics for this run.
+	Stats Stats
+}
+
+// run carries the mutable state of one Run call.
+type run struct {
+	eng    *Engine
+	spec   Spec
+	start  time.Time
+	values [][][]float64
+
+	mu      sync.Mutex
+	done    []bool // flat (row*Cols+col)*Reps+rep
+	st      Stats
+	firstEr error
+}
+
+// Run executes the campaign described by spec, honoring ctx: on
+// cancellation no new cells start, in-flight cells finish, what
+// completed is checkpointed (when enabled), and the context's error is
+// returned. A permanent cell failure (retries exhausted or not
+// retryable) likewise stops the campaign after checkpointing. When
+// Options.Monitor is set it is closed before Run returns.
+func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
+	res, err := e.runCampaign(ctx, spec)
+	if e.opts.Monitor != nil {
+		close(e.opts.Monitor)
+	}
+	return res, err
+}
+
+func (e *Engine) runCampaign(ctx context.Context, spec Spec) (*Result, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if e.opts.CheckpointPath != "" && spec.Fingerprint == "" {
+		return nil, fmt.Errorf("engine: checkpointing requires a spec fingerprint")
+	}
+
+	total := spec.Rows * spec.Cols * spec.Reps
+	r := &run{
+		eng:    e,
+		spec:   spec,
+		start:  time.Now(),
+		values: make([][][]float64, spec.Rows),
+		done:   make([]bool, total),
+		st:     Stats{Total: total},
+	}
+	for i := range r.values {
+		r.values[i] = make([][]float64, spec.Cols)
+		for j := range r.values[i] {
+			row := make([]float64, spec.Reps)
+			for k := range row {
+				row[k] = math.NaN()
+			}
+			r.values[i][j] = row
+		}
+	}
+
+	if err := r.restoreCheckpoint(); err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(e.opts.Parallelism)
+	for w := 0; w < e.opts.Parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				if runCtx.Err() != nil {
+					continue // drain: cancellation stops new cells promptly
+				}
+				if err := r.cell(runCtx, idx); err != nil {
+					r.fail(err)
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for idx := 0; idx < total; idx++ {
+		if r.done[idx] { // restored from checkpoint; raced reads impossible: set before workers start
+			continue
+		}
+		select {
+		case work <- idx:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	r.mu.Lock()
+	r.st.Elapsed = time.Since(r.start)
+	st := r.st
+	firstErr := r.firstEr
+	r.mu.Unlock()
+
+	if e.opts.CheckpointPath != "" {
+		if err := r.snapshot().save(e.opts.CheckpointPath); err != nil && firstErr == nil && ctx.Err() == nil {
+			return nil, err
+		}
+	}
+
+	e.mu.Lock()
+	e.cum.Total += st.Total
+	e.cum.Done += st.Done
+	e.cum.Cached += st.Cached
+	e.cum.Computed += st.Computed
+	e.cum.Retries += st.Retries
+	e.cum.Elapsed += st.Elapsed
+	e.mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: campaign interrupted after %d/%d cells: %w", st.Done, st.Total, err)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Result{Values: r.values, Stats: st}, nil
+}
+
+// cell completes one grid cell: cache lookup, then bounded-retry
+// compute, then accounting, eventing, and periodic checkpointing.
+func (r *run) cell(ctx context.Context, idx int) error {
+	row, col, rep := r.unflatten(idx)
+
+	var key string
+	if r.spec.Key != nil {
+		key = Key(r.spec.Key(row, col, rep))
+	}
+	if key != "" {
+		if v, ok := r.eng.opts.Cache.Get(key); ok {
+			r.record(row, col, rep, v, ProgressEvent{Row: row, Col: col, Rep: rep, Cached: true})
+			return nil
+		}
+	}
+
+	begin := time.Now()
+	v, attempts, err := r.compute(ctx, row, col, rep)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil // cancellation, not a cell failure
+		}
+		return err
+	}
+	if key != "" {
+		r.eng.opts.Cache.Put(key, v)
+	}
+	r.record(row, col, rep, v, ProgressEvent{
+		Row: row, Col: col, Rep: rep,
+		Duration: time.Since(begin), Attempts: attempts,
+	})
+	return nil
+}
+
+// compute runs the spec's compute function with bounded retry and
+// exponential, context-aware backoff.
+func (r *run) compute(ctx context.Context, row, col, rep int) (float64, int, error) {
+	opts := r.eng.opts
+	backoff := opts.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		v, err := r.spec.Compute(ctx, row, col, rep)
+		if err == nil {
+			return v, attempt, nil
+		}
+		if ctx.Err() != nil {
+			return 0, attempt, ctx.Err()
+		}
+		if attempt >= opts.MaxAttempts || (opts.Retryable != nil && !opts.Retryable(err)) {
+			return 0, attempt, fmt.Errorf("engine: cell (%d,%d,%d) failed after %d attempt(s): %w",
+				row, col, rep, attempt, err)
+		}
+		r.bumpRetries()
+		select {
+		case <-ctx.Done():
+			return 0, attempt, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// record stores a finished cell, emits its progress event, and writes a
+// periodic checkpoint when one is due.
+func (r *run) record(row, col, rep int, v float64, ev ProgressEvent) {
+	r.mu.Lock()
+	r.values[row][col][rep] = v
+	r.done[(row*r.spec.Cols+col)*r.spec.Reps+rep] = true
+	r.st.Done++
+	if ev.Cached {
+		r.st.Cached++
+	} else {
+		r.st.Computed++
+	}
+	r.st.Elapsed = time.Since(r.start)
+	ev.Stats = r.st
+	var cp *Checkpoint
+	if r.eng.opts.CheckpointPath != "" && r.st.Done < r.st.Total && r.st.Done%r.eng.opts.CheckpointEvery == 0 {
+		cp = r.snapshotLocked()
+	}
+	r.mu.Unlock()
+
+	if r.eng.opts.Monitor != nil {
+		r.eng.opts.Monitor <- ev
+	}
+	if cp != nil {
+		// Best-effort: a failed periodic write must not kill the
+		// campaign; the final write reports its error.
+		_ = cp.save(r.eng.opts.CheckpointPath)
+	}
+}
+
+func (r *run) bumpRetries() {
+	r.mu.Lock()
+	r.st.Retries++
+	r.mu.Unlock()
+}
+
+func (r *run) fail(err error) {
+	r.mu.Lock()
+	if r.firstEr == nil {
+		r.firstEr = err
+	}
+	r.mu.Unlock()
+}
+
+// restoreCheckpoint loads Options.CheckpointPath (if present), verifies
+// it belongs to this campaign, and replays its cells as cached events.
+func (r *run) restoreCheckpoint() error {
+	path := r.eng.opts.CheckpointPath
+	if path == "" {
+		return nil
+	}
+	cp, err := LoadCheckpoint(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if cp.Fingerprint != r.spec.Fingerprint ||
+		cp.Rows != r.spec.Rows || cp.Cols != r.spec.Cols || cp.Reps != r.spec.Reps {
+		return fmt.Errorf("%w: %s", ErrCheckpointMismatch, path)
+	}
+	for _, c := range cp.Cells {
+		r.values[c.Row][c.Col][c.Rep] = c.Value
+		r.done[(c.Row*r.spec.Cols+c.Col)*r.spec.Reps+c.Rep] = true
+		r.st.Done++
+		r.st.Cached++
+		if r.eng.opts.Monitor != nil {
+			r.st.Elapsed = time.Since(r.start)
+			r.eng.opts.Monitor <- ProgressEvent{
+				Row: c.Row, Col: c.Col, Rep: c.Rep, Cached: true, Stats: r.st,
+			}
+		}
+	}
+	return nil
+}
+
+// snapshot collects the finished cells into a Checkpoint.
+func (r *run) snapshot() *Checkpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+func (r *run) snapshotLocked() *Checkpoint {
+	cp := &Checkpoint{
+		Version:     checkpointVersion,
+		Fingerprint: r.spec.Fingerprint,
+		Rows:        r.spec.Rows,
+		Cols:        r.spec.Cols,
+		Reps:        r.spec.Reps,
+	}
+	for idx, ok := range r.done {
+		if !ok {
+			continue
+		}
+		row, col, rep := r.unflatten(idx)
+		cp.Cells = append(cp.Cells, CheckpointCell{Row: row, Col: col, Rep: rep, Value: r.values[row][col][rep]})
+	}
+	return cp
+}
+
+func (r *run) unflatten(idx int) (row, col, rep int) {
+	rep = idx % r.spec.Reps
+	idx /= r.spec.Reps
+	return idx / r.spec.Cols, idx % r.spec.Cols, rep
+}

@@ -1,0 +1,379 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testSpec builds a deterministic grid whose cell values encode their
+// coordinates, keyed so that results are shareable across runs.
+func testSpec(rows, cols, reps int) Spec {
+	return Spec{
+		Rows: rows, Cols: cols, Reps: reps,
+		Fingerprint: Key(fmt.Sprintf("test/v1|%dx%dx%d", rows, cols, reps)),
+		Key: func(r, c, p int) string {
+			return fmt.Sprintf("test-cell/v1|%d|%d|%d", r, c, p)
+		},
+		Compute: func(_ context.Context, r, c, p int) (float64, error) {
+			return float64(r*10000 + c*100 + p), nil
+		},
+	}
+}
+
+func wantValue(r, c, p int) float64 { return float64(r*10000 + c*100 + p) }
+
+func checkValues(t *testing.T, res *Result, spec Spec) {
+	t.Helper()
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			for p := 0; p < spec.Reps; p++ {
+				if got := res.Values[r][c][p]; got != wantValue(r, c, p) {
+					t.Fatalf("cell (%d,%d,%d) = %v, want %v", r, c, p, got, wantValue(r, c, p))
+				}
+			}
+		}
+	}
+}
+
+func TestRunComputesAllCells(t *testing.T) {
+	spec := testSpec(3, 4, 2)
+	res, err := New(Options{Parallelism: 4}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValues(t, res, spec)
+	st := res.Stats
+	if st.Total != 24 || st.Done != 24 || st.Computed != 24 || st.Cached != 0 || st.Retries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Elapsed <= 0 || st.CellsPerSecond() <= 0 {
+		t.Errorf("elapsed %v, rate %v", st.Elapsed, st.CellsPerSecond())
+	}
+}
+
+func TestRunCacheHitMissAccounting(t *testing.T) {
+	cache, err := NewCache(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(2, 2, 3)
+
+	first, err := New(Options{Cache: cache}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Computed != 12 || first.Stats.Cached != 0 {
+		t.Fatalf("first run stats = %+v", first.Stats)
+	}
+	cs := cache.Stats()
+	if cs.Misses != 12 || cs.Hits != 0 {
+		t.Fatalf("cache stats after first run = %+v", cs)
+	}
+
+	// Same spec, same cache: every cell must be served from memory.
+	ch := make(chan ProgressEvent, 16)
+	var events []ProgressEvent
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ev := range ch {
+			events = append(events, ev)
+		}
+	}()
+	second, err := New(Options{Cache: cache, Monitor: ch}).Run(context.Background(), spec)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Cached != 12 || second.Stats.Computed != 0 {
+		t.Fatalf("second run stats = %+v", second.Stats)
+	}
+	checkValues(t, second, spec)
+	if len(events) != 12 {
+		t.Fatalf("got %d monitor events, want 12", len(events))
+	}
+	for _, ev := range events {
+		if !ev.Cached || ev.Attempts != 0 {
+			t.Fatalf("expected cached event, got %+v", ev)
+		}
+	}
+	final := events[len(events)-1].Stats
+	if final.Done != 12 || final.Cached != 12 {
+		t.Errorf("final event stats = %+v", final)
+	}
+}
+
+func TestCacheLRUEvictionAndDiskLayer(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewCache(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2, k3 := Key("a"), Key("b"), Key("c")
+	cache.Put(k1, 1)
+	cache.Put(k2, 2)
+	cache.Put(k3, 3) // evicts k1 from memory
+	if cache.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", cache.Len())
+	}
+	// k1 must come back via the disk layer.
+	if v, ok := cache.Get(k1); !ok || v != 1 {
+		t.Fatalf("Get(k1) = %v, %v; want 1 from disk", v, ok)
+	}
+	if cs := cache.Stats(); cs.DiskHits != 1 {
+		t.Fatalf("cache stats = %+v, want one disk hit", cs)
+	}
+
+	// A second cache over the same directory sees everything.
+	cache2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{k1: 1, k2: 2, k3: 3} {
+		if v, ok := cache2.Get(key); !ok || v != want {
+			t.Fatalf("fresh cache Get = %v, %v; want %v", v, ok, want)
+		}
+	}
+
+	// Memory-only caches miss cleanly.
+	mem, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mem.Get(k1); ok {
+		t.Fatal("memory-only cache should miss")
+	}
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	var mu sync.Mutex
+	failures := map[string]int{}
+	spec := testSpec(2, 1, 2)
+	spec.Key = nil
+	spec.Compute = func(_ context.Context, r, c, p int) (float64, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		id := fmt.Sprintf("%d/%d/%d", r, c, p)
+		if r == 1 && p == 1 && failures[id] < 2 {
+			failures[id]++
+			return 0, fmt.Errorf("transient glitch %d", failures[id])
+		}
+		return wantValue(r, c, p), nil
+	}
+	res, err := New(Options{RetryBackoff: time.Microsecond}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValues(t, res, spec)
+	if res.Stats.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", res.Stats.Retries)
+	}
+}
+
+func TestRetryGivesUpAfterConfiguredAttempts(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	spec := testSpec(1, 1, 1)
+	spec.Compute = func(context.Context, int, int, int) (float64, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return 0, errors.New("always broken")
+	}
+	_, err := New(Options{MaxAttempts: 3, RetryBackoff: time.Microsecond}).Run(context.Background(), spec)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if calls != 3 {
+		t.Errorf("compute called %d times, want 3", calls)
+	}
+	if want := "after 3 attempt"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q should mention %q", err, want)
+	}
+}
+
+func TestRetryablePredicateStopsRetry(t *testing.T) {
+	permanent := errors.New("permanent")
+	var mu sync.Mutex
+	calls := 0
+	spec := testSpec(1, 1, 1)
+	spec.Compute = func(context.Context, int, int, int) (float64, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return 0, permanent
+	}
+	_, err := New(Options{
+		MaxAttempts:  5,
+		RetryBackoff: time.Microsecond,
+		Retryable:    func(err error) bool { return !errors.Is(err, permanent) },
+	}).Run(context.Background(), spec)
+	if err == nil || !errors.Is(err, permanent) {
+		t.Fatalf("err = %v, want wrapped permanent error", err)
+	}
+	if calls != 1 {
+		t.Errorf("compute called %d times, want 1", calls)
+	}
+}
+
+// Cancel mid-campaign, verify the checkpoint is loadable and partial,
+// then resume and verify the matrix is identical to an uninterrupted
+// run with > 0 cached cells.
+func TestCancellationCheckpointAndResume(t *testing.T) {
+	spec := testSpec(3, 3, 2)
+	ref, err := New(Options{}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "campaign.checkpoint.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := spec
+	var mu sync.Mutex
+	computed := 0
+	interrupted.Compute = func(c context.Context, r, cc, p int) (float64, error) {
+		mu.Lock()
+		computed++
+		if computed == 5 {
+			cancel() // simulate the campaign being killed partway
+		}
+		mu.Unlock()
+		return spec.Compute(c, r, cc, p)
+	}
+	cacheA, _ := NewCache(64, "")
+	_, err = New(Options{
+		Parallelism:     1,
+		Cache:           cacheA,
+		CheckpointPath:  path,
+		CheckpointEvery: 2,
+	}).Run(ctx, interrupted)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("checkpoint not loadable after cancellation: %v", err)
+	}
+	if cp.Fingerprint != spec.Fingerprint {
+		t.Fatal("checkpoint fingerprint mismatch")
+	}
+	if len(cp.Cells) == 0 || cp.Complete() {
+		t.Fatalf("checkpoint has %d cells, want partial (total %d)", len(cp.Cells), 18)
+	}
+
+	// Resume with a fresh cache: only the checkpoint carries state.
+	cacheB, _ := NewCache(64, "")
+	res, err := New(Options{Cache: cacheB, CheckpointPath: path}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cached == 0 {
+		t.Error("resumed run reports no cached cells")
+	}
+	if res.Stats.Cached != len(cp.Cells) {
+		t.Errorf("resumed run cached %d cells, checkpoint had %d", res.Stats.Cached, len(cp.Cells))
+	}
+	for r := range ref.Values {
+		for c := range ref.Values[r] {
+			for p := range ref.Values[r][c] {
+				if ref.Values[r][c][p] != res.Values[r][c][p] {
+					t.Fatalf("cell (%d,%d,%d) differs after resume: %v vs %v",
+						r, c, p, ref.Values[r][c][p], res.Values[r][c][p])
+				}
+			}
+		}
+	}
+
+	// The completed run's final checkpoint is complete and byte-stable.
+	cp2, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp2.Complete() {
+		t.Errorf("final checkpoint has %d cells, want %d", len(cp2.Cells), 18)
+	}
+}
+
+func TestCheckpointMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	other := testSpec(2, 2, 1)
+	if _, err := New(Options{CheckpointPath: path}).Run(context.Background(), other); err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(2, 2, 2) // different grid ⇒ different fingerprint
+	_, err := New(Options{CheckpointPath: path}).Run(context.Background(), spec)
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestCheckpointRequiresFingerprint(t *testing.T) {
+	spec := testSpec(1, 1, 1)
+	spec.Fingerprint = ""
+	_, err := New(Options{CheckpointPath: filepath.Join(t.TempDir(), "cp.json")}).
+		Run(context.Background(), spec)
+	if err == nil {
+		t.Fatal("checkpointing without a fingerprint should fail")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	eng := New(Options{})
+	if _, err := eng.Run(context.Background(), Spec{}); err == nil {
+		t.Error("empty spec should fail")
+	}
+	bad := testSpec(2, 2, 2)
+	bad.Compute = nil
+	if _, err := eng.Run(context.Background(), bad); err == nil {
+		t.Error("nil compute should fail")
+	}
+}
+
+func TestEngineCumulativeStats(t *testing.T) {
+	cache, _ := NewCache(64, "")
+	eng := New(Options{Cache: cache})
+	spec := testSpec(2, 2, 1)
+	if _, err := eng.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Total != 8 || st.Computed != 4 || st.Cached != 4 {
+		t.Errorf("cumulative stats = %+v", st)
+	}
+}
+
+func TestCheckpointDeterministicBytes(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(2, 3, 2)
+	runOnce := func(name string, par int) []byte {
+		path := filepath.Join(dir, name)
+		cache, _ := NewCache(64, "")
+		if _, err := New(Options{Parallelism: par, Cache: cache, CheckpointPath: path}).
+			Run(context.Background(), spec); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := runOnce("a.json", 1)
+	b := runOnce("b.json", 4)
+	if string(a) != string(b) {
+		t.Error("checkpoint bytes depend on scheduling")
+	}
+}

@@ -1,0 +1,51 @@
+package engine
+
+import "time"
+
+// Stats is a snapshot of a campaign's scheduling statistics. A copy is
+// attached to every ProgressEvent, so a consumer always sees a
+// consistent running total, and the final values are returned on the
+// campaign Result.
+type Stats struct {
+	// Total is the number of cells in the campaign grid.
+	Total int
+	// Done counts finished cells, however they were satisfied.
+	Done int
+	// Cached counts cells served from the result cache or restored from
+	// a checkpoint, without running the compute function.
+	Cached int
+	// Computed counts cells that ran the compute function.
+	Computed int
+	// Retries counts extra compute attempts beyond each cell's first.
+	Retries int
+	// Elapsed is the wall time since the campaign started.
+	Elapsed time.Duration
+}
+
+// CellsPerSecond returns the overall completion rate, cached cells
+// included (0 before any time has elapsed).
+func (s Stats) CellsPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Done) / s.Elapsed.Seconds()
+}
+
+// ProgressEvent reports one finished cell on the campaign's monitor
+// channel: which cell, whether it was served from the cache (or a
+// checkpoint) or computed, how long the computation took, and how many
+// attempts it needed. Checkpoint-restored cells are replayed as events
+// with a zero Duration before any new work starts.
+type ProgressEvent struct {
+	// Row, Col, Rep locate the cell in the campaign grid.
+	Row, Col, Rep int
+	// Cached reports that the value came from the cache or a checkpoint.
+	Cached bool
+	// Duration is the compute time for this cell (0 when Cached).
+	Duration time.Duration
+	// Attempts is the number of compute attempts used (0 when Cached,
+	// 1 for a first-try success).
+	Attempts int
+	// Stats is a consistent snapshot taken when this cell finished.
+	Stats Stats
+}

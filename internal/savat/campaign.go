@@ -1,11 +1,14 @@
 package savat
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
+	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/stats"
 )
@@ -21,8 +24,39 @@ type CampaignOptions struct {
 	Seed int64
 	// Parallelism bounds concurrent cell measurements (0 = GOMAXPROCS).
 	Parallelism int
-	// Progress, when non-nil, receives one call per finished cell.
+
+	// Progress, when non-nil, receives one call per finished pair (all
+	// repetitions done), with total = len(Events)².
+	//
+	// Deprecated: Progress is adapted onto the engine's event stream for
+	// compatibility; new code should consume Monitor, which reports
+	// per-repetition cells with cache provenance and timing.
 	Progress func(done, total int)
+	// Monitor, when non-nil, receives one engine.ProgressEvent per
+	// finished (pair, repetition) cell — checkpoint-restored and
+	// cache-served cells included. The campaign closes the channel when
+	// the run ends, so pass a fresh channel per campaign and drain it
+	// until it closes. Event Row/Col index into the campaign's Events.
+	Monitor chan<- engine.ProgressEvent
+
+	// Cache memoizes per-cell results across campaigns. Cells are keyed
+	// by (machine config, measurement config, event pair, seed,
+	// repetition) — event identity, not matrix position — so campaigns
+	// over different event subsets or orders share work, as do repeated
+	// figures in a distance sweep. Nil uses a fresh in-memory cache.
+	Cache *engine.Cache
+	// CheckpointPath, when set, persists finished cells there
+	// periodically and when the campaign ends (cancellation included); a
+	// later run with identical campaign parameters resumes from it.
+	CheckpointPath string
+	// CheckpointEvery is the number of finished cells between periodic
+	// checkpoint writes (0 = engine default).
+	CheckpointEvery int
+	// MaxAttempts bounds per-cell measurement attempts for transient
+	// failures (0 = engine default of 3).
+	MaxAttempts int
+	// RetryBackoff is the base exponential backoff between attempts.
+	RetryBackoff time.Duration
 }
 
 // DefaultCampaignOptions mirrors the paper's campaign: all 11 events,
@@ -31,113 +65,185 @@ func DefaultCampaignOptions() CampaignOptions {
 	return CampaignOptions{Events: Events(), Repeats: 10, Seed: 1}
 }
 
-// RunCampaign measures the full pairwise SAVAT matrix for one machine and
-// one measurement configuration. Every (row, col, repetition) triple gets
-// its own seeded rng, so results are reproducible and independent of
-// scheduling; the kernel (and its calibrated loop count) is built once per
-// cell and reused across repetitions, as the paper's fixed binary was.
+// RunCampaign measures the full pairwise SAVAT matrix for one machine
+// and one measurement configuration. It is RunCampaignContext with a
+// background context, kept for existing callers.
 func RunCampaign(mc machine.Config, cfg Config, opts CampaignOptions) (*MatrixStats, error) {
-	if err := mc.Validate(); err != nil {
+	return RunCampaignContext(context.Background(), mc, cfg, opts)
+}
+
+// RunCampaignContext measures the full pairwise SAVAT matrix on the
+// campaign engine: a worker pool fans out the (pair, repetition) cells,
+// a content-addressed cache and optional checkpoint file make the
+// campaign resumable, and transient cell failures are retried.
+//
+// Every (pair, repetition) gets its own rng seeded from the event
+// identities — not matrix positions — so results are reproducible,
+// independent of scheduling and of which other events the campaign
+// includes, and exactly equal to MeasurePair for the same pair. The
+// kernel (and its calibrated loop count) is built once per pair and
+// reused across repetitions, as the paper's fixed binary was; fully
+// cached pairs never build a kernel at all.
+//
+// Cancelling ctx stops new cells promptly, lets in-flight cells finish,
+// checkpoints what completed (when CheckpointPath is set), and returns
+// the context's error.
+func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts CampaignOptions) (*MatrixStats, error) {
+	// fail closes the caller's Monitor on paths that never reach the
+	// engine, honoring the "closed when the run ends" contract.
+	fail := func(err error) (*MatrixStats, error) {
+		if opts.Monitor != nil {
+			close(opts.Monitor)
+		}
 		return nil, err
 	}
+	if err := mc.Validate(); err != nil {
+		return fail(err)
+	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	events := opts.Events
 	if len(events) == 0 {
 		events = Events()
 	}
 	if opts.Repeats <= 0 {
-		return nil, fmt.Errorf("savat: campaign repeats %d", opts.Repeats)
+		return fail(fmt.Errorf("savat: campaign repeats %d", opts.Repeats))
 	}
-	par := opts.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	n := len(events)
+
+	// One kernel per pair, built lazily on first need and shared across
+	// repetitions and retries.
+	kernels := make([]*Kernel, n*n)
+	kernelErrs := make([]error, n*n)
+	kernelOnce := make([]sync.Once, n*n)
+	kernelFor := func(i, j int) (*Kernel, error) {
+		p := i*n + j
+		kernelOnce[p].Do(func() {
+			kernels[p], kernelErrs[p] = BuildKernel(mc, events[i], events[j], cfg.Frequency)
+		})
+		return kernels[p], kernelErrs[p]
 	}
 
-	n := len(events)
+	spec := engine.Spec{
+		Rows: n, Cols: n, Reps: opts.Repeats,
+		Fingerprint: campaignFingerprint(mc, cfg, events, opts.Seed, opts.Repeats),
+		Key: func(i, j, r int) string {
+			return cellKeyMaterial(mc, cfg, events[i], events[j], opts.Seed, r)
+		},
+		Compute: func(_ context.Context, i, j, r int) (float64, error) {
+			k, err := kernelFor(i, j)
+			if err != nil {
+				return 0, fmt.Errorf("savat: cell %v/%v: %w", events[i], events[j], err)
+			}
+			rng := rand.New(rand.NewSource(cellSeed(opts.Seed, int(events[i]), int(events[j]), r)))
+			m, err := MeasureKernel(mc, k, cfg, rng)
+			if err != nil {
+				return 0, fmt.Errorf("savat: cell %v/%v rep %d: %w", events[i], events[j], r, err)
+			}
+			return m.SAVAT, nil
+		},
+	}
+
+	// The deprecated Progress callback is adapted onto the event stream:
+	// an interposed channel tallies per-pair completion and forwards
+	// every event to the caller's Monitor.
+	monitor := opts.Monitor
+	var adapter sync.WaitGroup
+	if opts.Progress != nil {
+		inner := make(chan engine.ProgressEvent, 128)
+		monitor = inner
+		adapter.Add(1)
+		go func() {
+			defer adapter.Done()
+			if opts.Monitor != nil {
+				defer close(opts.Monitor)
+			}
+			perPair := make([]int, n*n)
+			pairsDone := 0
+			for ev := range inner {
+				if opts.Monitor != nil {
+					opts.Monitor <- ev
+				}
+				p := ev.Row*n + ev.Col
+				perPair[p]++
+				if perPair[p] == opts.Repeats {
+					pairsDone++
+					opts.Progress(pairsDone, n*n)
+				}
+			}
+		}()
+	}
+
+	eng := engine.New(engine.Options{
+		Parallelism:     opts.Parallelism,
+		MaxAttempts:     opts.MaxAttempts,
+		RetryBackoff:    opts.RetryBackoff,
+		Cache:           opts.Cache,
+		CheckpointPath:  opts.CheckpointPath,
+		CheckpointEvery: opts.CheckpointEvery,
+		Monitor:         monitor,
+	})
+	res, err := eng.Run(ctx, spec)
+	adapter.Wait()
+	if err != nil {
+		return nil, err
+	}
+
 	out := &MatrixStats{
 		Machine:  mc.Name,
 		Distance: cfg.Distance,
 		Mean:     NewMatrix(events),
+		Engine:   res.Stats,
 	}
 	out.Cells = make([][]stats.Summary, n)
 	for i := range out.Cells {
 		out.Cells[i] = make([]stats.Summary, n)
-	}
-
-	type cell struct{ i, j int }
-	work := make(chan cell)
-	errCh := make(chan error, 1)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	done := 0
-
-	worker := func() {
-		defer wg.Done()
-		for c := range work {
-			a, b := events[c.i], events[c.j]
-			k, err := BuildKernel(mc, a, b, cfg.Frequency)
-			if err == nil {
-				vals := make([]float64, opts.Repeats)
-				for r := 0; r < opts.Repeats && err == nil; r++ {
-					rng := rand.New(rand.NewSource(cellSeed(opts.Seed, c.i, c.j, r)))
-					var meas *Measurement
-					meas, err = MeasureKernel(mc, k, cfg, rng)
-					if err == nil {
-						vals[r] = meas.SAVAT
-					}
-				}
-				if err == nil {
-					s := stats.Summarize(vals)
-					mu.Lock()
-					out.Mean.Vals[c.i][c.j] = s.Mean
-					out.Cells[c.i][c.j] = s
-					done++
-					if opts.Progress != nil {
-						opts.Progress(done, n*n)
-					}
-					mu.Unlock()
-				}
-			}
-			if err != nil {
-				select {
-				case errCh <- fmt.Errorf("savat: cell %v/%v: %w", a, b, err):
-				default:
-				}
-			}
+		for j := range out.Cells[i] {
+			s := stats.Summarize(res.Values[i][j])
+			out.Cells[i][j] = s
+			out.Mean.Vals[i][j] = s.Mean
 		}
-	}
-
-	wg.Add(par)
-	for w := 0; w < par; w++ {
-		go worker()
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			work <- cell{i, j}
-		}
-	}
-	close(work)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
 	}
 	return out, nil
 }
 
-// cellSeed derives a deterministic seed for one (cell, repetition).
-func cellSeed(base int64, i, j, rep int) int64 {
-	h := uint64(base)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 +
-		uint64(j)*0x94D049BB133111EB + uint64(rep)*0xD6E8FEB86659FD93
+// campaignFingerprint canonically identifies a campaign: every
+// parameter that determines its cell values, hashed. It binds
+// checkpoint files to exactly one campaign.
+func campaignFingerprint(mc machine.Config, cfg Config, events []Event, seed int64, repeats int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "savat-campaign/v1|machine=%+v|measure=%+v|seed=%d|repeats=%d|events=",
+		mc, cfg, seed, repeats)
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte(',')
+	}
+	return engine.Key(b.String())
+}
+
+// cellKeyMaterial identifies one cell's result for the engine cache:
+// the full machine and measurement configurations, the event pair (by
+// identity, so matrix position and campaign composition don't matter),
+// the base seed, and the repetition index.
+func cellKeyMaterial(mc machine.Config, cfg Config, a, b Event, seed int64, rep int) string {
+	return fmt.Sprintf("savat-cell/v1|machine=%+v|measure=%+v|pair=%v/%v|seed=%d|rep=%d",
+		mc, cfg, a, b, seed, rep)
+}
+
+// cellSeed derives a deterministic seed for one (pair, repetition) from
+// the event identities, making campaign cells independent of matrix
+// position and identical to MeasurePair's.
+func cellSeed(base int64, a, b, rep int) int64 {
+	h := uint64(base)*0x9E3779B97F4A7C15 + uint64(a)*0xBF58476D1CE4E5B9 +
+		uint64(b)*0x94D049BB133111EB + uint64(rep)*0xD6E8FEB86659FD93
 	h ^= h >> 31
 	return int64(h&0x7FFFFFFFFFFFFFFF) + 1
 }
 
 // MeasurePair is a convenience wrapper: one cell, `repeats` repetitions,
-// returning the per-repetition values and their summary.
+// returning the per-repetition values and their summary. Values agree
+// exactly with the corresponding campaign cells for the same seed.
 func MeasurePair(mc machine.Config, a, b Event, cfg Config, repeats int, seed int64) ([]float64, stats.Summary, error) {
 	if repeats <= 0 {
 		return nil, stats.Summary{}, fmt.Errorf("savat: repeats %d", repeats)

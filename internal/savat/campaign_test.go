@@ -1,0 +1,209 @@
+package savat
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/machine"
+)
+
+func matricesEqual(t *testing.T, a, b *MatrixStats) {
+	t.Helper()
+	for i := range a.Mean.Vals {
+		for j := range a.Mean.Vals[i] {
+			if a.Mean.Vals[i][j] != b.Mean.Vals[i][j] {
+				t.Fatalf("mean cell (%d,%d) differs: %v vs %v", i, j, a.Mean.Vals[i][j], b.Mean.Vals[i][j])
+			}
+			if a.Cells[i][j] != b.Cells[i][j] {
+				t.Fatalf("summary cell (%d,%d) differs: %+v vs %+v", i, j, a.Cells[i][j], b.Cells[i][j])
+			}
+		}
+	}
+}
+
+// The acceptance scenario: a campaign killed partway via context
+// cancellation and resumed from its checkpoint yields the same
+// MatrixStats as an uninterrupted run with the same seed, and the
+// resumed run reports > 0 cached cells.
+func TestRunCampaignContextCancelAndResume(t *testing.T) {
+	mc := machine.Core2Duo()
+	cfg := FastConfig()
+	opts := CampaignOptions{
+		Events:  []Event{ADD, LDM},
+		Repeats: 2,
+		Seed:    7,
+	}
+
+	ref, err := RunCampaign(mc, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the campaign after the first finished cell.
+	path := filepath.Join(t.TempDir(), "campaign.checkpoint.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := make(chan engine.ProgressEvent, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range ch {
+			cancel()
+		}
+	}()
+	killed := opts
+	killed.Parallelism = 1
+	killed.CheckpointPath = path
+	killed.CheckpointEvery = 1
+	killed.Monitor = ch
+	killed.Cache, _ = engine.NewCache(64, "")
+	_, err = RunCampaignContext(ctx, mc, cfg, killed)
+	wg.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	cp, err := engine.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("no loadable checkpoint after cancellation: %v", err)
+	}
+	if len(cp.Cells) == 0 {
+		t.Fatal("checkpoint recorded nothing")
+	}
+
+	// Resume with a fresh cache: only the checkpoint carries state.
+	resumed := opts
+	resumed.CheckpointPath = path
+	resumed.Cache, _ = engine.NewCache(64, "")
+	res, err := RunCampaignContext(context.Background(), mc, cfg, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine.Cached == 0 {
+		t.Error("resumed campaign reports no cached cells")
+	}
+	matricesEqual(t, ref, res)
+}
+
+// A checkpoint from different campaign parameters must be rejected, not
+// silently mixed in.
+func TestRunCampaignContextCheckpointMismatch(t *testing.T) {
+	mc := machine.Core2Duo()
+	cfg := FastConfig()
+	path := filepath.Join(t.TempDir(), "cp.json")
+	opts := CampaignOptions{Events: []Event{ADD}, Repeats: 1, Seed: 1, CheckpointPath: path}
+	if _, err := RunCampaign(mc, cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.Seed = 2 // different campaign, same checkpoint file
+	_, err := RunCampaign(mc, cfg, opts)
+	if !errors.Is(err, engine.ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// Cells are keyed by event identity, so a campaign over a reordered
+// event subset is served entirely from the cache, and campaign cells
+// agree exactly with MeasurePair.
+func TestRunCampaignCellIdentityCache(t *testing.T) {
+	mc := machine.Core2Duo()
+	cfg := FastConfig()
+	cache, err := engine.NewCache(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CampaignOptions{Events: []Event{ADD, LDM}, Repeats: 2, Seed: 3, Cache: cache}
+	first, err := RunCampaign(mc, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Engine.Computed != 8 || first.Engine.Cached != 0 {
+		t.Fatalf("first run engine stats = %+v", first.Engine)
+	}
+
+	opts.Events = []Event{LDM, ADD} // same pairs, different matrix positions
+	second, err := RunCampaign(mc, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Engine.Cached != 8 || second.Engine.Computed != 0 {
+		t.Fatalf("reordered run engine stats = %+v", second.Engine)
+	}
+	if first.Mean.MustAt(ADD, LDM) != second.Mean.MustAt(ADD, LDM) {
+		t.Error("cell value differs across event orderings")
+	}
+
+	// Campaign cells and MeasurePair share seeds and kernels exactly.
+	vals, _, err := MeasurePair(mc, ADD, LDM, cfg, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := (vals[0] + vals[1]) / 2
+	if got := first.Mean.MustAt(ADD, LDM); got != mean {
+		t.Errorf("campaign cell %v != MeasurePair mean %v", got, mean)
+	}
+}
+
+// The deprecated Progress callback still fires once per finished pair,
+// and composes with a Monitor channel.
+func TestRunCampaignProgressCompat(t *testing.T) {
+	mc := machine.Core2Duo()
+	cfg := FastConfig()
+	var mu sync.Mutex
+	var calls [][2]int
+	ch := make(chan engine.ProgressEvent, 16)
+	events := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range ch {
+			events++
+		}
+	}()
+	opts := CampaignOptions{
+		Events:  []Event{ADD, LDM},
+		Repeats: 2,
+		Seed:    1,
+		Monitor: ch,
+		Progress: func(done, total int) {
+			mu.Lock()
+			calls = append(calls, [2]int{done, total})
+			mu.Unlock()
+		},
+	}
+	if _, err := RunCampaign(mc, cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(calls) != 4 {
+		t.Fatalf("Progress called %d times, want 4 (pairs)", len(calls))
+	}
+	last := calls[len(calls)-1]
+	if last != [2]int{4, 4} {
+		t.Errorf("final Progress call = %v, want (4,4)", last)
+	}
+	if events != 8 {
+		t.Errorf("Monitor saw %d events, want 8 (cells)", events)
+	}
+}
+
+// Early validation failures must still close the Monitor channel.
+func TestRunCampaignContextClosesMonitorOnValidationError(t *testing.T) {
+	ch := make(chan engine.ProgressEvent)
+	done := make(chan struct{})
+	go func() {
+		for range ch {
+		}
+		close(done)
+	}()
+	_, err := RunCampaign(machine.Config{}, FastConfig(), CampaignOptions{Repeats: 1, Monitor: ch})
+	if err == nil {
+		t.Fatal("bad machine should fail")
+	}
+	<-done // hangs here if the channel was leaked open
+}
