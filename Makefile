@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full figure-matrix benchmarks (minutes; see README for current numbers).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig(09|12|14)Matrix' -benchtime=1x .
+
+# Tier-1 gate plus a perf smoke: vet, race-enabled tests, and one pass of
+# the Figure 9 matrix benchmark so fast-path breakage (correctness or a
+# gross slowdown) is caught before it lands.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench BenchmarkFig09MatrixCore2Duo10cm -benchtime=1x .

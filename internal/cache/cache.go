@@ -82,15 +82,18 @@ type Result struct {
 	WriteBackAddr uint64 // line-aligned address of the written-back victim
 }
 
-// Cache is one set-associative cache level.
+// Cache is one set-associative cache level. Lines live in one flat
+// backing array (set-major) so construction is a single allocation and
+// the per-access set lookup is pure index arithmetic.
 type Cache struct {
-	cfg        Config
-	sets       [][]line
-	setsMask   uint64
-	lineShift  uint
-	stamp      uint64
-	stats      Stats
-	inclusiveN int
+	cfg       Config
+	lines     []line // nsets × assoc, set-major
+	assoc     int
+	setsMask  uint64
+	lineShift uint
+	tagShift  uint // lineShift + log2(sets)
+	stamp     uint64
+	stats     Stats
 }
 
 // New builds a cache from cfg.
@@ -101,15 +104,14 @@ func New(cfg Config) (*Cache, error) {
 	nsets := cfg.Sets()
 	c := &Cache{
 		cfg:      cfg,
-		sets:     make([][]line, nsets),
+		lines:    make([]line, nsets*cfg.Assoc),
+		assoc:    cfg.Assoc,
 		setsMask: uint64(nsets - 1),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
 	}
 	for ls := cfg.LineBytes; ls > 1; ls >>= 1 {
 		c.lineShift++
 	}
+	c.tagShift = uint(popcount(c.setsMask))
 	return c, nil
 }
 
@@ -130,10 +132,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Reset invalidates all lines and zeroes the statistics.
 func (c *Cache) Reset() {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			c.sets[si][wi] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 	c.stats = Stats{}
 	c.stamp = 0
@@ -146,7 +146,13 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	l := addr >> c.lineShift
-	return l & c.setsMask, l >> uint(popcount(c.setsMask))
+	return l & c.setsMask, l >> c.tagShift
+}
+
+// set returns the ways of one set as a slice into the flat line array.
+func (c *Cache) set(set uint64) []line {
+	base := int(set) * c.assoc
+	return c.lines[base : base+c.assoc]
 }
 
 func popcount(m uint64) int {
@@ -162,7 +168,7 @@ func popcount(m uint64) int {
 // line is allocated (write-allocate); writes mark the line dirty.
 func (c *Cache) Access(addr uint64, write bool) Result {
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.set(set)
 	c.stamp++
 	if write {
 		c.stats.Writes++
@@ -211,14 +217,14 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 
 // reconstruct rebuilds the line-aligned address from set and tag.
 func (c *Cache) reconstruct(set, tag uint64) uint64 {
-	return (tag<<uint(popcount(c.setsMask)) | set) << c.lineShift
+	return (tag<<c.tagShift | set) << c.lineShift
 }
 
 // Contains reports whether the line holding addr is currently resident
 // (without touching LRU state); used by tests and invariant checks.
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, w := range c.sets[set] {
+	for _, w := range c.set(set) {
 		if w.valid && w.tag == tag {
 			return true
 		}
@@ -229,7 +235,7 @@ func (c *Cache) Contains(addr uint64) bool {
 // Dirty reports whether the line holding addr is resident and dirty.
 func (c *Cache) Dirty(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, w := range c.sets[set] {
+	for _, w := range c.set(set) {
 		if w.valid && w.tag == tag {
 			return w.dirty
 		}
@@ -240,11 +246,9 @@ func (c *Cache) Dirty(addr uint64) bool {
 // ResidentLines returns the number of valid lines (for occupancy checks).
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, w := range set {
-			if w.valid {
-				n++
-			}
+	for _, w := range c.lines {
+		if w.valid {
+			n++
 		}
 	}
 	return n

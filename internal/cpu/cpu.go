@@ -135,7 +135,7 @@ func (c *CPU) Step() error {
 	if c.pc < 0 || c.pc >= len(c.prog) {
 		return fmt.Errorf("cpu: pc %d outside program of %d words", c.pc, len(c.prog))
 	}
-	in := c.prog[c.pc]
+	in := &c.prog[c.pc]
 	c.act.Add(activity.Fetch, c.cfg.FetchEventsPerInst)
 	next := c.pc + 1
 	lat := c.cfg.ALUCycles
@@ -206,15 +206,11 @@ func (c *CPU) Step() error {
 	case isa.LD:
 		addr := uint64(c.regs[in.Rs1] + uint32(in.Imm))
 		c.regs[in.Rd] = c.mem.Load32(addr)
-		r := c.hier.Access(addr, false)
-		c.act.AddVector(r.Activity)
-		lat = r.Latency
+		_, lat = c.hier.AccessInto(addr, false, &c.act)
 	case isa.ST:
 		addr := uint64(c.regs[in.Rs1] + uint32(in.Imm))
 		c.mem.Store32(addr, c.regs[in.Rd])
-		r := c.hier.Access(addr, true)
-		c.act.AddVector(r.Activity)
-		lat = r.Latency
+		_, lat = c.hier.AccessInto(addr, true, &c.act)
 	case isa.BEQ, isa.BNE, isa.JMP:
 		taken := true
 		switch in.Op {

@@ -1,11 +1,18 @@
 package cpu
 
+import "encoding/binary"
+
 // Memory is a sparse paged byte-addressable data memory. It stores actual
 // program data (the caches in internal/memhier model behaviour and timing
 // only), so workloads like the modular-exponentiation attack demo compute
 // real values.
 type Memory struct {
 	pages map[uint64]*[pageBytes]byte
+	// One-entry lookup cache: kernel workloads stride through a small
+	// buffer, so consecutive accesses almost always land on the same page
+	// and skip the map.
+	lastPN   uint64
+	lastPage *[pageBytes]byte
 }
 
 const pageBytes = 4096
@@ -17,10 +24,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint64, create bool) *[pageBytes]byte {
 	pn := addr / pageBytes
+	if m.lastPage != nil && pn == m.lastPN {
+		return m.lastPage
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new([pageBytes]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }
@@ -33,7 +46,7 @@ func (m *Memory) Load32(addr uint64) uint32 {
 		return 0
 	}
 	o := addr % pageBytes
-	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+	return binary.LittleEndian.Uint32(p[o : o+4])
 }
 
 // Store32 writes a 32-bit little-endian word; addr is aligned down to 4.
@@ -41,10 +54,7 @@ func (m *Memory) Store32(addr uint64, v uint32) {
 	addr &^= 3
 	p := m.page(addr, true)
 	o := addr % pageBytes
-	p[o] = byte(v)
-	p[o+1] = byte(v >> 8)
-	p[o+2] = byte(v >> 16)
-	p[o+3] = byte(v >> 24)
+	binary.LittleEndian.PutUint32(p[o:o+4], v)
 }
 
 // PageCount returns the number of materialized pages.

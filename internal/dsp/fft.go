@@ -15,58 +15,33 @@ import (
 )
 
 // FFT computes the in-place forward discrete Fourier transform of x.
-// len(x) must be a power of two.
+// len(x) must be a power of two. It runs on the process-wide shared
+// plan for len(x) (see PlanFor); hot paths that know their length
+// should hold a Plan directly.
 func FFT(x []complex128) error {
-	return fft(x, false)
+	p, err := PlanFor(len(x))
+	if err != nil {
+		return err
+	}
+	return p.Forward(x)
 }
 
 // IFFT computes the in-place inverse DFT of x (normalized by 1/N).
 // len(x) must be a power of two.
 func IFFT(x []complex128) error {
-	if err := fft(x, true); err != nil {
+	p, err := PlanFor(len(x))
+	if err != nil {
 		return err
 	}
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
-	}
-	return nil
+	return p.Inverse(x)
 }
 
-func fft(x []complex128, inverse bool) error {
-	n := len(x)
-	if n == 0 || n&(n-1) != 0 {
-		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	// Iterative Cooley–Tukey butterflies.
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= step
-			}
-		}
-	}
-	return nil
-}
+// goertzelRenorm is the number of samples between exact recomputations
+// of the Goertzel rotation phasor. The `rot *= w` recurrence loses
+// roughly one ulp per step; resetting the phasor from the true angle
+// every block keeps the worst-case phase error bounded by ~1024 ulps
+// regardless of capture length.
+const goertzelRenorm = 1024
 
 // Goertzel evaluates the DFT of x at a single (possibly non-bin)
 // normalized frequency f/fs and returns the complex projection X(f)
@@ -75,10 +50,19 @@ func Goertzel(x []complex128, freqNorm float64) complex128 {
 	// Complex-input Goertzel via direct recurrence on the rotated sum.
 	w := cmplx.Exp(complex(0, -2*math.Pi*freqNorm))
 	var acc complex128
-	rot := complex(1, 0)
-	for _, v := range x {
-		acc += v * rot
-		rot *= w
+	for base := 0; base < len(x); base += goertzelRenorm {
+		end := base + goertzelRenorm
+		if end > len(x) {
+			end = len(x)
+		}
+		// Exact start-of-block phasor: the phase is reduced mod 1 turn
+		// before scaling by 2π so large sample indices don't cost
+		// precision in the multiplication.
+		rot := cmplx.Exp(complex(0, -2*math.Pi*math.Mod(freqNorm*float64(base), 1)))
+		for _, v := range x[base:end] {
+			acc += v * rot
+			rot *= w
+		}
 	}
 	return acc
 }
@@ -93,17 +77,24 @@ func NextPow2(n int) int {
 
 // Decimate returns every factor-th sample of x after block averaging
 // (a crude anti-alias filter adequate for the envelope signals here).
+// A final partial block is averaged over the samples it actually has,
+// so no tail samples are dropped when len(x) is not a multiple of
+// factor.
 func Decimate(x []complex128, factor int) ([]complex128, error) {
 	if factor <= 0 {
 		return nil, fmt.Errorf("dsp: decimation factor %d", factor)
 	}
-	out := make([]complex128, 0, len(x)/factor)
-	for i := 0; i+factor <= len(x); i += factor {
-		var s complex128
-		for j := 0; j < factor; j++ {
-			s += x[i+j]
+	out := make([]complex128, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		end := i + factor
+		if end > len(x) {
+			end = len(x)
 		}
-		out = append(out, s/complex(float64(factor), 0))
+		var s complex128
+		for j := i; j < end; j++ {
+			s += x[j]
+		}
+		out = append(out, s/complex(float64(end-i), 0))
 	}
 	return out, nil
 }

@@ -103,23 +103,23 @@ func Periodogram(x []complex128, fs float64, win Window) (*Spectrum, error) {
 		return nil, fmt.Errorf("dsp: sample rate %g", fs)
 	}
 	n := len(x)
-	coeff, err := win.Coefficients(n)
+	e, err := win.cached(n)
 	if err != nil {
 		return nil, err
 	}
-	_, ng, err := win.Gains(n)
+	plan, err := PlanFor(n)
 	if err != nil {
 		return nil, err
 	}
 	buf := make([]complex128, n)
 	for i := range x {
-		buf[i] = x[i] * complex(coeff[i], 0)
+		buf[i] = x[i] * complex(e.coeff[i], 0)
 	}
-	if err := FFT(buf); err != nil {
+	if err := plan.Forward(buf); err != nil {
 		return nil, err
 	}
 	psd := make([]float64, n)
-	scale := 1 / (fs * float64(n) * ng)
+	scale := 1 / (fs * float64(n) * e.noise)
 	for k, v := range buf {
 		re, im := real(v), imag(v)
 		psd[k] = (re*re + im*im) * scale
@@ -127,30 +127,220 @@ func Periodogram(x []complex128, fs float64, win Window) (*Spectrum, error) {
 	return &Spectrum{PSD: psd, SampleRate: fs}, nil
 }
 
-// Welch estimates the PSD by averaging windowed periodograms of segments
-// of length segLen (power of two) with 50% overlap.
-func Welch(x []complex128, fs float64, segLen int, win Window) (*Spectrum, error) {
+// WelchScratch holds the per-segment-length state of Welch estimation —
+// the FFT plan, the shared window coefficients and noise gain, and the
+// segment working buffer — so repeated runs at a fixed segment length
+// allocate nothing. A scratch is NOT safe for concurrent use; give each
+// worker its own.
+type WelchScratch struct {
+	segLen int
+	win    Window
+	plan   *Plan
+	coeff  []float64 // shared cache entry; read-only
+	noise  float64
+	buf    []complex128
+}
+
+// NewWelchScratch builds a scratch for Welch runs with the given
+// segment length (a power of two) and window.
+func NewWelchScratch(segLen int, win Window) (*WelchScratch, error) {
 	if segLen <= 0 || segLen&(segLen-1) != 0 {
 		return nil, fmt.Errorf("dsp: Welch segment length %d not a power of two", segLen)
 	}
-	if len(x) < segLen {
-		return nil, fmt.Errorf("dsp: Welch needs ≥%d samples, have %d", segLen, len(x))
+	e, err := win.cached(segLen)
+	if err != nil {
+		return nil, err
 	}
-	acc := make([]float64, segLen)
-	step := segLen / 2
+	plan, err := PlanFor(segLen)
+	if err != nil {
+		return nil, err
+	}
+	return &WelchScratch{
+		segLen: segLen,
+		win:    win,
+		plan:   plan,
+		coeff:  e.coeff,
+		noise:  e.noise,
+		buf:    make([]complex128, segLen),
+	}, nil
+}
+
+// SegLen returns the scratch's segment length.
+func (s *WelchScratch) SegLen() int { return s.segLen }
+
+// Window returns the scratch's window.
+func (s *WelchScratch) Window() Window { return s.win }
+
+// WelchInto estimates the PSD of x by averaging windowed periodograms
+// of 50%-overlapped segments, overwriting dst (len(dst) must equal the
+// segment length) without allocating.
+func (s *WelchScratch) WelchInto(dst []float64, x []complex128, fs float64) error {
+	if fs <= 0 {
+		return fmt.Errorf("dsp: sample rate %g", fs)
+	}
+	if len(dst) != s.segLen {
+		return fmt.Errorf("dsp: Welch destination length %d, segment length %d", len(dst), s.segLen)
+	}
+	if len(x) < s.segLen {
+		return fmt.Errorf("dsp: Welch needs ≥%d samples, have %d", s.segLen, len(x))
+	}
+	step := s.segLen / 2
 	count := 0
-	for start := 0; start+segLen <= len(x); start += step {
-		p, err := Periodogram(x[start:start+segLen], fs, win)
-		if err != nil {
-			return nil, err
+	perm := s.plan.perm
+	for start := 0; start+s.segLen <= len(x); start += step {
+		seg := x[start : start+s.segLen]
+		// Window directly into bit-reversed order so the FFT skips its
+		// separate permutation pass over the buffer.
+		for i := range seg {
+			s.buf[perm[i]] = seg[i] * complex(s.coeff[i], 0)
 		}
-		for k, v := range p.PSD {
-			acc[k] += v
+		s.plan.butterflies(s.buf)
+		if count == 0 {
+			// First segment overwrites dst, so no clearing pass is needed
+			// (the loop always runs: len(x) ≥ segLen was checked above).
+			for k, v := range s.buf {
+				re, im := real(v), imag(v)
+				dst[k] = re*re + im*im
+			}
+		} else {
+			for k, v := range s.buf {
+				re, im := real(v), imag(v)
+				dst[k] += re*re + im*im
+			}
 		}
 		count++
 	}
-	for k := range acc {
-		acc[k] /= float64(count)
+	scale := 1 / (fs * float64(s.segLen) * s.noise * float64(count))
+	for k := range dst {
+		dst[k] *= scale
 	}
-	return &Spectrum{PSD: acc, SampleRate: fs}, nil
+	return nil
+}
+
+// WelchPairInto runs one Welch pass over two equal-length REAL streams
+// a and b at once, overwriting pa and pb with their individual PSDs and
+// cross with their scaled cross-spectrum ⟨A[k]·conj(B[k])⟩ (same
+// scaling and 50%-overlap segmentation as WelchInto, so the Welch PSD
+// of any linear combination α·a+β·b follows per bin as
+// |α|²·pa + |β|²·pb + 2·Re(α·conj(β)·cross)).
+//
+// Both streams ride one packed FFT per segment: the real pair is packed
+// as a[i] + i·b[i], transformed once, and unpacked with the Hermitian
+// split A[k] = (Z[k]+conj(Z[−k]))/2, B[k] = −i·(Z[k]−conj(Z[−k]))/2 —
+// half the transforms of analyzing the streams separately.
+func (s *WelchScratch) WelchPairInto(pa, pb []float64, cross []complex128, a, b []float64, fs float64) error {
+	if fs <= 0 {
+		return fmt.Errorf("dsp: sample rate %g", fs)
+	}
+	if len(pa) != s.segLen || len(pb) != s.segLen || len(cross) != s.segLen {
+		return fmt.Errorf("dsp: Welch pair destination lengths %d/%d/%d, segment length %d",
+			len(pa), len(pb), len(cross), s.segLen)
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("dsp: Welch pair stream lengths %d vs %d", len(a), len(b))
+	}
+	if len(a) < s.segLen {
+		return fmt.Errorf("dsp: Welch needs ≥%d samples, have %d", s.segLen, len(a))
+	}
+	n := s.segLen
+	step := n / 2
+	count := 0
+	perm := s.plan.perm
+	for start := 0; start+n <= len(a); start += step {
+		// Window directly into bit-reversed order so the FFT skips its
+		// separate permutation pass over the buffer.
+		for i := 0; i < n; i++ {
+			w := s.coeff[i]
+			s.buf[perm[i]] = complex(w*a[start+i], w*b[start+i])
+		}
+		s.plan.butterflies(s.buf)
+		// Self-conjugate bins (DC and, for n > 1, Nyquist) unpack against
+		// themselves; every other bin pairs with n−k, whose A/B values are
+		// the conjugates of bin k's — one unpack serves both bins. The
+		// first segment overwrites the destinations (the loop always runs,
+		// so no separate clearing pass is needed); later segments add.
+		first := count == 0
+		for _, k := range [2]int{0, n / 2} {
+			z := s.buf[k]
+			zc := complex(real(z), -imag(z))
+			wa := (z + zc) * 0.5
+			d := z - zc
+			wb := complex(imag(d)*0.5, -real(d)*0.5) // −i/2 · d
+			pwa := real(wa)*real(wa) + imag(wa)*imag(wa)
+			pwb := real(wb)*real(wb) + imag(wb)*imag(wb)
+			cr := wa * complex(real(wb), -imag(wb))
+			if first {
+				pa[k], pb[k], cross[k] = pwa, pwb, cr
+			} else {
+				pa[k] += pwa
+				pb[k] += pwb
+				cross[k] += cr
+			}
+			if n/2 == 0 {
+				break
+			}
+		}
+		if first {
+			for k := 1; k < n/2; k++ {
+				m := n - k
+				zk, zm := s.buf[k], s.buf[m]
+				zmc := complex(real(zm), -imag(zm))
+				wa := (zk + zmc) * 0.5
+				d := zk - zmc
+				wb := complex(imag(d)*0.5, -real(d)*0.5) // −i/2 · d
+				pwa := real(wa)*real(wa) + imag(wa)*imag(wa)
+				pwb := real(wb)*real(wb) + imag(wb)*imag(wb)
+				cr := wa * complex(real(wb), -imag(wb))
+				pa[k], pb[k], cross[k] = pwa, pwb, cr
+				pa[m], pb[m] = pwa, pwb
+				cross[m] = complex(real(cr), -imag(cr))
+			}
+		} else {
+			for k := 1; k < n/2; k++ {
+				m := n - k
+				zk, zm := s.buf[k], s.buf[m]
+				zmc := complex(real(zm), -imag(zm))
+				wa := (zk + zmc) * 0.5
+				d := zk - zmc
+				wb := complex(imag(d)*0.5, -real(d)*0.5) // −i/2 · d
+				pwa := real(wa)*real(wa) + imag(wa)*imag(wa)
+				pwb := real(wb)*real(wb) + imag(wb)*imag(wb)
+				cr := wa * complex(real(wb), -imag(wb))
+				pa[k] += pwa
+				pb[k] += pwb
+				cross[k] += cr
+				pa[m] += pwa
+				pb[m] += pwb
+				cross[m] += complex(real(cr), -imag(cr))
+			}
+		}
+		count++
+	}
+	scale := 1 / (fs * float64(n) * s.noise * float64(count))
+	cs := complex(scale, 0)
+	for k := range pa {
+		pa[k] *= scale
+		pb[k] *= scale
+		cross[k] *= cs
+	}
+	return nil
+}
+
+// Welch estimates the PSD of x into a fresh Spectrum using the scratch.
+func (s *WelchScratch) Welch(x []complex128, fs float64) (*Spectrum, error) {
+	psd := make([]float64, s.segLen)
+	if err := s.WelchInto(psd, x, fs); err != nil {
+		return nil, err
+	}
+	return &Spectrum{PSD: psd, SampleRate: fs}, nil
+}
+
+// Welch estimates the PSD by averaging windowed periodograms of segments
+// of length segLen (power of two) with 50% overlap.
+func Welch(x []complex128, fs float64, segLen int, win Window) (*Spectrum, error) {
+	s, err := NewWelchScratch(segLen, win)
+	if err != nil {
+		return nil, err
+	}
+	return s.Welch(x, fs)
 }

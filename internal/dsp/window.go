@@ -3,6 +3,7 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Window identifies a tapering function applied before spectral analysis.
@@ -35,8 +36,59 @@ func (w Window) String() string {
 	return fmt.Sprintf("window(%d)", uint8(w))
 }
 
-// Coefficients returns the n window coefficients.
+// windowEntry caches the coefficients and gains of one (window, length)
+// pair; the coeff slice is shared and must never be mutated.
+type windowEntry struct {
+	coeff           []float64
+	coherent, noise float64
+}
+
+var windowCache sync.Map // windowKey -> *windowEntry
+
+type windowKey struct {
+	w Window
+	n int
+}
+
+// cached returns the shared entry for (w, n), computing it on first
+// use. Window coefficients are pure cosine sums, so the cache turns the
+// per-call trigonometry — which dominates repeated Welch runs at fixed
+// segment length — into a one-time cost.
+func (w Window) cached(n int) (*windowEntry, error) {
+	key := windowKey{w, n}
+	if v, ok := windowCache.Load(key); ok {
+		return v.(*windowEntry), nil
+	}
+	coeff, err := w.compute(n)
+	if err != nil {
+		return nil, err
+	}
+	e := &windowEntry{coeff: coeff}
+	var s, s2 float64
+	for _, v := range coeff {
+		s += v
+		s2 += v * v
+	}
+	fn := float64(n)
+	e.coherent, e.noise = s/fn, s2/fn
+	v, _ := windowCache.LoadOrStore(key, e)
+	return v.(*windowEntry), nil
+}
+
+// Coefficients returns the n window coefficients. The slice is the
+// caller's to mutate; internal spectral estimators share a cached copy
+// instead (see cached).
 func (w Window) Coefficients(n int) ([]float64, error) {
+	e, err := w.cached(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	copy(out, e.coeff)
+	return out, nil
+}
+
+func (w Window) compute(n int) ([]float64, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("dsp: window length %d", n)
 	}
@@ -68,17 +120,11 @@ func (w Window) Coefficients(n int) ([]float64, error) {
 // gain (mean of squared coefficients) for a window of length n; PSD
 // estimators divide by the noise gain so white-noise levels are unbiased.
 func (w Window) Gains(n int) (coherent, noise float64, err error) {
-	c, err := w.Coefficients(n)
+	e, err := w.cached(n)
 	if err != nil {
 		return 0, 0, err
 	}
-	var s, s2 float64
-	for _, v := range c {
-		s += v
-		s2 += v * v
-	}
-	fn := float64(n)
-	return s / fn, s2 / fn, nil
+	return e.coherent, e.noise, nil
 }
 
 // ENBW returns the equivalent noise bandwidth of the window in bins:

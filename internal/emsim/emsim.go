@@ -236,21 +236,35 @@ type Radiator struct {
 
 // NewRadiator draws the campaign's gain perturbations from rng.
 func NewRadiator(table SourceTable, distance, asymmetryAmp float64, rng *rand.Rand) (*Radiator, error) {
-	if err := table.Validate(); err != nil {
+	r := &Radiator{}
+	if err := r.Init(table, distance, asymmetryAmp, rng); err != nil {
 		return nil, err
 	}
+	return r, nil
+}
+
+// Init re-initializes r in place with freshly drawn gain perturbations,
+// exactly as NewRadiator does for a new radiator. It lets a measurement
+// scratch reuse one Radiator value across campaign cells without
+// allocating. On error r is left unchanged and rng is not consumed.
+func (r *Radiator) Init(table SourceTable, distance, asymmetryAmp float64, rng *rand.Rand) error {
+	if err := table.Validate(); err != nil {
+		return err
+	}
 	if distance <= 0 {
-		return nil, fmt.Errorf("emsim: non-positive distance %v", distance)
+		return fmt.Errorf("emsim: non-positive distance %v", distance)
 	}
 	if asymmetryAmp < 0 {
-		return nil, fmt.Errorf("emsim: negative asymmetry amplitude %v", asymmetryAmp)
+		return fmt.Errorf("emsim: negative asymmetry amplitude %v", asymmetryAmp)
 	}
-	r := &Radiator{table: table, distance: distance, asymmetryAmp: asymmetryAmp}
+	r.table = table
+	r.distance = distance
+	r.asymmetryAmp = asymmetryAmp
 	for i := range r.gainJitter {
 		r.gainJitter[i] = 1 + GainJitterStd*rng.NormFloat64()
 	}
 	r.asymJitter = 1 + GainJitterStd*rng.NormFloat64()
-	return r, nil
+	return nil
 }
 
 // GroupAmplitude returns the complex received amplitude of one coherence
@@ -278,44 +292,77 @@ func (r *Radiator) GroupAmplitude(rates activity.Vector, phase, group int) compl
 	return sum
 }
 
-// SynthesizeGroups renders n complex baseband samples at rate fs for each
-// coherence group, sharing one jittered alternation timeline (the groups
-// radiate from the same loop execution). Groups with no signal at all are
-// returned as nil slices. Sample m integrates the exact amplitude over
-// [m/fs, (m+1)/fs), so the result is correct even when the sample period
-// is comparable to the alternation period.
-func (r *Radiator) SynthesizeGroups(alt Alternation, fs float64, n int, jit Jitter, rng *rand.Rand) ([NumGroups][]complex128, error) {
-	var out [NumGroups][]complex128
+// PhaseAmplitudes returns each coherence group's complex received
+// amplitude while the loop executes the A half ([g][0]) and the B half
+// ([g][1]), pre-scaled by the inverse of the zero-order-hold droop at
+// sample rate fs. Each output sample integrates the amplitude over its
+// 1/fs window (zero-order hold), which droops the alternation
+// fundamental by sinc(π·f₀/fs); a calibrated digitizer front end
+// compensates this in-band droop, so the rendered amplitudes carry its
+// inverse and SAVAT does not depend on the capture rate.
+func (r *Radiator) PhaseAmplitudes(alt Alternation, fs float64) ([NumGroups][2]complex128, error) {
+	var amps [NumGroups][2]complex128
 	if err := alt.Validate(); err != nil {
-		return out, err
+		return amps, err
 	}
-	if fs <= 0 || n <= 0 {
-		return out, fmt.Errorf("emsim: bad synthesis parameters fs=%v n=%d", fs, n)
+	if fs <= 0 {
+		return amps, fmt.Errorf("emsim: bad synthesis parameters fs=%v", fs)
 	}
-	// Each output sample integrates the amplitude over its 1/fs window
-	// (zero-order hold), which droops the alternation fundamental by
-	// sinc(π·f₀/fs). A calibrated digitizer front end compensates this
-	// in-band droop, so the rendered amplitudes are pre-scaled by its
-	// inverse; SAVAT then does not depend on the capture rate.
 	droop := 1.0
 	if x := math.Pi / (alt.Period() * fs); x > 0 && x < math.Pi {
 		droop = math.Sin(x) / x
 	}
 	comp := complex(1/droop, 0)
-
-	var amps [NumGroups][2]complex128
-	active := 0
 	for g := 0; g < NumGroups; g++ {
 		amps[g][0] = r.GroupAmplitude(alt.Rates[0], 0, g) * comp
 		amps[g][1] = r.GroupAmplitude(alt.Rates[1], 1, g) * comp
-		if amps[g][0] != 0 || amps[g][1] != 0 {
-			out[g] = make([]complex128, n)
-			active++
-		}
 	}
-	if active == 0 {
-		return out, nil
+	return amps, nil
+}
+
+// Envelopes holds the two shared per-phase envelope streams of one
+// jittered alternation timeline. Sample m of A is the fraction of the
+// m-th sample window spent executing the A half — weighted by the slow
+// amplitude fluctuation and scaled by fs, so a sample lying fully
+// inside a fluctuation-free A half reads 1. Every coherence group's
+// baseband stream is the same two envelopes combined with the group's
+// phase amplitudes: x_g[m] = amps[g][0]·A[m] + amps[g][1]·B[m].
+type Envelopes struct {
+	A, B []float64
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
+	return s[:n]
+}
+
+// SynthesizeEnvelopes renders the two shared per-phase envelope streams
+// for n samples at rate fs: one jittered alternation timeline, rendered
+// once, from which every group's baseband stream follows by linear
+// combination (see Envelopes). Sample m integrates the exact envelope
+// over [m/fs, (m+1)/fs), so the result is correct even when the sample
+// period is comparable to the alternation period.
+//
+// dst, when non-nil, provides buffers to reuse (grown as needed) and is
+// also the return value; pass nil to allocate fresh envelopes. The rng
+// draws are exactly those of a SynthesizeGroups call with at least one
+// active group: the two initial fluctuation values, the edge phase, and
+// the per-period walk and fluctuation steps.
+func SynthesizeEnvelopes(alt Alternation, fs float64, n int, jit Jitter, rng *rand.Rand, dst *Envelopes) (*Envelopes, error) {
+	if err := alt.Validate(); err != nil {
+		return nil, err
+	}
+	if fs <= 0 || n <= 0 {
+		return nil, fmt.Errorf("emsim: bad synthesis parameters fs=%v n=%d", fs, n)
+	}
+	if dst == nil {
+		dst = &Envelopes{}
+	}
+	dst.A = resizeFloats(dst.A, n)
+	dst.B = resizeFloats(dst.B, n)
+
 	maxDrift := jit.MaxDrift
 	if maxDrift == 0 {
 		maxDrift = 10 * jit.DriftStd
@@ -333,42 +380,90 @@ func (r *Radiator) SynthesizeGroups(alt Alternation, fs float64, n int, jit Jitt
 	scale := 1 + jit.FreqOffset
 	ampFluct := [2]float64{jit.AmpNoiseStd * rng.NormFloat64(), jit.AmpNoiseStd * rng.NormFloat64()}
 	tEdge := rng.Float64() * alt.HalfSeconds[0] * scale
-	advance := func() {
-		phase ^= 1
-		if phase == 0 { // new full period: step the drift walk and fluctuation
-			walk += rng.NormFloat64() * jit.DriftStd
-			walk = math.Max(-maxDrift, math.Min(maxDrift, walk))
-			scale = 1 + jit.FreqOffset + walk
-			if jit.AmpNoiseStd > 0 {
-				for p := 0; p < 2; p++ {
-					ampFluct[p] = rho*ampFluct[p] + ampStep*rng.NormFloat64()
-				}
-			}
-		}
-		tEdge += alt.HalfSeconds[phase] * scale
-	}
 
+	// The edge-walking loop is the envelope synthesis hot path; the phase
+	// advance is inlined (no closure) and the amplitude factors are
+	// carried as locals so the per-sample work is straight-line float
+	// arithmetic.
+	fact := [2]float64{1 + ampFluct[0], 1 + ampFluct[1]}
 	t := 0.0
 	for m := 0; m < n; m++ {
 		end := t + dt
-		var acc [NumGroups]complex128
+		var accA, accB float64
 		for t < end {
-			segEnd := math.Min(end, tEdge)
-			w := complex((segEnd-t)*(1+ampFluct[phase]), 0)
-			for g := 0; g < NumGroups; g++ {
-				if out[g] != nil {
-					acc[g] += amps[g][phase] * w
-				}
+			segEnd := end
+			if tEdge < end {
+				segEnd = tEdge
+			}
+			w := (segEnd - t) * fact[phase]
+			if phase == 0 {
+				accA += w
+			} else {
+				accB += w
 			}
 			t = segEnd
 			if t >= tEdge {
-				advance()
+				phase ^= 1
+				if phase == 0 { // new full period: step the drift walk and fluctuation
+					walk += rng.NormFloat64() * jit.DriftStd
+					walk = math.Max(-maxDrift, math.Min(maxDrift, walk))
+					scale = 1 + jit.FreqOffset + walk
+					if jit.AmpNoiseStd > 0 {
+						for p := 0; p < 2; p++ {
+							ampFluct[p] = rho*ampFluct[p] + ampStep*rng.NormFloat64()
+							fact[p] = 1 + ampFluct[p]
+						}
+					}
+				}
+				tEdge += alt.HalfSeconds[phase] * scale
 			}
 		}
-		for g := 0; g < NumGroups; g++ {
-			if out[g] != nil {
-				out[g][m] = acc[g] * complex(fs, 0) // average amplitude over the sample
-			}
+		dst.A[m] = accA * fs // average envelope over the sample
+		dst.B[m] = accB * fs
+	}
+	return dst, nil
+}
+
+// SynthesizeGroups renders n complex baseband samples at rate fs for each
+// coherence group, sharing one jittered alternation timeline (the groups
+// radiate from the same loop execution). Groups with no signal at all are
+// returned as nil slices. It is a thin linear combination over the two
+// shared envelope streams (see SynthesizeEnvelopes); the measurement
+// fast path skips the per-group time-domain streams entirely and
+// combines the envelope FFTs in the frequency domain instead.
+func (r *Radiator) SynthesizeGroups(alt Alternation, fs float64, n int, jit Jitter, rng *rand.Rand) ([NumGroups][]complex128, error) {
+	var out [NumGroups][]complex128
+	if err := alt.Validate(); err != nil {
+		return out, err
+	}
+	if fs <= 0 || n <= 0 {
+		return out, fmt.Errorf("emsim: bad synthesis parameters fs=%v n=%d", fs, n)
+	}
+	amps, err := r.PhaseAmplitudes(alt, fs)
+	if err != nil {
+		return out, err
+	}
+	active := 0
+	for g := 0; g < NumGroups; g++ {
+		if amps[g][0] != 0 || amps[g][1] != 0 {
+			out[g] = make([]complex128, n)
+			active++
+		}
+	}
+	if active == 0 {
+		return out, nil
+	}
+	env, err := SynthesizeEnvelopes(alt, fs, n, jit, rng, nil)
+	if err != nil {
+		return out, err
+	}
+	for g := 0; g < NumGroups; g++ {
+		if out[g] == nil {
+			continue
+		}
+		a, b := amps[g][0], amps[g][1]
+		for m := range out[g] {
+			out[g][m] = a*complex(env.A[m], 0) + b*complex(env.B[m], 0)
 		}
 	}
 	return out, nil

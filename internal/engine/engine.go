@@ -45,16 +45,35 @@ type Spec struct {
 	Key func(row, col, rep int) string
 	// Compute produces the value of one cell. It must be deterministic
 	// in (row, col, rep) — resumability and cache correctness depend on
-	// it — and should honor ctx cancellation where it can.
+	// it — and should honor ctx cancellation where it can. Exactly one
+	// of Compute and ComputeState must be set.
 	Compute func(ctx context.Context, row, col, rep int) (float64, error)
+
+	// NewWorkerState, when non-nil, is called once per worker goroutine
+	// at the start of a Run; the value it returns is handed to every
+	// ComputeState call that worker makes. It lets cells reuse expensive
+	// per-worker scratch (buffers, plans, caches) without locking —
+	// state is never shared between workers. Requires ComputeState.
+	NewWorkerState func() any
+	// ComputeState is Compute with the worker's state threaded through.
+	// The state must never influence the computed value — it is an
+	// optimization carrier only; resumability and cache correctness
+	// still require determinism in (row, col, rep) alone.
+	ComputeState func(ctx context.Context, state any, row, col, rep int) (float64, error)
 }
 
 func (s Spec) validate() error {
 	if s.Rows <= 0 || s.Cols <= 0 || s.Reps <= 0 {
 		return fmt.Errorf("engine: bad grid %dx%dx%d", s.Rows, s.Cols, s.Reps)
 	}
-	if s.Compute == nil {
+	if s.Compute == nil && s.ComputeState == nil {
 		return fmt.Errorf("engine: nil Compute")
+	}
+	if s.Compute != nil && s.ComputeState != nil {
+		return fmt.Errorf("engine: both Compute and ComputeState set")
+	}
+	if s.NewWorkerState != nil && s.ComputeState == nil {
+		return fmt.Errorf("engine: NewWorkerState requires ComputeState")
 	}
 	return nil
 }
@@ -209,11 +228,15 @@ func (e *Engine) runCampaign(ctx context.Context, spec Spec) (*Result, error) {
 	for w := 0; w < e.opts.Parallelism; w++ {
 		go func() {
 			defer wg.Done()
+			var state any
+			if spec.NewWorkerState != nil {
+				state = spec.NewWorkerState()
+			}
 			for idx := range work {
 				if runCtx.Err() != nil {
 					continue // drain: cancellation stops new cells promptly
 				}
-				if err := r.cell(runCtx, idx); err != nil {
+				if err := r.cell(runCtx, idx, state); err != nil {
 					r.fail(err)
 					cancel()
 				}
@@ -266,7 +289,8 @@ feed:
 
 // cell completes one grid cell: cache lookup, then bounded-retry
 // compute, then accounting, eventing, and periodic checkpointing.
-func (r *run) cell(ctx context.Context, idx int) error {
+// state is the owning worker's NewWorkerState value (nil without one).
+func (r *run) cell(ctx context.Context, idx int, state any) error {
 	row, col, rep := r.unflatten(idx)
 
 	var key string
@@ -281,7 +305,7 @@ func (r *run) cell(ctx context.Context, idx int) error {
 	}
 
 	begin := time.Now()
-	v, attempts, err := r.compute(ctx, row, col, rep)
+	v, attempts, err := r.compute(ctx, state, row, col, rep)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil // cancellation, not a cell failure
@@ -300,11 +324,17 @@ func (r *run) cell(ctx context.Context, idx int) error {
 
 // compute runs the spec's compute function with bounded retry and
 // exponential, context-aware backoff.
-func (r *run) compute(ctx context.Context, row, col, rep int) (float64, int, error) {
+func (r *run) compute(ctx context.Context, state any, row, col, rep int) (float64, int, error) {
 	opts := r.eng.opts
 	backoff := opts.RetryBackoff
 	for attempt := 1; ; attempt++ {
-		v, err := r.spec.Compute(ctx, row, col, rep)
+		var v float64
+		var err error
+		if r.spec.ComputeState != nil {
+			v, err = r.spec.ComputeState(ctx, state, row, col, rep)
+		} else {
+			v, err = r.spec.Compute(ctx, row, col, rep)
+		}
 		if err == nil {
 			return v, attempt, nil
 		}

@@ -337,6 +337,78 @@ func TestSpecValidation(t *testing.T) {
 	if _, err := eng.Run(context.Background(), bad); err == nil {
 		t.Error("nil compute should fail")
 	}
+	both := testSpec(2, 2, 2)
+	both.ComputeState = func(_ context.Context, _ any, r, c, p int) (float64, error) {
+		return 0, nil
+	}
+	if _, err := eng.Run(context.Background(), both); err == nil {
+		t.Error("both Compute and ComputeState should fail")
+	}
+	orphan := testSpec(2, 2, 2)
+	orphan.NewWorkerState = func() any { return nil }
+	if _, err := eng.Run(context.Background(), orphan); err == nil {
+		t.Error("NewWorkerState without ComputeState should fail")
+	}
+}
+
+// Worker state must be created once per worker and threaded through every
+// ComputeState call that worker makes, without affecting values.
+func TestWorkerStatePerWorker(t *testing.T) {
+	type counter struct{ calls int }
+	var mu sync.Mutex
+	states := make(map[*counter]bool)
+	spec := testSpec(4, 4, 2)
+	spec.Compute = nil
+	spec.NewWorkerState = func() any {
+		s := &counter{}
+		mu.Lock()
+		states[s] = true
+		mu.Unlock()
+		return s
+	}
+	spec.ComputeState = func(_ context.Context, state any, r, c, p int) (float64, error) {
+		s := state.(*counter)
+		mu.Lock()
+		if !states[s] {
+			mu.Unlock()
+			return 0, fmt.Errorf("unknown state %p", s)
+		}
+		s.calls++
+		mu.Unlock()
+		return wantValue(r, c, p), nil
+	}
+	res, err := New(Options{Parallelism: 3}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValues(t, res, spec)
+	if len(states) == 0 || len(states) > 3 {
+		t.Errorf("created %d worker states, want 1..3", len(states))
+	}
+	total := 0
+	for s := range states {
+		total += s.calls
+	}
+	if total != 32 {
+		t.Errorf("state-threaded calls = %d, want 32", total)
+	}
+}
+
+// ComputeState without NewWorkerState is valid: state is nil.
+func TestComputeStateWithoutWorkerState(t *testing.T) {
+	spec := testSpec(2, 2, 1)
+	spec.Compute = nil
+	spec.ComputeState = func(_ context.Context, state any, r, c, p int) (float64, error) {
+		if state != nil {
+			return 0, fmt.Errorf("state = %v, want nil", state)
+		}
+		return wantValue(r, c, p), nil
+	}
+	res, err := New(Options{Parallelism: 2}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValues(t, res, spec)
 }
 
 func TestEngineCumulativeStats(t *testing.T) {

@@ -110,6 +110,13 @@ type RunOptions struct {
 	MaxCycles  uint64 // hard stop (0 = no limit)
 	MaxSamples int    // stop after this many phase samples (0 = no limit)
 	MaxSteps   uint64 // hard instruction-count stop (0 = 100M)
+	// Hier, when non-nil and built from this machine's memory
+	// configuration, is Reset and used as the run's memory hierarchy
+	// instead of allocating a fresh one — the L2 line array alone is
+	// megabytes, so repeated runs (calibration probes, campaign cells)
+	// reuse it. The run mutates the hierarchy; callers must not share one
+	// across concurrent runs. A mismatched configuration is ignored.
+	Hier *memhier.Hierarchy
 }
 
 // RunPhases executes prog on a fresh core. phaseAt maps an instruction
@@ -117,9 +124,15 @@ type RunOptions struct {
 // current phase sample is closed and a new one begins. Activity before the
 // first marker is discarded.
 func (m *Machine) RunPhases(prog []isa.Instruction, phaseAt map[int]int, opts RunOptions) (*RunResult, error) {
-	hier, err := memhier.New(m.cfg.Mem)
-	if err != nil {
-		return nil, err
+	var hier *memhier.Hierarchy
+	if opts.Hier != nil && opts.Hier.Config() == m.cfg.Mem {
+		hier = opts.Hier
+		hier.Reset()
+	} else {
+		var err error
+		if hier, err = memhier.New(m.cfg.Mem); err != nil {
+			return nil, err
+		}
 	}
 	core, err := cpu.New(m.cfg.CPU, prog, hier)
 	if err != nil {
@@ -130,17 +143,27 @@ func (m *Machine) RunPhases(prog []isa.Instruction, phaseAt map[int]int, opts Ru
 		maxSteps = 100_000_000
 	}
 
+	// The phase map is consulted on every step; a dense slice (−1 = no
+	// marker) keeps the hot loop free of map lookups.
+	size := len(prog)
+	for idx := range phaseAt {
+		if idx >= size {
+			size = idx + 1
+		}
+	}
+	lookup := make([]int32, size)
+	for i := range lookup {
+		lookup[i] = -1
+	}
+	for idx, id := range phaseAt {
+		if idx >= 0 {
+			lookup[idx] = int32(id)
+		}
+	}
+
 	res := &RunResult{CPU: core}
 	inPhase := false
 	cur := activity.PhaseSample{ID: -1}
-	close := func(at uint64) {
-		if !inPhase {
-			return
-		}
-		cur.EndCycle = at
-		cur.Activity = core.TakeActivity()
-		res.Samples = append(res.Samples, cur)
-	}
 
 	for steps := uint64(0); steps < maxSteps; steps++ {
 		if core.Halted() {
@@ -149,22 +172,28 @@ func (m *Machine) RunPhases(prog []isa.Instruction, phaseAt map[int]int, opts Ru
 		if opts.MaxCycles > 0 && core.Cycle() >= opts.MaxCycles {
 			break
 		}
-		if id, ok := phaseAt[core.PC()]; ok {
-			close(core.Cycle())
+		if pc := core.PC(); pc >= 0 && pc < len(lookup) && lookup[pc] >= 0 {
+			if inPhase {
+				cur.EndCycle = core.Cycle()
+				cur.Activity = core.TakeActivity()
+				res.Samples = append(res.Samples, cur)
+			}
 			if opts.MaxSamples > 0 && len(res.Samples) >= opts.MaxSamples {
 				inPhase = false
 				break
 			}
 			core.TakeActivity() // discard pre-phase or boundary residue
-			cur = activity.PhaseSample{ID: id, StartCycle: core.Cycle()}
+			cur = activity.PhaseSample{ID: int(lookup[pc]), StartCycle: core.Cycle()}
 			inPhase = true
 		}
 		if err := core.Step(); err != nil {
 			return nil, fmt.Errorf("machine %s: %w", m.cfg.Name, err)
 		}
 	}
-	if core.Halted() {
-		close(core.Cycle())
+	if core.Halted() && inPhase {
+		cur.EndCycle = core.Cycle()
+		cur.Activity = core.TakeActivity()
+		res.Samples = append(res.Samples, cur)
 	}
 	res.Cycles = core.Cycle()
 	res.Retired = core.Retired()

@@ -131,13 +131,18 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 		Key: func(i, j, r int) string {
 			return cellKeyMaterial(mc, cfg, events[i], events[j], opts.Seed, r)
 		},
-		Compute: func(_ context.Context, i, j, r int) (float64, error) {
+		// Each engine worker owns one MeasureScratch, so steady-state
+		// cells reuse sample buffers, FFT plans, and per-pair alternation
+		// results without locking. The scratch never influences values:
+		// cells remain exactly equal to MeasurePair for the same seed.
+		NewWorkerState: func() any { return NewMeasureScratch() },
+		ComputeState: func(_ context.Context, state any, i, j, r int) (float64, error) {
 			k, err := kernelFor(i, j)
 			if err != nil {
 				return 0, fmt.Errorf("savat: cell %v/%v: %w", events[i], events[j], err)
 			}
 			rng := rand.New(rand.NewSource(cellSeed(opts.Seed, int(events[i]), int(events[j]), r)))
-			m, err := MeasureKernel(mc, k, cfg, rng)
+			m, err := MeasureKernelScratch(mc, k, cfg, rng, state.(*MeasureScratch))
 			if err != nil {
 				return 0, fmt.Errorf("savat: cell %v/%v rep %d: %w", events[i], events[j], r, err)
 			}
@@ -253,9 +258,10 @@ func MeasurePair(mc machine.Config, a, b Event, cfg Config, repeats int, seed in
 		return nil, stats.Summary{}, err
 	}
 	vals := make([]float64, repeats)
+	scratch := NewMeasureScratch() // one scratch across repetitions, like a campaign worker
 	for r := range vals {
 		rng := rand.New(rand.NewSource(cellSeed(seed, int(a), int(b), r)))
-		m, err := MeasureKernel(mc, k, cfg, rng)
+		m, err := MeasureKernelScratch(mc, k, cfg, rng, scratch)
 		if err != nil {
 			return nil, stats.Summary{}, err
 		}

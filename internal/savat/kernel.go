@@ -7,6 +7,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/memhier"
 )
 
 // Register allocation of the alternation kernel (Figure 4 of the paper,
@@ -251,14 +252,19 @@ func BuildKernelStride(mc machine.Config, a, b Event, frequency float64, stride 
 
 	// Fixed-point calibration: run a trial kernel, measure the achieved
 	// period, rescale the loop count. Two rounds converge because the
-	// per-iteration cost is nearly independent of the count.
+	// per-iteration cost is nearly independent of the count. The probe
+	// runs share one memory hierarchy (reset between runs).
+	hier, err := memhier.New(mc.Mem)
+	if err != nil {
+		return nil, err
+	}
 	loopCount := 256
 	for round := 0; round < 2; round++ {
 		k, err := assemble(mc, a, b, frequency, loopCount, stride)
 		if err != nil {
 			return nil, err
 		}
-		period, err := k.measurePeriodCycles(mc)
+		period, err := k.measurePeriodCycles(mc, hier)
 		if err != nil {
 			return nil, err
 		}
@@ -309,7 +315,7 @@ func memArrayBytes(e Event, mc machine.Config) int {
 
 // measurePeriodCycles runs a few alternations and returns the mean number
 // of core cycles per full A/B period, skipping cache warm-up.
-func (k *Kernel) measurePeriodCycles(mc machine.Config) (float64, error) {
+func (k *Kernel) measurePeriodCycles(mc machine.Config, hier *memhier.Hierarchy) (float64, error) {
 	m, err := machine.New(mc)
 	if err != nil {
 		return 0, err
@@ -317,6 +323,7 @@ func (k *Kernel) measurePeriodCycles(mc machine.Config) (float64, error) {
 	const periods = 5
 	res, err := m.RunPhases(k.Program, k.PhaseAt, machine.RunOptions{
 		MaxSamples: 2 * (periods + 2),
+		Hier:       hier,
 	})
 	if err != nil {
 		return 0, err
@@ -334,6 +341,13 @@ func (k *Kernel) measurePeriodCycles(mc machine.Config) (float64, error) {
 // reach steady state and returns the per-phase activity rates and
 // durations, ready for EM synthesis.
 func (k *Kernel) Alternation(mc machine.Config, warmupPeriods, measurePeriods int) (*AlternationResult, error) {
+	return k.alternationHier(mc, warmupPeriods, measurePeriods, nil)
+}
+
+// alternationHier is Alternation with an optional reusable memory
+// hierarchy (see machine.RunOptions.Hier); the measurement scratch
+// threads its per-worker hierarchy through here.
+func (k *Kernel) alternationHier(mc machine.Config, warmupPeriods, measurePeriods int, hier *memhier.Hierarchy) (*AlternationResult, error) {
 	if warmupPeriods < 0 || measurePeriods <= 0 {
 		return nil, fmt.Errorf("savat: bad period counts warmup=%d measure=%d", warmupPeriods, measurePeriods)
 	}
@@ -343,6 +357,7 @@ func (k *Kernel) Alternation(mc machine.Config, warmupPeriods, measurePeriods in
 	}
 	res, err := m.RunPhases(k.Program, k.PhaseAt, machine.RunOptions{
 		MaxSamples: 2 * (warmupPeriods + measurePeriods + 1),
+		Hier:       hier,
 	})
 	if err != nil {
 		return nil, err

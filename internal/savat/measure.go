@@ -120,8 +120,20 @@ func Measure(mc machine.Config, a, b Event, cfg Config, rng *rand.Rand) (*Measur
 }
 
 // MeasureKernel measures a prebuilt kernel (avoids re-calibrating the loop
-// count across campaign repetitions).
+// count across campaign repetitions). It runs the shared-envelope fast
+// path on a private scratch; campaign workers reuse one scratch across
+// cells via MeasureKernelScratch instead.
 func MeasureKernel(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand) (*Measurement, error) {
+	return MeasureKernelScratch(mc, k, cfg, rng, nil)
+}
+
+// MeasureKernelReference is the direct-rendering measurement pipeline:
+// every coherence group synthesized in the time domain and analyzed
+// with its own Welch pass. It consumes the same rng draws and computes
+// the same quantity as the fast path — equivalence tests hold the two
+// within 1e-9 relative — and remains the readable specification of the
+// pipeline as well as the ablations' entry point.
+func MeasureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand) (*Measurement, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

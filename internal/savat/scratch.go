@@ -1,0 +1,190 @@
+package savat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/activity"
+	"repro/internal/emsim"
+	"repro/internal/machine"
+	"repro/internal/memhier"
+	"repro/internal/specan"
+)
+
+// altKey identifies one deterministic alternation simulation: the
+// kernel (by identity — campaigns build one kernel per pair and share
+// it across repetitions), the machine, and the period counts.
+type altKey struct {
+	k          *Kernel
+	mc         machine.Config
+	warm, meas int
+}
+
+// MeasureScratch holds every reusable buffer of the measurement fast
+// path: the shared envelope streams, the noise capture, the spectrum
+// analyzer's working set, the radiator value, and a cache of
+// cycle-accurate alternation results (the simulation is rng-free, so
+// one result serves every repetition of a pair). A warmed scratch makes
+// MeasureKernelScratch allocate no sample-sized buffers at all.
+//
+// A MeasureScratch is NOT safe for concurrent use; the campaign engine
+// gives each worker its own.
+type MeasureScratch struct {
+	env    emsim.Envelopes
+	noise  []complex128
+	coeffs [][2]complex128
+	rad    emsim.Radiator
+	specan *specan.Scratch
+	alts   map[altKey]*AlternationResult
+	hiers  map[memhier.Config]*memhier.Hierarchy
+
+	analyzer    *specan.Analyzer
+	analyzerCfg specan.Config
+}
+
+// NewMeasureScratch returns an empty scratch; buffers are sized on
+// first use.
+func NewMeasureScratch() *MeasureScratch {
+	return &MeasureScratch{
+		specan: specan.NewScratch(),
+		alts:   make(map[altKey]*AlternationResult),
+		hiers:  make(map[memhier.Config]*memhier.Hierarchy),
+	}
+}
+
+func resizeComplex(s []complex128, n int) []complex128 {
+	if cap(s) < n {
+		return make([]complex128, n)
+	}
+	return s[:n]
+}
+
+// alternation returns the cached steady-state alternation of (k, mc),
+// simulating it on first need. Alternation is deterministic — it
+// consumes no rng — so caching cannot change any measured value.
+func (s *MeasureScratch) alternation(mc machine.Config, k *Kernel, cfg Config) (*AlternationResult, error) {
+	key := altKey{k: k, mc: mc, warm: cfg.WarmupPeriods, meas: cfg.MeasurePeriods}
+	if alt, ok := s.alts[key]; ok {
+		return alt, nil
+	}
+	hier, ok := s.hiers[mc.Mem]
+	if !ok {
+		var err error
+		if hier, err = memhier.New(mc.Mem); err != nil {
+			return nil, err
+		}
+		s.hiers[mc.Mem] = hier
+	}
+	alt, err := k.alternationHier(mc, cfg.WarmupPeriods, cfg.MeasurePeriods, hier)
+	if err != nil {
+		return nil, err
+	}
+	s.alts[key] = alt
+	return alt, nil
+}
+
+// MeasureKernelScratch is MeasureKernel with an explicit scratch: the
+// same pipeline and the same rng draw sequence, but the per-group
+// time-domain synthesis and per-stream Welch passes are replaced by the
+// shared-envelope fast path (emsim.SynthesizeEnvelopes +
+// specan.AnalyzeEnvelopes), and every sample-sized buffer lives in the
+// scratch. Values match the reference pipeline within rounding (the
+// equivalence tests bound the relative difference by 1e-9).
+//
+// The returned Measurement's Trace aliases the scratch and is valid
+// until the scratch's next measurement; callers that keep traces must
+// use distinct scratches (or MeasureKernel, which uses a fresh one).
+// A nil scratch is allowed and behaves like MeasureKernel.
+func MeasureKernelScratch(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch) (*Measurement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("savat: nil rng")
+	}
+	if s == nil {
+		s = NewMeasureScratch()
+	}
+
+	// 1. Cycle-accurate steady-state activity of the alternation loop.
+	alt, err := s.alternation(mc, k, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Radiate: per-component coupling at the measurement distance with
+	// campaign-specific spatial phases. Only the two shared envelope
+	// streams are rendered; each group is carried as its pair of complex
+	// phase amplitudes.
+	if err := s.rad.Init(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, rng); err != nil {
+		return nil, err
+	}
+	spec := emsim.Alternation{
+		Rates:       [2]activity.Vector{alt.PhaseStats[0].MeanRates, alt.PhaseStats[1].MeanRates},
+		HalfSeconds: alt.HalfSeconds,
+	}
+	n := int(cfg.Duration * cfg.SampleRate)
+	jit := cfg.Jitter
+	if jit.AmpNoiseStd == 0 {
+		jit.AmpNoiseStd = mc.AmplitudeNoiseStd
+	}
+	amps, err := s.rad.PhaseAmplitudes(spec, cfg.SampleRate)
+	if err != nil {
+		return nil, err
+	}
+	coeffs := s.coeffs[:0]
+	for g := 0; g < emsim.NumGroups; g++ {
+		if amps[g][0] != 0 || amps[g][1] != 0 {
+			coeffs = append(coeffs, amps[g])
+		}
+	}
+	s.coeffs = coeffs
+	var envA, envB []float64
+	if len(coeffs) > 0 {
+		// Guarded exactly like SynthesizeGroups' active check, so a fully
+		// silent kernel consumes no timeline draws and the downstream
+		// noise realization matches the reference pipeline.
+		if _, err := emsim.SynthesizeEnvelopes(spec, cfg.SampleRate, n, jit, rng, &s.env); err != nil {
+			return nil, err
+		}
+		envA, envB = s.env.A, s.env.B
+	}
+
+	// 3. Environment noise, as one more incoherent contribution. Render
+	// overwrites the buffer, so the previous cell's capture needs no clear.
+	s.noise = resizeComplex(s.noise, n)
+	if err := cfg.Environment.Render(s.noise, cfg.SampleRate, rng); err != nil {
+		return nil, err
+	}
+
+	// 4. Spectrum analysis and band power around the intended frequency.
+	// Group signals and noise are mutually incoherent: powers add, which
+	// is exactly what the frequency-domain group combination computes.
+	if s.analyzer == nil || s.analyzerCfg != cfg.Analyzer {
+		an, err := specan.New(cfg.Analyzer)
+		if err != nil {
+			return nil, err
+		}
+		s.analyzer, s.analyzerCfg = an, cfg.Analyzer
+	}
+	tr, err := s.analyzer.AnalyzeEnvelopes(envA, envB, coeffs, s.noise, cfg.SampleRate, s.specan)
+	if err != nil {
+		return nil, err
+	}
+	p, err := tr.BandPower(cfg.Frequency, cfg.BandHalfWidth)
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Energy per A/B instruction pair.
+	pairs := alt.PairsPerSecond()
+	return &Measurement{
+		A: k.A, B: k.B,
+		SAVAT:           p / pairs,
+		BandPower:       p,
+		PairsPerSecond:  pairs,
+		LoopCount:       k.LoopCount,
+		ActualFrequency: alt.ActualFrequency(),
+		Trace:           tr,
+	}, nil
+}

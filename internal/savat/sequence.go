@@ -8,6 +8,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/memhier"
 )
 
 // This file implements the paper's Section III extension from single
@@ -118,13 +119,17 @@ func BuildSequenceKernel(mc machine.Config, a, b Sequence, frequency float64) (*
 	if mc.ClockHz/frequency < 100 {
 		return nil, fmt.Errorf("savat: alternation frequency %g too high for a %g Hz clock", frequency, mc.ClockHz)
 	}
+	hier, err := memhier.New(mc.Mem)
+	if err != nil {
+		return nil, err
+	}
 	loopCount := 256
 	for round := 0; round < 2; round++ {
 		k, err := assembleSequence(mc, a, b, frequency, loopCount)
 		if err != nil {
 			return nil, err
 		}
-		period, err := k.measurePeriodCycles(mc)
+		period, err := k.measurePeriodCycles(mc, hier)
 		if err != nil {
 			return nil, err
 		}

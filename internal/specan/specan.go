@@ -84,17 +84,45 @@ func (a *Analyzer) Analyze(x []complex128, fs float64) (*Trace, error) {
 	return a.AnalyzeIncoherent([][]complex128{x}, fs)
 }
 
+// segmentFor picks the Welch segment length for an n-sample capture:
+// the largest power of two that fits the capture, shortened when a
+// shorter segment meets (or comes closest to) the requested RBW. It
+// returns the chosen length together with the window's ENBW at that
+// length, computed once — the ENBW only needs refreshing when the
+// RBW request actually shortens the segment.
+func (a *Analyzer) segmentFor(n int, fs float64) (seg int, enbw float64, err error) {
+	maxSeg := 1
+	for maxSeg*2 <= n {
+		maxSeg *= 2
+	}
+	enbw, err = a.cfg.Window.ENBW(maxSeg)
+	if err != nil {
+		return 0, 0, err
+	}
+	seg = maxSeg
+	if need := dsp.NextPow2(int(enbw * fs / a.cfg.RBW)); need < seg {
+		seg = need
+		if enbw, err = a.cfg.Window.ENBW(seg); err != nil {
+			return 0, 0, err
+		}
+	}
+	return seg, enbw, nil
+}
+
+// ErrNoCaptures is returned when an incoherent analysis is given no
+// non-nil capture at all.
+var ErrNoCaptures = fmt.Errorf("specan: no captures")
+
 // AnalyzeIncoherent records the spectrum of several mutually-incoherent
 // captures of equal length — signals whose spatial field structure differs
 // so that their powers, not their amplitudes, add at the detector (see
 // internal/emsim). The displayed PSD is the sum of the per-capture PSDs,
 // with the sensitivity floor applied once to the sum. Nil captures are
-// skipped.
+// skipped; if every capture is nil the call fails with ErrNoCaptures.
 func (a *Analyzer) AnalyzeIncoherent(xs [][]complex128, fs float64) (*Trace, error) {
 	if fs <= 0 {
 		return nil, fmt.Errorf("specan: sample rate %g", fs)
 	}
-	var x []complex128
 	n := -1
 	for _, s := range xs {
 		if s == nil {
@@ -104,41 +132,41 @@ func (a *Analyzer) AnalyzeIncoherent(xs [][]complex128, fs float64) (*Trace, err
 			return nil, fmt.Errorf("specan: capture length mismatch %d vs %d", len(s), n)
 		}
 		n = len(s)
-		x = s
+	}
+	if n < 0 {
+		return nil, ErrNoCaptures
 	}
 	if n < 2 {
 		return nil, fmt.Errorf("specan: capture of %d samples too short", n)
 	}
-	maxSeg := 1
-	for maxSeg*2 <= len(x) {
-		maxSeg *= 2
-	}
-	enbw, err := a.cfg.Window.ENBW(maxSeg)
+	seg, enbw, err := a.segmentFor(n, fs)
 	if err != nil {
 		return nil, err
 	}
-	// Segment length needed for the requested RBW.
-	need := dsp.NextPow2(int(enbw * fs / a.cfg.RBW))
-	seg := maxSeg
-	if need < seg {
-		seg = need
+	ws, err := dsp.NewWelchScratch(seg, a.cfg.Window)
+	if err != nil {
+		return nil, err
 	}
 	sum := make([]float64, seg)
+	tmp := make([]float64, seg)
+	first := true
 	for _, s := range xs {
 		if s == nil {
 			continue
 		}
-		spec, err := dsp.Welch(s, fs, seg, a.cfg.Window)
-		if err != nil {
+		if first {
+			if err := ws.WelchInto(sum, s, fs); err != nil {
+				return nil, err
+			}
+			first = false
+			continue
+		}
+		if err := ws.WelchInto(tmp, s, fs); err != nil {
 			return nil, err
 		}
-		for i, v := range spec.PSD {
+		for i, v := range tmp {
 			sum[i] += v
 		}
-	}
-	enbw, err = a.cfg.Window.ENBW(seg)
-	if err != nil {
-		return nil, err
 	}
 	tr := &Trace{
 		Spectrum:  &dsp.Spectrum{PSD: sum, SampleRate: fs},
@@ -152,6 +180,150 @@ func (a *Analyzer) AnalyzeIncoherent(xs [][]complex128, fs float64) (*Trace, err
 		}
 	}
 	return tr, nil
+}
+
+// Scratch holds the reusable working set of AnalyzeEnvelopes — the
+// Welch scratch and the per-bin accumulators — so steady-state
+// measurement cells allocate no sample-sized buffers. A Scratch adapts
+// itself to whatever segment length and window a call needs (rebuilding
+// is the only allocating path) and is NOT safe for concurrent use.
+type Scratch struct {
+	welch    *dsp.WelchScratch
+	pa, pb   []float64
+	cross    []complex128
+	noisePSD []float64
+	sum      []float64
+	trace    Trace
+	spectrum dsp.Spectrum
+}
+
+// NewScratch returns an empty scratch; buffers are sized on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (s *Scratch) prepare(seg int, win dsp.Window) error {
+	if s.welch == nil || s.welch.SegLen() != seg || s.welch.Window() != win {
+		ws, err := dsp.NewWelchScratch(seg, win)
+		if err != nil {
+			return err
+		}
+		s.welch = ws
+	}
+	if cap(s.pa) < seg {
+		s.pa = make([]float64, seg)
+		s.pb = make([]float64, seg)
+		s.cross = make([]complex128, seg)
+		s.noisePSD = make([]float64, seg)
+		s.sum = make([]float64, seg)
+	}
+	s.pa, s.pb = s.pa[:seg], s.pb[:seg]
+	s.cross = s.cross[:seg]
+	s.noisePSD = s.noisePSD[:seg]
+	s.sum = s.sum[:seg]
+	return nil
+}
+
+// AnalyzeEnvelopes records the summed incoherent spectrum of a family
+// of streams that are all linear combinations of the same two REAL
+// envelope streams — stream g is coeffs[g][0]·envA + coeffs[g][1]·envB
+// — plus one optional extra complex capture (the noise stream; nil to
+// omit). No group stream is ever rendered: by Welch linearity the
+// per-bin group-sum PSD is
+//
+//	CA·|WA|² + CB·|WB|² + 2·Re(CX·WA·conj(WB))
+//
+// with CA = Σ|a_g|², CB = Σ|b_g|², CX = Σ a_g·conj(b_g), so the whole
+// family costs one packed envelope FFT pass plus one noise pass instead
+// of one full Welch pass per stream. The result equals
+// AnalyzeIncoherent over the rendered streams up to rounding.
+//
+// The returned Trace aliases the scratch's buffers: it is valid until
+// the scratch's next Analyze call. Pass a nil scratch to allocate a
+// private one (and a fresh, unaliased Trace).
+func (a *Analyzer) AnalyzeEnvelopes(envA, envB []float64, coeffs [][2]complex128, extra []complex128, fs float64, s *Scratch) (*Trace, error) {
+	if fs <= 0 {
+		return nil, fmt.Errorf("specan: sample rate %g", fs)
+	}
+	if len(envA) != len(envB) {
+		return nil, fmt.Errorf("specan: envelope length mismatch %d vs %d", len(envA), len(envB))
+	}
+	n := -1
+	if len(coeffs) > 0 {
+		n = len(envA)
+	}
+	if extra != nil {
+		if n >= 0 && len(extra) != n {
+			return nil, fmt.Errorf("specan: capture length mismatch %d vs %d", len(extra), n)
+		}
+		n = len(extra)
+	}
+	if n < 0 {
+		return nil, ErrNoCaptures
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("specan: capture of %d samples too short", n)
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	seg, enbw, err := a.segmentFor(n, fs)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.prepare(seg, a.cfg.Window); err != nil {
+		return nil, err
+	}
+
+	if len(coeffs) > 0 {
+		if err := s.welch.WelchPairInto(s.pa, s.pb, s.cross, envA, envB, fs); err != nil {
+			return nil, err
+		}
+		var ca, cb float64
+		var cx complex128
+		for _, c := range coeffs {
+			a0, b0 := c[0], c[1]
+			ca += real(a0)*real(a0) + imag(a0)*imag(a0)
+			cb += real(b0)*real(b0) + imag(b0)*imag(b0)
+			cx += a0 * complex(real(b0), -imag(b0))
+		}
+		for k := range s.sum {
+			x := s.cross[k]
+			s.sum[k] = ca*s.pa[k] + cb*s.pb[k] +
+				2*(real(cx)*real(x)-imag(cx)*imag(x))
+		}
+	} else {
+		for k := range s.sum {
+			s.sum[k] = 0
+		}
+	}
+	// The sensitivity floor applies to the summed display, so it rides
+	// the final accumulation pass instead of a sweep of its own.
+	floor := a.cfg.FloorPSD
+	if extra != nil {
+		if err := s.welch.WelchInto(s.noisePSD, extra, fs); err != nil {
+			return nil, err
+		}
+		for k, v := range s.noisePSD {
+			t := s.sum[k] + v
+			if t < floor {
+				t = floor
+			}
+			s.sum[k] = t
+		}
+	} else {
+		for k, v := range s.sum {
+			if v < floor {
+				s.sum[k] = floor
+			}
+		}
+	}
+
+	s.spectrum = dsp.Spectrum{PSD: s.sum, SampleRate: fs}
+	s.trace = Trace{
+		Spectrum:  &s.spectrum,
+		ActualRBW: enbw * fs / float64(seg),
+		FloorPSD:  a.cfg.FloorPSD,
+	}
+	return &s.trace, nil
 }
 
 // BandPower integrates the displayed PSD over center ± halfSpan Hz and
