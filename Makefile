@@ -1,6 +1,17 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test bench verify
+# Package:target pairs for every native fuzz target in the tree; each
+# -fuzz invocation must match exactly one target.
+FUZZ_TARGETS := \
+	./internal/dsp:FuzzPlanForwardVsNaiveDFT \
+	./internal/dsp:FuzzWelchPairVsSingle \
+	./internal/isa:FuzzDecodeEncodeRoundTrip \
+	./internal/isa:FuzzEncodeDecodeInstruction \
+	./internal/engine:FuzzLoadCheckpoint \
+	./internal/engine:FuzzCacheDiskEntry
+
+.PHONY: build test bench verify fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -19,3 +30,12 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench BenchmarkFig09MatrixCore2Duo10cm -benchtime=1x .
+
+# Short coverage-guided run of every fuzz target (FUZZTIME each); the
+# committed seed corpora additionally run as plain unit tests in `test`.
+fuzz-smoke:
+	@set -e; for spec in $(FUZZ_TARGETS); do \
+		pkg=$${spec%%:*}; target=$${spec##*:}; \
+		echo "fuzz $$pkg $$target"; \
+		$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME); \
+	done

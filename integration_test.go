@@ -10,6 +10,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/attack"
 	"repro/internal/cluster"
+	"repro/internal/conform"
 	"repro/internal/cpu"
 	"repro/internal/machine"
 	"repro/internal/memhier"
@@ -96,13 +97,18 @@ func TestIntegrationFigure9Orderings(t *testing.T) {
 			[2]float64{m.MustAt(savat.ADD, savat.DIV), m.MustAt(savat.ADD, savat.ADD)}},
 	}
 	for _, c := range checks {
-		if !c.holds {
-			t.Errorf("%s violated: %.3g vs %.3g zJ", c.name, c.detail[0]*1e21, c.detail[1]*1e21)
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if !c.holds {
+				t.Errorf("violated: %.3g vs %.3g zJ", c.detail[0]*1e21, c.detail[1]*1e21)
+			}
+		})
+	}
+	t.Run("repeatability", func(t *testing.T) {
+		if r := res.MeanRelStdDev(); r > 0.20 {
+			t.Errorf("σ/mean = %.3f, paper reports ≈0.05", r)
 		}
-	}
-	if r := res.MeanRelStdDev(); r > 0.20 {
-		t.Errorf("repeatability σ/mean = %.3f, paper reports ≈0.05", r)
-	}
+	})
 }
 
 // The distance story end to end: measured 10/50 cm ratios follow the
@@ -132,12 +138,22 @@ func TestIntegrationDistanceTransition(t *testing.T) {
 // Clustering a measured (not published) matrix recovers the paper groups —
 // the pipeline and the analysis agree end to end.
 func TestIntegrationMeasuredMatrixClusters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 11×11 fast-path campaign takes ~1.5 s")
+	}
 	mc := machine.Core2Duo()
 	cfg := savat.FastConfig()
 	res, err := savat.RunCampaign(mc, cfg, savat.CampaignOptions{Repeats: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Run("invariants", func(t *testing.T) {
+		// The measured matrix must satisfy the conformance property suite
+		// before any clustering of it is meaningful.
+		if rep := conform.VerifyMatrix("measured", res.Mean, conform.DefaultMatrixTolerances()); !rep.Ok() {
+			t.Error(rep.String())
+		}
+	})
 	d, err := cluster.Cluster(res.Mean)
 	if err != nil {
 		t.Fatal(err)
@@ -156,27 +172,31 @@ func TestIntegrationMeasuredMatrixClusters(t *testing.T) {
 		}
 		return -1
 	}
-	if find(savat.LDM) != find(savat.STM) {
-		t.Error("LDM and STM should share a group")
-	}
-	if find(savat.LDL2) != find(savat.STL2) {
-		t.Error("LDL2 and STL2 should share a group")
-	}
-	if find(savat.ADD) != find(savat.MUL) || find(savat.ADD) != find(savat.LDL1) {
-		t.Error("arithmetic and L1 hits should share a group")
-	}
-	if find(savat.LDM) == find(savat.ADD) || find(savat.LDL2) == find(savat.ADD) {
-		t.Error("off-chip and L2 must separate from arithmetic")
-	}
-	// Shape agreement with the published matrix on the same protocol.
-	paper := paperdata.Experiments()[0].Matrix()
-	rho, err := stats.SpearmanRank(res.Mean.Flat(), paper.Flat())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rho < 0.85 {
-		t.Errorf("Spearman vs published Figure 9 = %.3f, want ≥ 0.85", rho)
-	}
+	t.Run("paper groups", func(t *testing.T) {
+		if find(savat.LDM) != find(savat.STM) {
+			t.Error("LDM and STM should share a group")
+		}
+		if find(savat.LDL2) != find(savat.STL2) {
+			t.Error("LDL2 and STL2 should share a group")
+		}
+		if find(savat.ADD) != find(savat.MUL) || find(savat.ADD) != find(savat.LDL1) {
+			t.Error("arithmetic and L1 hits should share a group")
+		}
+		if find(savat.LDM) == find(savat.ADD) || find(savat.LDL2) == find(savat.ADD) {
+			t.Error("off-chip and L2 must separate from arithmetic")
+		}
+	})
+	t.Run("spearman vs published", func(t *testing.T) {
+		// Shape agreement with the published matrix on the same protocol.
+		paper := paperdata.Experiments()[0].Matrix()
+		rho, err := stats.SpearmanRank(res.Mean.Flat(), paper.Flat())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rho < 0.85 {
+			t.Errorf("Spearman vs published Figure 9 = %.3f, want ≥ 0.85", rho)
+		}
+	})
 }
 
 // Assembly source → assembler → machine: the same program the tools run.

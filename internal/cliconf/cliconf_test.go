@@ -33,10 +33,17 @@ func TestSentinelErrors(t *testing.T) {
 		want error
 	}{
 		{[]string{"-machine", "Cray1"}, ErrUnknownMachine},
+		{[]string{"-machine", "core2duo"}, ErrUnknownMachine}, // names are case-sensitive
+		{[]string{"-machine", ""}, ErrUnknownMachine},
 		{[]string{"-distance", "0"}, ErrBadDistance},
 		{[]string{"-distance", "-0.5"}, ErrBadDistance},
 		{[]string{"-freq", "0"}, ErrBadFrequency},
+		{[]string{"-freq", "-80e3"}, ErrBadFrequency},
 		{[]string{"-repeats", "0"}, ErrBadRepeats},
+		{[]string{"-repeats", "-3"}, ErrBadRepeats},
+		// The first problem wins when several flags are bad.
+		{[]string{"-machine", "Cray1", "-distance", "0"}, ErrUnknownMachine},
+		{[]string{"-distance", "0", "-repeats", "0"}, ErrBadDistance},
 	}
 	for _, c := range cases {
 		f := parse(t, All, c.args...)

@@ -1,0 +1,123 @@
+// Package conform is the repository's standing correctness layer: a
+// reusable verification subsystem that any test, CLI tool, or CI job
+// can invoke against measured SAVAT data.
+//
+// The SAVAT methodology only works because the measured matrices obey
+// physical invariants (paper §II–III): same/same pairs sit at the noise
+// floor, A/B energy is symmetric in the pair, signal energy falls off
+// with distance, the alternation period is linear in inst_loop_count,
+// and per-pair energy does not depend on where a pair sits in a
+// campaign. The package verifies those invariants four ways:
+//
+//   - a metamorphic/property suite over measured matrices and the live
+//     pipeline (matrix.go, pipeline.go);
+//   - golden-vector regression against committed reference values with
+//     explicit tolerances (golden.go);
+//   - a randomized differential harness sweeping generated measurement
+//     specs through the fast path and savat.MeasureKernelReference
+//     (differential.go);
+//   - native fuzz targets for the parsing/numeric attack surface, which
+//     live with their packages (internal/dsp, internal/isa,
+//     internal/engine) and share this package's philosophy.
+//
+// Every check produces a Check inside a Report, so callers get a
+// uniform pass/fail record with the measured figure and the bound it
+// was tested against — suitable for t.Error, CI logs, or a CLI exit
+// status.
+package conform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check is the outcome of one verified invariant.
+type Check struct {
+	// Name identifies the invariant, e.g. "symmetry/swap-asymmetry".
+	Name string
+	// Pass reports whether the invariant held.
+	Pass bool
+	// Value is the measured figure the invariant was evaluated on.
+	Value float64
+	// Bound is the tolerance or threshold Value was tested against.
+	Bound float64
+	// Detail carries a human-readable elaboration (the offending cell,
+	// the comparison direction, …).
+	Detail string
+}
+
+func (c Check) String() string {
+	status := "ok  "
+	if !c.Pass {
+		status = "FAIL"
+	}
+	s := fmt.Sprintf("%s %-40s value=%.6g bound=%.6g", status, c.Name, c.Value, c.Bound)
+	if c.Detail != "" {
+		s += " — " + c.Detail
+	}
+	return s
+}
+
+// Report collects the checks of one verification run.
+type Report struct {
+	Checks []Check
+}
+
+// Add appends a check.
+func (r *Report) Add(c Check) { r.Checks = append(r.Checks, c) }
+
+// addBound appends a pass/fail check for value ≤ bound.
+func (r *Report) addBound(name string, value, bound float64, detail string) {
+	r.Add(Check{Name: name, Pass: value <= bound, Value: value, Bound: bound, Detail: detail})
+}
+
+// Merge appends every check of other.
+func (r *Report) Merge(other *Report) {
+	r.Checks = append(r.Checks, other.Checks...)
+}
+
+// Ok reports whether every check passed.
+func (r *Report) Ok() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the checks that did not pass.
+func (r *Report) Failures() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Err returns nil when every check passed, and otherwise an error
+// naming the failed checks — the shape CI jobs and CLIs want.
+func (r *Report) Err() error {
+	fails := r.Failures()
+	if len(fails) == 0 {
+		return nil
+	}
+	names := make([]string, len(fails))
+	for i, c := range fails {
+		names[i] = c.Name
+	}
+	return fmt.Errorf("conform: %d/%d checks failed: %s",
+		len(fails), len(r.Checks), strings.Join(names, ", "))
+}
+
+// String renders every check, one per line.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, c := range r.Checks {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

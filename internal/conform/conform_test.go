@@ -1,0 +1,170 @@
+package conform
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/savat"
+)
+
+func TestReportBasics(t *testing.T) {
+	r := &Report{}
+	if !r.Ok() {
+		t.Fatal("empty report should be ok")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("empty report Err: %v", err)
+	}
+	r.addBound("a", 1.0, 2.0, "within")
+	r.addBound("b", 3.0, 2.0, "over")
+	if r.Ok() {
+		t.Fatal("report with a failed check should not be ok")
+	}
+	fails := r.Failures()
+	if len(fails) != 1 || fails[0].Name != "b" {
+		t.Fatalf("failures = %+v, want only b", fails)
+	}
+	err := r.Err()
+	if err == nil || !strings.Contains(err.Error(), "1/2 checks failed") || !strings.Contains(err.Error(), "b") {
+		t.Fatalf("Err = %v", err)
+	}
+	if s := r.String(); !strings.Contains(s, "FAIL") || !strings.Contains(s, "ok") {
+		t.Fatalf("String missing statuses:\n%s", s)
+	}
+
+	other := &Report{}
+	other.Add(Check{Name: "c", Pass: true})
+	r.Merge(other)
+	if len(r.Checks) != 3 {
+		t.Fatalf("after merge: %d checks", len(r.Checks))
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{1, 2, 0.5},
+		{-1, 1, 2},
+		{2, 1, 0.5},
+	}
+	for _, c := range cases {
+		if got := relDiff(c.a, c.b); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("relDiff(%g, %g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRelSpread(t *testing.T) {
+	if got := relSpread(nil); got != 0 {
+		t.Errorf("relSpread(nil) = %g", got)
+	}
+	if got := relSpread([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("constant spread = %g", got)
+	}
+	if got := relSpread([]float64{1, 3}); math.Abs(got-1) > 1e-15 {
+		t.Errorf("relSpread(1,3) = %g, want 1", got)
+	}
+}
+
+// synthMatrix builds a healthy n-event matrix: diagonal at the noise
+// floor, symmetric off-diagonal values growing with index distance.
+func synthMatrix(n int) *savat.Matrix {
+	m := savat.NewMatrix(savat.Events()[:n])
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				m.Vals[i][j] = 1
+				continue
+			}
+			d := float64(i - j)
+			m.Vals[i][j] = 2 + d*d
+		}
+	}
+	return m
+}
+
+func TestVerifyMatrixHealthy(t *testing.T) {
+	r := VerifyMatrix("synth", synthMatrix(5), DefaultMatrixTolerances())
+	if !r.Ok() {
+		t.Fatalf("healthy synthetic matrix failed:\n%s", r)
+	}
+}
+
+func TestVerifyMatrixCatchesNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), -1} {
+		m := synthMatrix(5)
+		m.Vals[1][2] = bad
+		r := VerifyMatrix("synth", m, DefaultMatrixTolerances())
+		if r.Ok() {
+			t.Errorf("matrix with cell %g passed", bad)
+		}
+	}
+}
+
+func TestVerifyMatrixCatchesDiagonalViolation(t *testing.T) {
+	m := synthMatrix(5)
+	m.Vals[1][3] = 0.2 // off-diagonal well below the diagonal noise floor
+	r := VerifyMatrix("synth", m, DefaultMatrixTolerances())
+	if r.Ok() {
+		t.Fatalf("diagonal violation passed:\n%s", r)
+	}
+}
+
+func TestVerifyMatrixCatchesAsymmetry(t *testing.T) {
+	m := synthMatrix(5)
+	for i := range m.Vals {
+		for j := range m.Vals[i] {
+			if j > i {
+				m.Vals[i][j] *= 3 // upper triangle 3× the lower
+			}
+		}
+	}
+	r := VerifyMatrix("synth", m, DefaultMatrixTolerances())
+	if r.Ok() {
+		t.Fatalf("asymmetric matrix passed:\n%s", r)
+	}
+}
+
+func TestVerifyDistanceDecaySynthetic(t *testing.T) {
+	near, far := synthMatrix(4), synthMatrix(4)
+	for i := range far.Vals {
+		for j := range far.Vals[i] {
+			far.Vals[i][j] *= 0.2
+		}
+	}
+	r, err := VerifyDistanceDecay([]float64{0.1, 1.0}, []*savat.Matrix{near, far}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ok() {
+		t.Fatalf("decaying matrices failed:\n%s", r)
+	}
+
+	// A cell that grows with distance must be flagged.
+	far.Vals[2][3] = near.Vals[2][3] * 2
+	r, err = VerifyDistanceDecay([]float64{0.1, 1.0}, []*savat.Matrix{near, far}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ok() {
+		t.Fatal("growing cell passed the decay check")
+	}
+}
+
+func TestVerifyDistanceDecayInputValidation(t *testing.T) {
+	m := synthMatrix(4)
+	if _, err := VerifyDistanceDecay([]float64{0.1}, []*savat.Matrix{m}, 0.1); err == nil {
+		t.Error("single matrix accepted")
+	}
+	if _, err := VerifyDistanceDecay([]float64{1.0, 0.1}, []*savat.Matrix{m, m}, 0.1); err == nil {
+		t.Error("non-increasing distances accepted")
+	}
+	other := synthMatrix(3)
+	if _, err := VerifyDistanceDecay([]float64{0.1, 1.0}, []*savat.Matrix{m, other}, 0.1); err == nil {
+		t.Error("mismatched event sets accepted")
+	}
+}

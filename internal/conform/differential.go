@@ -1,0 +1,157 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/machine"
+	"repro/internal/noise"
+	"repro/internal/savat"
+)
+
+// DiffRelTol is the acceptance bound of the shared-envelope
+// factorization: the fast measurement path must agree with
+// savat.MeasureKernelReference within this relative difference on
+// every generated spec.
+const DiffRelTol = 1e-9
+
+// DiffSpec is one generated differential-test case: a machine, a full
+// measurement configuration, an event pair, and the seed that fixes
+// every stochastic stage.
+type DiffSpec struct {
+	Name    string
+	Machine machine.Config
+	Config  savat.Config
+	A, B    savat.Event
+	Seed    int64
+}
+
+// GenDiffSpecs deterministically generates n measurement specs
+// sweeping the dimensions that have historically broken numeric
+// pipelines: machine model (including asymmetry-source and
+// amplitude-noise variants), event pair (extension events included),
+// antenna distance, alternation frequency, capture length, measurement
+// band, analyzer RBW and window, jitter model, and noise environment.
+// The same (seed, n) always yields the same specs, so a failure
+// reported by name is reproducible in isolation.
+func GenDiffSpecs(seed int64, n int) []DiffSpec {
+	rng := rand.New(rand.NewSource(seed))
+	machines := machine.CaseStudyMachines()
+	events := savat.ExtendedEvents()
+	windows := []dsp.Window{dsp.Hann, dsp.Blackman, dsp.FlatTop}
+	out := make([]DiffSpec, 0, n)
+	for i := 0; i < n; i++ {
+		mc := machines[rng.Intn(len(machines))]
+		switch rng.Intn(4) {
+		case 0:
+			mc.AsymmetrySourceAmp = 0
+		case 1:
+			mc.AmplitudeNoiseStd = 0.05 + 0.35*rng.Float64()
+		}
+
+		cfg := savat.DefaultConfig()
+		// Short captures keep a ≥25-spec sweep fast enough to run under
+		// the race detector; the factorization has no length-dependent
+		// branches beyond the Welch segmentation the sweep varies anyway.
+		cfg.Duration = 1.0 / float64(int(16)<<rng.Intn(3)) // 1/16, 1/32, 1/64 s
+		cfg.Distance = []float64{0.05, 0.10, 0.28, 0.50, 1.00}[rng.Intn(5)]
+		cfg.Frequency = []float64{40e3, 80e3, 120e3}[rng.Intn(3)]
+		cfg.BandHalfWidth = []float64{500, 1e3, 4e3}[rng.Intn(3)]
+		cfg.WarmupPeriods = 1 + rng.Intn(4)
+		cfg.MeasurePeriods = 3 + rng.Intn(6)
+		cfg.Analyzer.RBW = []float64{1, 10, 50}[rng.Intn(3)]
+		w := windows[rng.Intn(len(windows))]
+		cfg.Analyzer.Window = w
+		if rng.Intn(2) == 0 {
+			cfg.Environment = noise.Quiet()
+		}
+		cfg.Jitter.FreqOffset = 0.01 * rng.Float64()
+		cfg.Jitter.DriftStd = 0.002 * rng.Float64()
+		cfg.Jitter.AmpNoiseStd = 0.4 * rng.Float64() * float64(rng.Intn(2))
+		cfg.Jitter.AmpNoiseCorr = 0.9 * rng.Float64()
+
+		a := events[rng.Intn(len(events))]
+		b := events[rng.Intn(len(events))]
+		out = append(out, DiffSpec{
+			Name: fmt.Sprintf("spec%02d-%s-%v-%v-%.2fm-%gkHz-%v",
+				i, mc.Name, a, b, cfg.Distance, cfg.Frequency/1e3, w),
+			Machine: mc,
+			Config:  cfg,
+			A:       a, B: b,
+			Seed: rng.Int63(),
+		})
+	}
+	return out
+}
+
+// DiffResult is one spec's outcome under both pipelines.
+type DiffResult struct {
+	Spec DiffSpec
+	// Fast and Reference are the SAVAT values (joules) from the
+	// shared-envelope fast path and the direct-rendering reference.
+	Fast, Reference float64
+	// RelDiff is their symmetric relative difference.
+	RelDiff float64
+}
+
+// RunDifferential drives every spec through the fast path and the
+// reference pipeline with identical rng streams and reports one check
+// per spec at the given relative tolerance (DiffRelTol for the
+// standing acceptance bound). One warmed scratch is shared across
+// specs — exactly how campaign workers run — so scratch-reuse bugs
+// surface here too.
+func RunDifferential(specs []DiffSpec, relTol float64) ([]DiffResult, *Report, error) {
+	r := &Report{}
+	out := make([]DiffResult, 0, len(specs))
+	scratch := savat.NewMeasureScratch()
+	for _, s := range specs {
+		k, err := savat.BuildKernel(s.Machine, s.A, s.B, s.Config.Frequency)
+		if err != nil {
+			return nil, nil, fmt.Errorf("conform: %s: build kernel: %w", s.Name, err)
+		}
+		fast, err := savat.MeasureKernelScratch(s.Machine, k, s.Config, rand.New(rand.NewSource(s.Seed)), scratch)
+		if err != nil {
+			return nil, nil, fmt.Errorf("conform: %s: fast path: %w", s.Name, err)
+		}
+		ref, err := savat.MeasureKernelReference(s.Machine, k, s.Config, rand.New(rand.NewSource(s.Seed)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("conform: %s: reference: %w", s.Name, err)
+		}
+		d := relDiff(fast.SAVAT, ref.SAVAT)
+		out = append(out, DiffResult{Spec: s, Fast: fast.SAVAT, Reference: ref.SAVAT, RelDiff: d})
+		r.addBound("differential/"+s.Name, d, relTol,
+			fmt.Sprintf("fast %.9g zJ vs reference %.9g zJ", fast.ZJ(), ref.ZJ()))
+		if fast.LoopCount != ref.LoopCount || fast.PairsPerSecond != ref.PairsPerSecond {
+			r.Add(Check{
+				Name: "differential/" + s.Name + "/metadata", Pass: false,
+				Detail: fmt.Sprintf("loop %d vs %d, pairs/s %g vs %g",
+					fast.LoopCount, ref.LoopCount, fast.PairsPerSecond, ref.PairsPerSecond),
+			})
+		}
+	}
+	return out, r, nil
+}
+
+// ReferenceMatrix measures the full pairwise matrix for events through
+// savat.MeasureKernelReference — the readable specification pipeline —
+// with the same per-cell seeding as a campaign, so the result is
+// directly comparable to savat.RunCampaign's mean matrix at Repeats 1.
+func ReferenceMatrix(mc machine.Config, cfg savat.Config, events []savat.Event, seed int64) (*savat.Matrix, error) {
+	m := savat.NewMatrix(events)
+	for i, a := range events {
+		for j, b := range events {
+			k, err := savat.BuildKernel(mc, a, b, cfg.Frequency)
+			if err != nil {
+				return nil, fmt.Errorf("conform: %v/%v: %w", a, b, err)
+			}
+			rng := rand.New(rand.NewSource(savat.CellSeed(seed, a, b, 0)))
+			meas, err := savat.MeasureKernelReference(mc, k, cfg, rng)
+			if err != nil {
+				return nil, fmt.Errorf("conform: %v/%v: %w", a, b, err)
+			}
+			m.Vals[i][j] = meas.SAVAT
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,138 @@
+package conform
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/machine"
+	"repro/internal/savat"
+)
+
+// TestDifferentialSweep is the standing fast-path acceptance gate: 30
+// randomized specs spanning machines, event pairs, distances,
+// frequencies, bands, analyzer setups, jitter models, and noise
+// environments, each measured through the shared-envelope fast path and
+// the direct-rendering reference. CI runs this package under -race.
+func TestDifferentialSweep(t *testing.T) {
+	specs := GenDiffSpecs(1, 30)
+	if len(specs) != 30 {
+		t.Fatalf("generated %d specs", len(specs))
+	}
+	results, r, err := RunDifferential(specs, DiffRelTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, res := range results {
+		if res.RelDiff > worst {
+			worst = res.RelDiff
+		}
+	}
+	t.Logf("%d specs, worst relative difference %.3g", len(results), worst)
+	if err := r.Err(); err != nil {
+		t.Logf("\n%s", r)
+		t.Fatal(err)
+	}
+}
+
+func TestGenDiffSpecsDeterministic(t *testing.T) {
+	a := GenDiffSpecs(7, 10)
+	b := GenDiffSpecs(7, 10)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed generated different specs")
+	}
+	c := GenDiffSpecs(8, 10)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical specs")
+	}
+	names := map[string]bool{}
+	for _, s := range a {
+		if names[s.Name] {
+			t.Fatalf("duplicate spec name %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+}
+
+// TestCampaignCancelResumeStress exercises the engine's full
+// cancellation surface from the savat layer: a campaign is cancelled
+// mid-flight (workers racing the canceller), resumed from its
+// checkpoint, and the final matrix must be cell-for-cell identical to
+// an uninterrupted run. The package's -race CI job makes this a data
+// race detector for the engine/campaign seam as well.
+func TestCampaignCancelResumeStress(t *testing.T) {
+	mc := machine.Core2Duo()
+	cfg := savat.FastConfig()
+	cfg.Duration = 1.0 / 32 // many small cells → cancellation lands mid-grid
+	events := []savat.Event{savat.LDM, savat.STM, savat.NOI, savat.ADD}
+	opts := func(path string) savat.CampaignOptions {
+		return savat.CampaignOptions{
+			Events: events, Repeats: 3, Seed: 5,
+			Parallelism:    4,
+			CheckpointPath: path,
+		}
+	}
+
+	clean, err := savat.RunCampaign(mc, cfg, opts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "stress.ckpt")
+	total := len(events) * len(events) * 3
+
+	// Cancel once a third of the cells finished; the monitor drain keeps
+	// running until the engine closes the channel.
+	ctx, cancel := context.WithCancel(context.Background())
+	monitor := make(chan engine.ProgressEvent, total)
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range monitor {
+			n++
+			if n == total/3 {
+				cancel()
+			}
+		}
+		done <- n
+	}()
+	o := opts(ckpt)
+	o.Monitor = monitor
+	_, err = savat.RunCampaignContext(ctx, mc, cfg, o)
+	seen := <-done
+	cancel()
+	if err == nil {
+		// The race between cancellation and the last finishing workers can
+		// legitimately complete the grid; in that case there is nothing to
+		// resume and the stress degenerates to the clean comparison below.
+		t.Logf("campaign outran cancellation (%d cells seen)", seen)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v", err)
+	}
+
+	resumed, err := savat.RunCampaign(mc, cfg, opts(ckpt))
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	// Restored checkpoint cells are accounted as cache hits; the resumed
+	// run uses a fresh in-memory cache, so every hit came from the file.
+	if resumed.Engine.Cached == 0 && seen < total {
+		t.Errorf("resume restored no cells (cancelled run finished %d)", seen)
+	}
+
+	for i := range events {
+		for j := range events {
+			if clean.Mean.Vals[i][j] != resumed.Mean.Vals[i][j] {
+				t.Errorf("%v/%v: clean %g vs resumed %g",
+					events[i], events[j], clean.Mean.Vals[i][j], resumed.Mean.Vals[i][j])
+			}
+			if clean.Cells[i][j].StdDev != resumed.Cells[i][j].StdDev {
+				t.Errorf("%v/%v: per-cell stats diverge across resume", events[i], events[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package conform
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/savat"
+)
+
+// MatrixTolerances bound the matrix-shape invariants. The defaults are
+// deliberately looser than the paper's repeatability figure (σ/mean ≈
+// 0.05 over ten full campaigns): single-repetition fast-capture
+// matrices carry more noise-realization spread, and the suite must
+// separate physics violations from honest measurement scatter.
+type MatrixTolerances struct {
+	// DiagonalRel is the relative slack for "every diagonal entry is
+	// the smallest value in its row and column" (same/same pairs sit at
+	// the noise floor, paper Figure 9). The slack must be generous: the
+	// invariant is exact in band-power terms (VerifyNoiseFloorDiagonal
+	// checks that form tightly), but SAVAT divides by pairs-per-second,
+	// which varies per cell — a noise-dominated off-diagonal cell with a
+	// faster alternation loop legitimately lands below a slow-loop
+	// diagonal such as LDM/LDM.
+	DiagonalRel float64
+	// Symmetry bounds the mean relative A/B-vs-B/A discrepancy
+	// (savat.Matrix.SwapAsymmetry); the paper treats this difference as
+	// pure measurement error.
+	Symmetry float64
+	// Repeatability bounds the mean σ/mean across cells with more than
+	// one repetition (paper: ≈0.05 for ten campaigns).
+	Repeatability float64
+}
+
+// DefaultMatrixTolerances returns bounds calibrated for fast-capture
+// single-seed matrices; full paper-protocol campaigns pass them with a
+// wide margin.
+func DefaultMatrixTolerances() MatrixTolerances {
+	return MatrixTolerances{
+		DiagonalRel:   0.50,
+		Symmetry:      0.35,
+		Repeatability: 0.20,
+	}
+}
+
+// VerifyMatrix checks the shape invariants every healthy SAVAT matrix
+// obeys: finite non-negative cells, diagonal entries at the bottom of
+// their row and column, and A/B ↔ B/A symmetry. The name prefixes
+// every check so reports over several matrices stay readable.
+func VerifyMatrix(name string, m *savat.Matrix, tol MatrixTolerances) *Report {
+	r := &Report{}
+	pfx := func(s string) string { return name + "/" + s }
+
+	// Finiteness and sign: a negative or non-finite energy is always a
+	// pipeline bug, never measurement noise.
+	bad := 0
+	detail := ""
+	for i, row := range m.Vals {
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				bad++
+				if detail == "" {
+					detail = fmt.Sprintf("first at %v/%v = %g", m.Events[i], m.Events[j], v)
+				}
+			}
+		}
+	}
+	r.addBound(pfx("cells/finite-nonnegative"), float64(bad), 0, detail)
+
+	// Diagonal ≈ noise floor: no off-diagonal cell may undercut the
+	// diagonal of its row/column beyond the rounding slack.
+	viol := m.DiagonalViolations(tol.DiagonalRel)
+	detail = ""
+	if len(viol) > 0 {
+		detail = viol[0].String()
+	}
+	r.addBound(pfx("diagonal/noise-floor"), float64(len(viol)), 0, detail)
+
+	// Swap symmetry: the paper measures both orders of every pair and
+	// uses their difference as the measurement-error estimate.
+	r.addBound(pfx("symmetry/swap-asymmetry"), m.SwapAsymmetry(), tol.Symmetry, "")
+	return r
+}
+
+// VerifyMatrixStats is VerifyMatrix plus the campaign-level
+// repeatability invariant (only checkable with per-cell repetitions).
+func VerifyMatrixStats(name string, s *savat.MatrixStats, tol MatrixTolerances) *Report {
+	r := VerifyMatrix(name, s.Mean, tol)
+	if n := campaignReps(s); n > 1 {
+		r.addBound(name+"/repeatability/rel-stddev", s.MeanRelStdDev(), tol.Repeatability,
+			fmt.Sprintf("over %d repetitions", n))
+	}
+	return r
+}
+
+func campaignReps(s *savat.MatrixStats) int {
+	if len(s.Cells) == 0 || len(s.Cells[0]) == 0 {
+		return 0
+	}
+	return s.Cells[0][0].N
+}
+
+// VerifyDistanceDecay checks the monotone distance invariant: signal
+// energy available to the attacker falls as the antenna moves away
+// (paper Figures 9, 17, 18: 10 cm → 50 cm → 1 m). Matrices must share
+// an event set and be ordered by strictly increasing distance; each
+// cell may grow by at most relTol between consecutive distances
+// (noise-floor-dominated cells jitter, loud cells must decay).
+func VerifyDistanceDecay(distances []float64, ms []*savat.Matrix, relTol float64) (*Report, error) {
+	if len(distances) != len(ms) || len(ms) < 2 {
+		return nil, fmt.Errorf("conform: need ≥2 matrices with matching distances, have %d/%d",
+			len(ms), len(distances))
+	}
+	for i := 1; i < len(distances); i++ {
+		if distances[i] <= distances[i-1] {
+			return nil, fmt.Errorf("conform: distances not increasing: %g after %g",
+				distances[i], distances[i-1])
+		}
+	}
+	events := ms[0].Events
+	for _, m := range ms[1:] {
+		if len(m.Events) != len(events) {
+			return nil, fmt.Errorf("conform: matrices cover different event sets")
+		}
+		for i := range events {
+			if m.Events[i] != events[i] {
+				return nil, fmt.Errorf("conform: matrices cover different event sets")
+			}
+		}
+	}
+
+	r := &Report{}
+	for step := 1; step < len(ms); step++ {
+		near, far := ms[step-1], ms[step]
+		grow := 0
+		detail := ""
+		for i := range events {
+			for j := range events {
+				nv, fv := near.Vals[i][j], far.Vals[i][j]
+				if fv > nv*(1+relTol) {
+					grow++
+					if detail == "" {
+						detail = fmt.Sprintf("first at %v/%v: %.3g → %.3g zJ",
+							events[i], events[j], nv*1e21, fv*1e21)
+					}
+				}
+			}
+		}
+		r.addBound(
+			fmt.Sprintf("distance-decay/%.2fm→%.2fm", distances[step-1], distances[step]),
+			float64(grow), 0, detail)
+	}
+	return r, nil
+}

@@ -1,0 +1,147 @@
+package conform
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/savat"
+)
+
+// The acceptance matrix for the property suite: the full 11-event
+// Figure 9 campaign on the default machine at the fast capture length,
+// measured once and shared across tests.
+const propertySeed = 1
+
+var fastMatrix = sync.OnceValues(func() (*savat.MatrixStats, error) {
+	return savat.RunCampaign(machine.Core2Duo(), savat.FastConfig(), savat.CampaignOptions{
+		Events: savat.Events(), Repeats: 1, Seed: propertySeed,
+	})
+})
+
+var referenceMatrix = sync.OnceValues(func() (*savat.Matrix, error) {
+	return ReferenceMatrix(machine.Core2Duo(), savat.FastConfig(), savat.Events(), propertySeed)
+})
+
+func TestPropertySuiteFastPathMatrix(t *testing.T) {
+	st, err := fastMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := VerifyMatrixStats("fast-11x11", st, DefaultMatrixTolerances())
+	t.Log("\n" + r.String())
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySuiteReferenceMatrix(t *testing.T) {
+	m, err := referenceMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := VerifyMatrix("reference-11x11", m, DefaultMatrixTolerances())
+	t.Log("\n" + r.String())
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastVsReferenceMatrix ties the two 11×11 matrices together: the
+// campaign fast path and the direct-rendering reference, seeded
+// identically per cell, must agree within the differential bound.
+func TestFastVsReferenceMatrix(t *testing.T) {
+	st, err := fastMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := referenceMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i, row := range st.Mean.Vals {
+		for j, v := range row {
+			d := relDiff(v, ref.Vals[i][j])
+			if d > worst {
+				worst = d
+			}
+			if d > DiffRelTol {
+				t.Errorf("%v/%v: fast %g vs reference %g (rel %g)",
+					st.Mean.Events[i], st.Mean.Events[j], v, ref.Vals[i][j], d)
+			}
+		}
+	}
+	t.Logf("worst fast-vs-reference cell: %.3g relative", worst)
+}
+
+func TestNoiseFloorDiagonal(t *testing.T) {
+	r, err := VerifyNoiseFloorDiagonal(machine.Core2Duo(), savat.FastConfig(), savat.Events(),
+		propertySeed, DefaultPipelineTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopCountScaling(t *testing.T) {
+	// All frequencies satisfy Nyquist at the default 2^18 Hz capture rate.
+	freqs := []float64{40e3, 80e3, 120e3}
+	r, err := VerifyLoopCountScaling(machine.Core2Duo(), savat.FastConfig(), savat.LDM, savat.NOI,
+		freqs, propertySeed, DefaultPipelineTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopCountScalingRejectsShortSweep(t *testing.T) {
+	_, err := VerifyLoopCountScaling(machine.Core2Duo(), savat.FastConfig(), savat.LDM, savat.NOI,
+		[]float64{80e3}, propertySeed, DefaultPipelineTolerances())
+	if err == nil {
+		t.Fatal("single-frequency sweep accepted")
+	}
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	events := []savat.Event{savat.NOI, savat.ADD, savat.MUL, savat.LDM, savat.STM}
+	r, err := VerifyPermutationInvariance(machine.Core2Duo(), savat.FastConfig(), events, 1, propertySeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceDecayMeasured(t *testing.T) {
+	events := []savat.Event{savat.NOI, savat.ADD, savat.MUL, savat.LDM, savat.STM}
+	distances := []float64{0.10, 0.50, 1.00}
+	var ms []*savat.Matrix
+	for _, d := range distances {
+		cfg := savat.FastConfig()
+		cfg.Distance = d
+		st, err := savat.RunCampaign(machine.Core2Duo(), cfg, savat.CampaignOptions{
+			Events: events, Repeats: 1, Seed: propertySeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, st.Mean)
+	}
+	r, err := VerifyDistanceDecay(distances, ms, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

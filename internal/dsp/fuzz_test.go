@@ -1,0 +1,149 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// FuzzPlanForwardVsNaiveDFT cross-checks the planned radix-2² FFT
+// against the O(n²) textbook DFT on random inputs of every power-of-two
+// size up to 512, and closes the loop with Inverse.
+func FuzzPlanForwardVsNaiveDFT(f *testing.F) {
+	f.Add(uint8(0), int64(1))
+	f.Add(uint8(3), int64(42))
+	f.Add(uint8(9), int64(-7))
+	f.Fuzz(func(t *testing.T, sizeExp uint8, seed int64) {
+		n := 1 << (sizeExp % 10) // 1, 2, …, 512
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+
+		plan, err := NewPlan(n)
+		if err != nil {
+			t.Fatalf("NewPlan(%d): %v", n, err)
+		}
+		got := append([]complex128(nil), x...)
+		if err := plan.Forward(got); err != nil {
+			t.Fatalf("Forward: %v", err)
+		}
+		want := naiveDFT(x)
+
+		// The naive reference accumulates O(n) rounding itself; scale the
+		// bound by the signal magnitude and the transform size.
+		scale := 0.0
+		for _, v := range want {
+			scale = math.Max(scale, cmplx.Abs(v))
+		}
+		tol := 1e-12 * (scale + 1) * float64(n)
+		for k := range want {
+			if d := cmplx.Abs(got[k] - want[k]); d > tol {
+				t.Fatalf("n=%d bin %d: planned %v, naive %v (|Δ|=%g > %g)", n, k, got[k], want[k], d, tol)
+			}
+		}
+
+		// Inverse(Forward(x)) must reproduce the input.
+		if err := plan.Inverse(got); err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		for i := range x {
+			if d := cmplx.Abs(got[i] - x[i]); d > tol {
+				t.Fatalf("n=%d sample %d: round trip %v, input %v (|Δ|=%g > %g)", n, i, got[i], x[i], d, tol)
+			}
+		}
+
+		// Wrong-length inputs must be rejected, not sliced.
+		if n > 1 {
+			if err := plan.Forward(make([]complex128, n-1)); err == nil {
+				t.Fatal("Forward accepted a short buffer")
+			}
+		}
+	})
+}
+
+// FuzzWelchPairVsSingle checks the packed two-stream Welch pass against
+// two independent single-stream passes, and the documented
+// linear-combination identity against a direct Welch run of the
+// combined stream.
+func FuzzWelchPairVsSingle(f *testing.F) {
+	f.Add(uint8(2), uint16(0), int64(1), 1.0, 0.0)
+	f.Add(uint8(4), uint16(100), int64(9), 0.5, -2.0)
+	f.Add(uint8(5), uint16(999), int64(-3), 3.0, 0.25)
+	f.Fuzz(func(t *testing.T, segExp uint8, extra uint16, seed int64, alpha, beta float64) {
+		segLen := 1 << (2 + segExp%6) // 4 … 128
+		n := segLen + int(extra)%(3*segLen)
+		if !(math.Abs(alpha) < 8 && math.Abs(beta) < 8) {
+			t.Skip("combination coefficients out of the numerically fair range")
+		}
+		const fs = 1000.0
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, n)
+		b := make([]float64, n)
+		ca := make([]complex128, n)
+		cb := make([]complex128, n)
+		mix := make([]complex128, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			ca[i] = complex(a[i], 0)
+			cb[i] = complex(b[i], 0)
+			mix[i] = complex(alpha*a[i]+beta*b[i], 0)
+		}
+
+		scratch, err := NewWelchScratch(segLen, Hann)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa := make([]float64, segLen)
+		pb := make([]float64, segLen)
+		cross := make([]complex128, segLen)
+		if err := scratch.WelchPairInto(pa, pb, cross, a, b, fs); err != nil {
+			t.Fatal(err)
+		}
+
+		da := make([]float64, segLen)
+		db := make([]float64, segLen)
+		if err := scratch.WelchInto(da, ca, fs); err != nil {
+			t.Fatal(err)
+		}
+		if err := scratch.WelchInto(db, cb, fs); err != nil {
+			t.Fatal(err)
+		}
+
+		relTol := 1e-9
+		for k := range pa {
+			if d := relErr(pa[k], da[k]); d > relTol {
+				t.Fatalf("segLen=%d n=%d bin %d: paired PSD(a) %g vs single %g (rel %g)", segLen, n, k, pa[k], da[k], d)
+			}
+			if d := relErr(pb[k], db[k]); d > relTol {
+				t.Fatalf("segLen=%d n=%d bin %d: paired PSD(b) %g vs single %g (rel %g)", segLen, n, k, pb[k], db[k], d)
+			}
+		}
+
+		// PSD(α·a+β·b) = α²·PSD(a) + β²·PSD(b) + 2αβ·Re(cross) per bin.
+		dm := make([]float64, segLen)
+		if err := scratch.WelchInto(dm, mix, fs); err != nil {
+			t.Fatal(err)
+		}
+		// The identity subtracts nearly equal quantities when the mix
+		// cancels; bound the error against the combination's magnitude.
+		for k := range dm {
+			want := alpha*alpha*pa[k] + beta*beta*pb[k] + 2*alpha*beta*real(cross[k])
+			mag := alpha*alpha*pa[k] + beta*beta*pb[k] + 2*math.Abs(alpha*beta)*cmplx.Abs(cross[k])
+			if d := math.Abs(dm[k] - want); d > relTol*(mag+1e-300) {
+				t.Fatalf("segLen=%d bin %d: combined PSD %g, identity %g (|Δ|=%g)", segLen, k, dm[k], want, d)
+			}
+		}
+	})
+}
+
+func relErr(a, b float64) float64 {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / m
+}

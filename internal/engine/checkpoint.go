@@ -54,10 +54,24 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if cp.Rows <= 0 || cp.Cols <= 0 || cp.Reps <= 0 {
 		return nil, fmt.Errorf("engine: checkpoint %s: bad grid %dx%dx%d", path, cp.Rows, cp.Cols, cp.Reps)
 	}
+	if len(cp.Cells) > cp.Rows*cp.Cols*cp.Reps {
+		return nil, fmt.Errorf("engine: checkpoint %s: %d cells for a %d-cell grid",
+			path, len(cp.Cells), cp.Rows*cp.Cols*cp.Reps)
+	}
+	// Duplicates must be rejected, not just deduplicated: a restore
+	// counts each cell toward Stats.Done, and Complete() compares the
+	// cell count against the grid size, so duplicated cells would corrupt
+	// progress accounting and could mark a partial campaign complete.
+	seen := make(map[int]bool, len(cp.Cells))
 	for _, c := range cp.Cells {
 		if c.Row < 0 || c.Row >= cp.Rows || c.Col < 0 || c.Col >= cp.Cols || c.Rep < 0 || c.Rep >= cp.Reps {
 			return nil, fmt.Errorf("engine: checkpoint %s: cell (%d,%d,%d) outside grid", path, c.Row, c.Col, c.Rep)
 		}
+		idx := (c.Row*cp.Cols+c.Col)*cp.Reps + c.Rep
+		if seen[idx] {
+			return nil, fmt.Errorf("engine: checkpoint %s: duplicate cell (%d,%d,%d)", path, c.Row, c.Col, c.Rep)
+		}
+		seen[idx] = true
 	}
 	return &cp, nil
 }

@@ -317,6 +317,34 @@ func TestCheckpointMismatchRejected(t *testing.T) {
 	}
 }
 
+func TestCheckpointRejectsDuplicateCells(t *testing.T) {
+	// A duplicated cell would be replayed twice by restoreCheckpoint,
+	// double-counting Stats.Done, and could satisfy Complete() on a
+	// partial grid; the loader must reject the file outright.
+	path := filepath.Join(t.TempDir(), "cp.json")
+	data := `{"version":1,"fingerprint":"fp","rows":2,"cols":1,"reps":1,` +
+		`"cells":[{"row":0,"col":0,"rep":0,"value":1},{"row":0,"col":0,"rep":0,"value":2}]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil || !strings.Contains(err.Error(), "duplicate cell") {
+		t.Fatalf("err = %v, want duplicate-cell rejection", err)
+	}
+}
+
+func TestCheckpointRejectsOverfullGrid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	data := `{"version":1,"fingerprint":"fp","rows":1,"cols":1,"reps":1,` +
+		`"cells":[{"row":0,"col":0,"rep":0,"value":1},{"row":0,"col":0,"rep":0,"value":2},` +
+		`{"row":0,"col":0,"rep":0,"value":3}]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("checkpoint with more cells than grid slots accepted")
+	}
+}
+
 func TestCheckpointRequiresFingerprint(t *testing.T) {
 	spec := testSpec(1, 1, 1)
 	spec.Fingerprint = ""

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzLoadCheckpoint throws arbitrary bytes at the checkpoint loader.
+// Whatever the bytes, the loader must never panic, and anything it
+// accepts must satisfy the checkpoint invariants the engine's restore
+// path depends on: a matching version, a positive grid, every cell
+// inside the grid, and no duplicate cells (a duplicate would double-
+// count progress and could mark a partial campaign complete). Accepted
+// checkpoints must survive a save/reload round trip unchanged.
+func FuzzLoadCheckpoint(f *testing.F) {
+	f.Add([]byte(`{"version":1,"fingerprint":"fp","rows":2,"cols":2,"reps":1,` +
+		`"cells":[{"row":0,"col":0,"rep":0,"value":1.5}]}`))
+	f.Add([]byte(`{"version":1,"fingerprint":"fp","rows":1,"cols":1,"reps":1,` +
+		`"cells":[{"row":0,"col":0,"rep":0,"value":1},{"row":0,"col":0,"rep":0,"value":2}]}`))
+	f.Add([]byte(`{"version":2,"rows":1,"cols":1,"reps":1}`))
+	f.Add([]byte(`{"version":1,"rows":-1`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "cp.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := LoadCheckpoint(path)
+		if err != nil {
+			return
+		}
+		if cp.Version != checkpointVersion {
+			t.Fatalf("accepted version %d", cp.Version)
+		}
+		if cp.Rows <= 0 || cp.Cols <= 0 || cp.Reps <= 0 {
+			t.Fatalf("accepted grid %dx%dx%d", cp.Rows, cp.Cols, cp.Reps)
+		}
+		if len(cp.Cells) > cp.Rows*cp.Cols*cp.Reps {
+			t.Fatalf("accepted %d cells for a %d-cell grid", len(cp.Cells), cp.Rows*cp.Cols*cp.Reps)
+		}
+		seen := map[[3]int]bool{}
+		for _, c := range cp.Cells {
+			if c.Row < 0 || c.Row >= cp.Rows || c.Col < 0 || c.Col >= cp.Cols || c.Rep < 0 || c.Rep >= cp.Reps {
+				t.Fatalf("accepted out-of-grid cell %+v", c)
+			}
+			k := [3]int{c.Row, c.Col, c.Rep}
+			if seen[k] {
+				t.Fatalf("accepted duplicate cell %+v", c)
+			}
+			seen[k] = true
+		}
+
+		// Round trip: save sorts the cells; a reload must yield the same
+		// checkpoint (cell VALUES included — NaN breaks json.Marshal, so a
+		// NaN-valued accepted cell surfacing here is itself a finding).
+		out := filepath.Join(dir, "out.json")
+		if err := cp.save(out); err != nil {
+			for _, c := range cp.Cells {
+				if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+					return // JSON cannot represent it; save correctly reports the error
+				}
+			}
+			t.Fatalf("save of accepted checkpoint failed: %v", err)
+		}
+		back, err := LoadCheckpoint(out)
+		if err != nil {
+			t.Fatalf("reload of saved checkpoint failed: %v", err)
+		}
+		if !reflect.DeepEqual(cp, back) {
+			t.Fatalf("round trip drifted:\nsaved  %+v\nloaded %+v", cp, back)
+		}
+	})
+}
+
+// FuzzCacheDiskEntry exercises the cache's JSON-on-disk layer: a
+// corrupted entry must never panic or fail a lookup catastrophically —
+// it is simply a miss — and a fresh Put must repair it. Finite values
+// round-trip bit-exactly between processes (simulated by two Cache
+// instances over one directory); non-finite values are documented to
+// stay memory-only because JSON cannot carry them.
+func FuzzCacheDiskEntry(f *testing.F) {
+	f.Add("material-a", []byte(`{"value":3.25}`), 1.5)
+	f.Add("material-b", []byte(`{"value":`), -2.75)
+	f.Add("", []byte(`garbage`), math.MaxFloat64)
+	f.Add("c", []byte{0xFF, 0xFE, 0x00}, 0.0)
+	f.Fuzz(func(t *testing.T, material string, corrupt []byte, v float64) {
+		dir := t.TempDir()
+		key := Key(material) // hex digest: always a safe file name
+
+		// A corrupted on-disk entry must behave as a miss, not a panic.
+		c1, err := NewCache(4, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := c1.Get(key)
+		if ok && (math.IsNaN(got) || math.IsInf(got, 0)) {
+			t.Fatalf("disk layer produced non-finite %g", got)
+		}
+
+		// Put repairs the entry in memory regardless of the bytes on disk.
+		c1.Put(key, v)
+		got, ok = c1.Get(key)
+		if !ok {
+			t.Fatal("value lost immediately after Put")
+		}
+		if !equalFloat(got, v) {
+			t.Fatalf("memory layer: put %g, got %g", v, got)
+		}
+
+		// A second cache over the same directory simulates a new process.
+		c2, err := NewCache(4, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok = c2.Get(key)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// JSON cannot persist non-finite values; the disk layer either
+			// misses or still holds decodable corrupt bytes — never the
+			// non-finite value itself.
+			if ok && (math.IsNaN(got) || math.IsInf(got, 0)) {
+				t.Fatalf("non-finite %g crossed the disk layer", v)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("finite %g did not survive the disk round trip", v)
+		}
+		if got != v {
+			t.Fatalf("disk round trip: put %g, got %g", v, got)
+		}
+	})
+}
+
+func equalFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}

@@ -1,0 +1,95 @@
+package isa
+
+import "testing"
+
+// FuzzDecodeEncodeRoundTrip feeds arbitrary 32-bit words through
+// Decode. Every decodable word must render (String must not panic) and
+// re-encode to a canonical word that decodes to the identical
+// instruction; the only decodable-but-unencodable instructions are the
+// ones whose immediate fields admit out-of-range values (shift amounts
+// above 31, a zero DIVI divisor).
+func FuzzDecodeEncodeRoundTrip(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(MustEncode(Instruction{Op: ADDI, Rd: 1, Rs1: 2, Imm: -173}))
+	f.Add(MustEncode(Instruction{Op: LD, Rd: 3, Rs1: 4, Imm: 64}))
+	f.Add(MustEncode(Instruction{Op: MULR, Rd: 5, Rs1: 6, Rs2: 7}))
+	f.Add(uint32(0xFF00FFFF)) // undefined opcode
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			if Op(w >> 24).Valid() {
+				t.Fatalf("valid opcode %v rejected: %v", Op(w>>24), err)
+			}
+			return
+		}
+		_ = in.String() // must not panic for any decodable word
+
+		if verr := in.Validate(); verr != nil {
+			switch {
+			case (in.Op == SHLI || in.Op == SHRI) && (in.Imm < 0 || in.Imm > 31):
+			case in.Op == DIVI && in.Imm == 0:
+			default:
+				t.Fatalf("decoded %#08x to unencodable %v: %v", w, in, verr)
+			}
+			return
+		}
+
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("re-encode of valid %v: %v", in, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("decode of canonical word %#08x: %v", w2, err)
+		}
+		if in2 != in {
+			t.Fatalf("round trip drifted: %#08x → %v → %#08x → %v", w, in, w2, in2)
+		}
+		// The canonical word is a fixed point: don't-care bits are zeroed
+		// once and stay zeroed.
+		if w3 := MustEncode(in2); w3 != w2 {
+			t.Fatalf("canonical word not stable: %#08x → %#08x", w2, w3)
+		}
+	})
+}
+
+// FuzzEncodeDecodeInstruction builds a valid instruction from arbitrary
+// raw fields (reduced into their architectural ranges) and requires a
+// bit-exact field round trip through Encode/Decode.
+func FuzzEncodeDecodeInstruction(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), int32(0))
+	f.Add(uint8(4), uint8(1), uint8(2), uint8(3), int32(-32768))
+	f.Add(uint8(18), uint8(15), uint8(15), uint8(15), int32(1))
+	f.Fuzz(func(t *testing.T, opRaw, rd, rs1, rs2 uint8, imm int32) {
+		in := Instruction{
+			Op:  Op(int(opRaw) % NumOps),
+			Rd:  Reg(rd % NumRegs),
+			Rs1: Reg(rs1 % NumRegs),
+		}
+		if in.Op.ReadsRs2() {
+			in.Rs2 = Reg(rs2 % NumRegs)
+		}
+		if in.Op.HasImm() {
+			min, max := immRange(in.Op)
+			span := int64(max) - int64(min) + 1
+			in.Imm = int32(int64(min) + ((int64(imm)-int64(min))%span+span)%span)
+			if in.Op == DIVI && in.Imm == 0 {
+				in.Imm = 1
+			}
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("constructed instruction invalid: %v: %v", in, err)
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x): %v", w, err)
+		}
+		if got != in {
+			t.Fatalf("field round trip: %v → %#08x → %v", in, w, got)
+		}
+	})
+}

@@ -246,6 +246,14 @@ func cellSeed(base int64, a, b, rep int) int64 {
 	return int64(h&0x7FFFFFFFFFFFFFFF) + 1
 }
 
+// CellSeed returns the deterministic rng seed a campaign uses for one
+// (pair, repetition) cell. Exported so verification harnesses (e.g.
+// internal/conform) can reproduce individual campaign cells through
+// alternative pipelines and compare them value-for-value.
+func CellSeed(base int64, a, b Event, rep int) int64 {
+	return cellSeed(base, int(a), int(b), rep)
+}
+
 // MeasurePair is a convenience wrapper: one cell, `repeats` repetitions,
 // returning the per-repetition values and their summary. Values agree
 // exactly with the corresponding campaign cells for the same seed.
