@@ -11,7 +11,7 @@ FUZZ_TARGETS := \
 	./internal/engine:FuzzLoadCheckpoint \
 	./internal/engine:FuzzCacheDiskEntry
 
-.PHONY: build test bench verify fuzz-smoke
+.PHONY: build test bench bench-json verify fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ test:
 # Full figure-matrix benchmarks (minutes; see README for current numbers).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig(09|12|14)Matrix' -benchtime=1x .
+
+# Machine-readable benchmark snapshot: compile and run EVERY benchmark
+# in the tree once and write ns/op plus all reported metrics to
+# BENCH_<YYYYMMDD>.json (for tracking perf trajectories across commits).
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y%m%d).json < bench.out
+	@rm -f bench.out
 
 # Tier-1 gate plus a perf smoke: vet, race-enabled tests, and one pass of
 # the Figure 9 matrix benchmark so fast-path breakage (correctness or a

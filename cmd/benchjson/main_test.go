@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig09MatrixCore2Duo10cm 	       1	 965362736 ns/op	         1.237 cell-ratio	         5.000 diag-violations	         0.9424 spearman
+BenchmarkNaiveVsAlternation-4 	      12	  91234567 ns/op	     123 B/op	       2 allocs/op
+PASS
+ok  	repro	3.059s
+pkg: repro/internal/dsp
+BenchmarkWelch 	     100	   1234567 ns/op
+`
+
+func TestParse(t *testing.T) {
+	f, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Errorf("header = %q/%q/%q", f.GOOS, f.GOARCH, f.CPU)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	fig := f.Benchmarks[0]
+	if fig.Name != "BenchmarkFig09MatrixCore2Duo10cm" || fig.Package != "repro" || fig.Iterations != 1 {
+		t.Errorf("fig09 = %+v", fig)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 965362736, "cell-ratio": 1.237, "diag-violations": 5, "spearman": 0.9424,
+	} {
+		if got := fig.Metrics[unit]; got != want {
+			t.Errorf("fig09 %s = %g, want %g", unit, got, want)
+		}
+	}
+	if got := f.Benchmarks[1].Metrics["allocs/op"]; got != 2 {
+		t.Errorf("allocs/op = %g, want 2", got)
+	}
+	if f.Benchmarks[2].Package != "repro/internal/dsp" {
+		t.Errorf("third package = %q", f.Benchmarks[2].Package)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX 1 12 ns/op extra",  // odd metric fields
+		"BenchmarkX notanint 12 ns/op", // bad iteration count
+		"BenchmarkX 1 twelve ns/op",    // bad metric value
+	} {
+		if _, err := parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted malformed line %q", bad)
+		}
+	}
+}

@@ -55,11 +55,17 @@ func main() {
 
 func run() error {
 	var (
-		cf       = cliconf.Register(flag.CommandLine, cliconf.Repeats|cliconf.Seed|cliconf.Fast)
+		cf       = cliconf.Register(flag.CommandLine, cliconf.Repeats|cliconf.Seed|cliconf.Fast|cliconf.Profile)
 		section  = flag.String("section", "all", "which experiment to regenerate")
 		cacheDir = flag.String("cache-dir", "", "persist per-cell results here and reuse them across runs")
 	)
 	flag.Parse()
+
+	stopProf, err := cf.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cfg, err := cf.MeasureConfig()
 	if err != nil {

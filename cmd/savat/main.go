@@ -50,6 +50,12 @@ func run() error {
 	)
 	flag.Parse()
 
+	stopProf, err := cf.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
 	mc, err := cf.MachineConfig()
 	if err != nil {
 		return err

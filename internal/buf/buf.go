@@ -1,0 +1,18 @@
+// Package buf holds the grow-or-reslice buffer helper shared by the
+// measurement pipeline's scratch types. Every scratch used to carry its
+// own resizeComplex/resizeFloats copy; they all implement the same
+// contract, so it lives here once.
+package buf
+
+// Grow returns a slice of length n backed by s when s has the
+// capacity, and by a fresh allocation otherwise. Existing contents are
+// NOT preserved or cleared: the caller owns initializing the returned
+// slice, which is exactly what scratch buffers that are fully
+// overwritten per use want — steady-state reuse costs nothing, and
+// growth never pays for a copy of stale data.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,64 @@
+package buf
+
+import "testing"
+
+func TestGrowReusesCapacity(t *testing.T) {
+	s := make([]float64, 8, 16)
+	s[0] = 42
+	g := Grow(s, 12)
+	if len(g) != 12 {
+		t.Fatalf("len = %d, want 12", len(g))
+	}
+	if &g[0] != &s[0] {
+		t.Fatal("Grow reallocated despite sufficient capacity")
+	}
+	if g[0] != 42 {
+		t.Fatal("Grow within capacity must not clear contents")
+	}
+}
+
+func TestGrowShrinksInPlace(t *testing.T) {
+	s := make([]complex128, 8)
+	g := Grow(s, 3)
+	if len(g) != 3 || &g[0] != &s[0] {
+		t.Fatalf("shrink reallocated or mis-sized: len=%d", len(g))
+	}
+}
+
+func TestGrowAllocatesWhenShort(t *testing.T) {
+	s := make([]int, 4, 4)
+	g := Grow(s, 9)
+	if len(g) != 9 {
+		t.Fatalf("len = %d, want 9", len(g))
+	}
+	if cap(s) >= 9 {
+		t.Fatal("test setup: s unexpectedly large")
+	}
+	for i, v := range g {
+		if v != 0 {
+			t.Fatalf("fresh allocation not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+func TestGrowNil(t *testing.T) {
+	g := Grow[byte](nil, 5)
+	if len(g) != 5 {
+		t.Fatalf("len = %d, want 5", len(g))
+	}
+	if Grow[byte](nil, 0) == nil {
+		// A nil result for n=0 is acceptable; just ensure no panic and
+		// zero length.
+		return
+	}
+}
+
+func TestGrowZeroAllocSteadyState(t *testing.T) {
+	s := make([]float64, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		s = Grow(s, 1024)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Grow allocated %.1f times per run", allocs)
+	}
+}

@@ -46,6 +46,7 @@ type line struct {
 	tag   uint64
 	valid bool
 	dirty bool
+	epoch uint32 // line is live only when this matches the cache epoch
 	lru   uint64 // larger = more recently used
 }
 
@@ -93,6 +94,7 @@ type Cache struct {
 	lineShift uint
 	tagShift  uint // lineShift + log2(sets)
 	stamp     uint64
+	epoch     uint32
 	stats     Stats
 }
 
@@ -130,13 +132,28 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-// Reset invalidates all lines and zeroes the statistics.
+// Reset invalidates all lines and zeroes the statistics. Invalidation
+// is by epoch bump: a line is live only while its epoch matches the
+// cache's, so Reset is O(1) instead of a multi-megabyte clear of the
+// line array (an L2 model is reset before every simulated run).
 func (c *Cache) Reset() {
-	for i := range c.lines {
-		c.lines[i] = line{}
+	if c.epoch == ^uint32(0) {
+		// Epoch wrap: clear for real so stale lines from epoch 0 cannot
+		// resurface. Once per 2³² resets.
+		for i := range c.lines {
+			c.lines[i] = line{}
+		}
+		c.epoch = 0
+	} else {
+		c.epoch++
 	}
 	c.stats = Stats{}
 	c.stamp = 0
+}
+
+// live reports whether w holds a line of the current epoch.
+func (c *Cache) live(w *line) bool {
+	return w.valid && w.epoch == c.epoch
 }
 
 // LineAddr returns the line-aligned address containing addr.
@@ -177,7 +194,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	}
 
 	for wi := range ways {
-		if ways[wi].valid && ways[wi].tag == tag {
+		if c.live(&ways[wi]) && ways[wi].tag == tag {
 			ways[wi].lru = c.stamp
 			if write {
 				ways[wi].dirty = true
@@ -192,7 +209,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	// Miss: pick the LRU victim (preferring invalid ways).
 	victim := 0
 	for wi := range ways {
-		if !ways[wi].valid {
+		if !c.live(&ways[wi]) {
 			victim = wi
 			break
 		}
@@ -201,7 +218,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 		}
 	}
 	res := Result{Fill: true}
-	if ways[victim].valid {
+	if c.live(&ways[victim]) {
 		if ways[victim].dirty {
 			res.WriteBack = true
 			res.WriteBackAddr = c.reconstruct(set, ways[victim].tag)
@@ -210,9 +227,37 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 			c.stats.CleanEvicts++
 		}
 	}
-	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, epoch: c.epoch, lru: c.stamp}
 	c.stats.Fills++
 	return res
+}
+
+// AccessHit performs the access only if the line containing addr is
+// resident: on a hit it updates LRU, dirty state, and statistics exactly
+// as Access would and returns true; on a miss it changes nothing — no
+// stamp advance, no statistics — and returns false. It lets callers that
+// must decide between "access this level" and "bypass this level
+// entirely" (the write-combining store path in memhier) probe and access
+// in one set walk instead of a Contains probe followed by a full Access.
+func (c *Cache) AccessHit(addr uint64, write bool) bool {
+	set, tag := c.index(addr)
+	ways := c.set(set)
+	for wi := range ways {
+		if c.live(&ways[wi]) && ways[wi].tag == tag {
+			c.stamp++
+			ways[wi].lru = c.stamp
+			if write {
+				c.stats.Writes++
+				c.stats.WriteHits++
+				ways[wi].dirty = true
+			} else {
+				c.stats.Reads++
+				c.stats.ReadHits++
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // reconstruct rebuilds the line-aligned address from set and tag.
@@ -225,7 +270,7 @@ func (c *Cache) reconstruct(set, tag uint64) uint64 {
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)
 	for _, w := range c.set(set) {
-		if w.valid && w.tag == tag {
+		if c.live(&w) && w.tag == tag {
 			return true
 		}
 	}
@@ -236,7 +281,7 @@ func (c *Cache) Contains(addr uint64) bool {
 func (c *Cache) Dirty(addr uint64) bool {
 	set, tag := c.index(addr)
 	for _, w := range c.set(set) {
-		if w.valid && w.tag == tag {
+		if c.live(&w) && w.tag == tag {
 			return w.dirty
 		}
 	}
@@ -247,7 +292,7 @@ func (c *Cache) Dirty(addr uint64) bool {
 func (c *Cache) ResidentLines() int {
 	n := 0
 	for _, w := range c.lines {
-		if w.valid {
+		if c.live(&w) {
 			n++
 		}
 	}

@@ -9,6 +9,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/machine"
 	"repro/internal/savat"
@@ -42,20 +45,24 @@ const (
 	Seed
 	// Fast registers -fast (quarter-second captures).
 	Fast
+	// Profile registers -cpuprofile and -memprofile (pprof output files).
+	Profile
 	// All registers every shared flag.
-	All = Machine | Distance | Frequency | Repeats | Seed | Fast
+	All = Machine | Distance | Frequency | Repeats | Seed | Fast | Profile
 )
 
 // Flags holds the parsed values of the shared measurement-setup flags.
 // Fields whose flag was not registered keep their defaults and are not
 // validated.
 type Flags struct {
-	Machine   string
-	Distance  float64
-	Frequency float64
-	Repeats   int
-	Seed      int64
-	Fast      bool
+	Machine    string
+	Distance   float64
+	Frequency  float64
+	Repeats    int
+	Seed       int64
+	Fast       bool
+	CPUProfile string
+	MemProfile string
 
 	set Set
 }
@@ -90,7 +97,64 @@ func Register(fs *flag.FlagSet, which Set) *Flags {
 	if which&Fast != 0 {
 		fs.BoolVar(&f.Fast, "fast", f.Fast, "quarter-second captures (≈4× faster, coarser RBW)")
 	}
+	if which&Profile != 0 {
+		fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+		fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	}
 	return f
+}
+
+// StartProfiles starts the profiling the -cpuprofile and -memprofile
+// flags request and returns a stop function that must run exactly once
+// before the process exits (defer it right after the call). With
+// neither flag set both the start and the stop are no-ops, so commands
+// can call it unconditionally:
+//
+//	stopProf, err := cf.StartProfiles()
+//	if err != nil { return err }
+//	defer stopProf()
+//
+// The stop function stops the CPU profile and then, if requested,
+// writes the heap profile after a final GC so it reflects live objects
+// rather than garbage. Errors writing the heap profile are reported on
+// stderr (stop runs in defers, where a return value would be lost).
+func (f *Flags) StartProfiles() (stop func(), err error) {
+	var cpuOut *os.File
+	if f.CPUProfile != "" {
+		cpuOut, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cliconf: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("cliconf: -cpuprofile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cliconf: -cpuprofile:", err)
+			}
+		}
+		if f.MemProfile != "" {
+			out, err := os.Create(f.MemProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cliconf: -memprofile:", err)
+				return
+			}
+			defer out.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				fmt.Fprintln(os.Stderr, "cliconf: -memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // Validate reports the first problem among the registered flags as a

@@ -3,6 +3,7 @@ package cliconf
 import (
 	"errors"
 	"flag"
+	"os"
 	"testing"
 )
 
@@ -105,5 +106,41 @@ func TestMeasureConfig(t *testing.T) {
 	}
 	if cfg.Distance != 0.10 {
 		t.Errorf("unregistered distance applied: %v", cfg.Distance)
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	// Neither flag set: start and stop are no-ops.
+	f := parse(t, Profile)
+	stop, err := f.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // idempotent
+
+	// Both flags set: the profile files appear and are non-empty.
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	f = parse(t, Profile, "-cpuprofile", cpu, "-memprofile", mem)
+	stop, err = f.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+
+	// An unwritable path fails up front rather than at exit.
+	f = parse(t, Profile, "-cpuprofile", dir+"/no/such/dir/x.pprof")
+	if _, err := f.StartProfiles(); err == nil {
+		t.Error("unwritable -cpuprofile accepted")
 	}
 }

@@ -70,6 +70,15 @@ type CPU struct {
 	halted bool
 	act    activity.Vector
 
+	// Core-side activity is tallied as integer instruction counts and
+	// materialized into act on TakeActivity: every core event class adds
+	// a fixed per-instruction weight, and count×weight equals the
+	// repeated float additions exactly for the integer-valued default
+	// weights, so this is a pure win over per-step float accumulation.
+	// Memory-side activity (AccessInto) has per-access values and stays
+	// on the float accumulator.
+	fetchN, aluN, mulN, divN, branchN uint64
+
 	retired     uint64
 	mispredicts uint64
 }
@@ -112,9 +121,35 @@ func (c *CPU) SetReg(r isa.Reg, v uint32) { c.regs[r] = v }
 // Mem exposes the data memory for workload setup and inspection.
 func (c *CPU) Mem() *Memory { return c.mem }
 
+// flushCounts folds the integer core-side tallies into the float
+// accumulator and clears them.
+func (c *CPU) flushCounts() {
+	if c.fetchN != 0 {
+		c.act[activity.Fetch] += c.cfg.FetchEventsPerInst * float64(c.fetchN)
+		c.fetchN = 0
+	}
+	if c.aluN != 0 {
+		c.act[activity.ALU] += float64(c.aluN)
+		c.aluN = 0
+	}
+	if c.mulN != 0 {
+		c.act[activity.Mul] += c.cfg.MulEvents * float64(c.mulN)
+		c.mulN = 0
+	}
+	if c.divN != 0 {
+		c.act[activity.Div] += c.cfg.DivEventsPerCycle * float64(c.cfg.DivCycles) * float64(c.divN)
+		c.divN = 0
+	}
+	if c.branchN != 0 {
+		c.act[activity.Branch] += float64(c.branchN)
+		c.branchN = 0
+	}
+}
+
 // TakeActivity returns the activity accumulated since the previous call
 // and resets the accumulator.
 func (c *CPU) TakeActivity() activity.Vector {
+	c.flushCounts()
 	v := c.act
 	c.act = activity.Vector{}
 	return v
@@ -129,116 +164,172 @@ func (c *CPU) AddActivity(comp activity.Component, n float64) {
 // Step executes one instruction. It returns an error on PC overrun or an
 // undefined opcode; a retired HALT sets Halted and further Steps fail.
 func (c *CPU) Step() error {
+	_, err := c.RunToMarker(nil, 0, 1)
+	return err
+}
+
+// RunToMarker executes instructions until the PC lands on a marker
+// (an index with lookup[pc] >= 0 — checked only after at least one
+// instruction, so a caller sitting on a marker makes progress), the
+// core halts, the cycle count reaches maxCycles (when non-zero), or
+// maxSteps instructions have retired. It returns how many retired.
+//
+// This is the interpreter: one fused dispatch loop with the hot state
+// (pc, cycle, per-class activity tallies) in locals, written back once
+// on exit. Step and Run route through it, so every execution path has
+// identical semantics.
+func (c *CPU) RunToMarker(lookup []int32, maxCycles, maxSteps uint64) (uint64, error) {
 	if c.halted {
-		return fmt.Errorf("cpu: step after halt")
+		return 0, fmt.Errorf("cpu: step after halt")
 	}
-	if c.pc < 0 || c.pc >= len(c.prog) {
-		return fmt.Errorf("cpu: pc %d outside program of %d words", c.pc, len(c.prog))
-	}
-	in := &c.prog[c.pc]
-	c.act.Add(activity.Fetch, c.cfg.FetchEventsPerInst)
-	next := c.pc + 1
-	lat := c.cfg.ALUCycles
+	cfg := &c.cfg
+	prog := c.prog
+	pc := c.pc
+	cycle := c.cycle
+	aluLat := uint64(cfg.ALUCycles)
+	mulLat := uint64(cfg.MulCycles)
+	divLat := uint64(cfg.DivCycles)
+	var steps, fetchN, aluN, mulN, divN, branchN, mispredicts uint64
+	halted := false
+	var err error
 
-	switch in.Op {
-	case isa.NOP:
-		// front-end only
-	case isa.HALT:
-		c.halted = true
-	case isa.MOVI:
-		c.regs[in.Rd] = uint32(in.Imm)
-		c.act.Add(activity.ALU, 1)
-	case isa.LUI:
-		c.regs[in.Rd] = c.regs[in.Rd]&0xFFFF | uint32(in.Imm)<<16
-		c.act.Add(activity.ALU, 1)
-	case isa.ADDI:
-		c.regs[in.Rd] = c.regs[in.Rs1] + uint32(in.Imm)
-		c.act.Add(activity.ALU, 1)
-	case isa.ADDR:
-		c.regs[in.Rd] = c.regs[in.Rs1] + c.regs[in.Rs2]
-		c.act.Add(activity.ALU, 1)
-	case isa.SUBI:
-		c.regs[in.Rd] = c.regs[in.Rs1] - uint32(in.Imm)
-		c.act.Add(activity.ALU, 1)
-	case isa.SUBR:
-		c.regs[in.Rd] = c.regs[in.Rs1] - c.regs[in.Rs2]
-		c.act.Add(activity.ALU, 1)
-	case isa.ANDI:
-		c.regs[in.Rd] = c.regs[in.Rs1] & uint32(in.Imm)
-		c.act.Add(activity.ALU, 1)
-	case isa.ANDR:
-		c.regs[in.Rd] = c.regs[in.Rs1] & c.regs[in.Rs2]
-		c.act.Add(activity.ALU, 1)
-	case isa.ORI:
-		c.regs[in.Rd] = c.regs[in.Rs1] | uint32(in.Imm)
-		c.act.Add(activity.ALU, 1)
-	case isa.ORR:
-		c.regs[in.Rd] = c.regs[in.Rs1] | c.regs[in.Rs2]
-		c.act.Add(activity.ALU, 1)
-	case isa.XORI:
-		c.regs[in.Rd] = c.regs[in.Rs1] ^ uint32(in.Imm)
-		c.act.Add(activity.ALU, 1)
-	case isa.XORR:
-		c.regs[in.Rd] = c.regs[in.Rs1] ^ c.regs[in.Rs2]
-		c.act.Add(activity.ALU, 1)
-	case isa.SHLI:
-		c.regs[in.Rd] = c.regs[in.Rs1] << uint(in.Imm)
-		c.act.Add(activity.ALU, 1)
-	case isa.SHRI:
-		c.regs[in.Rd] = c.regs[in.Rs1] >> uint(in.Imm)
-		c.act.Add(activity.ALU, 1)
-	case isa.MULI:
-		c.regs[in.Rd] = uint32(int32(c.regs[in.Rs1]) * in.Imm)
-		c.act.Add(activity.Mul, c.cfg.MulEvents)
-		lat = c.cfg.MulCycles
-	case isa.MULR:
-		c.regs[in.Rd] = uint32(int32(c.regs[in.Rs1]) * int32(c.regs[in.Rs2]))
-		c.act.Add(activity.Mul, c.cfg.MulEvents)
-		lat = c.cfg.MulCycles
-	case isa.DIVI:
-		c.regs[in.Rd] = uint32(divide(int32(c.regs[in.Rs1]), in.Imm))
-		lat = c.cfg.DivCycles
-		c.act.Add(activity.Div, c.cfg.DivEventsPerCycle*float64(lat))
-	case isa.DIVR:
-		c.regs[in.Rd] = uint32(divide(int32(c.regs[in.Rs1]), int32(c.regs[in.Rs2])))
-		lat = c.cfg.DivCycles
-		c.act.Add(activity.Div, c.cfg.DivEventsPerCycle*float64(lat))
-	case isa.LD:
-		addr := uint64(c.regs[in.Rs1] + uint32(in.Imm))
-		c.regs[in.Rd] = c.mem.Load32(addr)
-		_, lat = c.hier.AccessInto(addr, false, &c.act)
-	case isa.ST:
-		addr := uint64(c.regs[in.Rs1] + uint32(in.Imm))
-		c.mem.Store32(addr, c.regs[in.Rd])
-		_, lat = c.hier.AccessInto(addr, true, &c.act)
-	case isa.BEQ, isa.BNE, isa.JMP:
-		taken := true
+	for steps < maxSteps {
+		if maxCycles > 0 && cycle >= maxCycles {
+			break
+		}
+		if steps > 0 && pc >= 0 && pc < len(lookup) && lookup[pc] >= 0 {
+			break
+		}
+		if pc < 0 || pc >= len(prog) {
+			err = fmt.Errorf("cpu: pc %d outside program of %d words", pc, len(prog))
+			break
+		}
+		in := &prog[pc]
+		fetchN++
+		next := pc + 1
+		lat := aluLat
+
 		switch in.Op {
-		case isa.BEQ:
-			taken = c.regs[in.Rd] == c.regs[in.Rs1]
-		case isa.BNE:
-			taken = c.regs[in.Rd] != c.regs[in.Rs1]
+		case isa.NOP:
+			// front-end only
+		case isa.HALT:
+			halted = true
+		case isa.MOVI:
+			c.regs[in.Rd] = uint32(in.Imm)
+			aluN++
+		case isa.LUI:
+			c.regs[in.Rd] = c.regs[in.Rd]&0xFFFF | uint32(in.Imm)<<16
+			aluN++
+		case isa.ADDI:
+			c.regs[in.Rd] = c.regs[in.Rs1] + uint32(in.Imm)
+			aluN++
+		case isa.ADDR:
+			c.regs[in.Rd] = c.regs[in.Rs1] + c.regs[in.Rs2]
+			aluN++
+		case isa.SUBI:
+			c.regs[in.Rd] = c.regs[in.Rs1] - uint32(in.Imm)
+			aluN++
+		case isa.SUBR:
+			c.regs[in.Rd] = c.regs[in.Rs1] - c.regs[in.Rs2]
+			aluN++
+		case isa.ANDI:
+			c.regs[in.Rd] = c.regs[in.Rs1] & uint32(in.Imm)
+			aluN++
+		case isa.ANDR:
+			c.regs[in.Rd] = c.regs[in.Rs1] & c.regs[in.Rs2]
+			aluN++
+		case isa.ORI:
+			c.regs[in.Rd] = c.regs[in.Rs1] | uint32(in.Imm)
+			aluN++
+		case isa.ORR:
+			c.regs[in.Rd] = c.regs[in.Rs1] | c.regs[in.Rs2]
+			aluN++
+		case isa.XORI:
+			c.regs[in.Rd] = c.regs[in.Rs1] ^ uint32(in.Imm)
+			aluN++
+		case isa.XORR:
+			c.regs[in.Rd] = c.regs[in.Rs1] ^ c.regs[in.Rs2]
+			aluN++
+		case isa.SHLI:
+			c.regs[in.Rd] = c.regs[in.Rs1] << uint(in.Imm)
+			aluN++
+		case isa.SHRI:
+			c.regs[in.Rd] = c.regs[in.Rs1] >> uint(in.Imm)
+			aluN++
+		case isa.MULI:
+			c.regs[in.Rd] = uint32(int32(c.regs[in.Rs1]) * in.Imm)
+			mulN++
+			lat = mulLat
+		case isa.MULR:
+			c.regs[in.Rd] = uint32(int32(c.regs[in.Rs1]) * int32(c.regs[in.Rs2]))
+			mulN++
+			lat = mulLat
+		case isa.DIVI:
+			c.regs[in.Rd] = uint32(divide(int32(c.regs[in.Rs1]), in.Imm))
+			divN++
+			lat = divLat
+		case isa.DIVR:
+			c.regs[in.Rd] = uint32(divide(int32(c.regs[in.Rs1]), int32(c.regs[in.Rs2])))
+			divN++
+			lat = divLat
+		case isa.LD:
+			addr := uint64(c.regs[in.Rs1] + uint32(in.Imm))
+			c.regs[in.Rd] = c.mem.Load32(addr)
+			var l int
+			_, l = c.hier.AccessInto(addr, false, &c.act)
+			lat = uint64(l)
+		case isa.ST:
+			addr := uint64(c.regs[in.Rs1] + uint32(in.Imm))
+			c.mem.Store32(addr, c.regs[in.Rd])
+			var l int
+			_, l = c.hier.AccessInto(addr, true, &c.act)
+			lat = uint64(l)
+		case isa.BEQ, isa.BNE, isa.JMP:
+			taken := true
+			switch in.Op {
+			case isa.BEQ:
+				taken = c.regs[in.Rd] == c.regs[in.Rs1]
+			case isa.BNE:
+				taken = c.regs[in.Rd] != c.regs[in.Rs1]
+			}
+			branchN++
+			lat = uint64(cfg.BranchCycles)
+			// Static prediction: backward taken, forward not-taken; JMP always
+			// predicted taken.
+			predictTaken := in.Imm < 0 || in.Op == isa.JMP
+			if taken != predictTaken {
+				lat += uint64(cfg.MispredictCycles)
+				mispredicts++
+			}
+			if taken {
+				next = pc + 1 + int(in.Imm)
+			}
+		default:
+			err = fmt.Errorf("cpu: undefined opcode %d at pc %d", in.Op, pc)
 		}
-		c.act.Add(activity.Branch, 1)
-		lat = c.cfg.BranchCycles
-		// Static prediction: backward taken, forward not-taken; JMP always
-		// predicted taken.
-		predictTaken := in.Imm < 0 || in.Op == isa.JMP
-		if taken != predictTaken {
-			lat += c.cfg.MispredictCycles
-			c.mispredicts++
+		if err != nil {
+			break
 		}
-		if taken {
-			next = c.pc + 1 + int(in.Imm)
+
+		pc = next
+		cycle += lat
+		steps++
+		if halted {
+			break
 		}
-	default:
-		return fmt.Errorf("cpu: undefined opcode %d at pc %d", in.Op, c.pc)
 	}
 
-	c.pc = next
-	c.cycle += uint64(lat)
-	c.retired++
-	return nil
+	c.pc = pc
+	c.cycle = cycle
+	c.halted = halted
+	c.retired += steps
+	c.mispredicts += mispredicts
+	c.fetchN += fetchN
+	c.aluN += aluN
+	c.mulN += mulN
+	c.divN += divN
+	c.branchN += branchN
+	return steps, err
 }
 
 // divide implements the divider's saturating semantics: division by zero
@@ -257,11 +348,8 @@ func divide(a, b int32) int32 {
 // Run steps until HALT or maxSteps, returning the number of retired
 // instructions.
 func (c *CPU) Run(maxSteps uint64) (uint64, error) {
-	start := c.retired
-	for !c.halted && c.retired-start < maxSteps {
-		if err := c.Step(); err != nil {
-			return c.retired - start, err
-		}
+	if c.halted || maxSteps == 0 {
+		return 0, nil
 	}
-	return c.retired - start, nil
+	return c.RunToMarker(nil, 0, maxSteps)
 }

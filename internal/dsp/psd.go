@@ -171,9 +171,49 @@ func (s *WelchScratch) SegLen() int { return s.segLen }
 // Window returns the scratch's window.
 func (s *WelchScratch) Window() Window { return s.win }
 
+// scatter windows one complex segment directly into bit-reversed order
+// in dst, so the FFT skips its separate permutation pass.
+func (s *WelchScratch) scatter(dst []complex128, seg []complex128) {
+	perm := s.plan.perm
+	for i := range seg {
+		// seg[i] · (w + 0i) decomposed: the products against the zero
+		// imaginary part vanish exactly, so two real multiplies suffice.
+		w := s.coeff[i]
+		v := seg[i]
+		dst[perm[i]] = complex(real(v)*w, imag(v)*w)
+	}
+}
+
+// accumulate adds the periodogram |F[k]|² of one transformed segment to
+// dst; the first segment overwrites so callers never need a clearing
+// pass.
+func (s *WelchScratch) accumulate(dst []float64, f []complex128, first bool) {
+	if first {
+		for k, v := range f {
+			re, im := real(v), imag(v)
+			dst[k] = re*re + im*im
+		}
+	} else {
+		for k, v := range f {
+			re, im := real(v), imag(v)
+			dst[k] += re*re + im*im
+		}
+	}
+}
+
+// finishScale applies the Welch normalization for count averaged
+// segments.
+func (s *WelchScratch) finishScale(dst []float64, fs float64, count int) {
+	scale := 1 / (fs * float64(s.segLen) * s.noise * float64(count))
+	for k := range dst {
+		dst[k] *= scale
+	}
+}
+
 // WelchInto estimates the PSD of x by averaging windowed periodograms
 // of 50%-overlapped segments, overwriting dst (len(dst) must equal the
-// segment length) without allocating.
+// segment length) without allocating. It walks the same per-segment
+// primitives as a streaming Feed, so the two agree bit for bit.
 func (s *WelchScratch) WelchInto(dst []float64, x []complex128, fs float64) error {
 	if fs <= 0 {
 		return fmt.Errorf("dsp: sample rate %g", fs)
@@ -186,34 +226,14 @@ func (s *WelchScratch) WelchInto(dst []float64, x []complex128, fs float64) erro
 	}
 	step := s.segLen / 2
 	count := 0
-	perm := s.plan.perm
 	for start := 0; start+s.segLen <= len(x); start += step {
-		seg := x[start : start+s.segLen]
-		// Window directly into bit-reversed order so the FFT skips its
-		// separate permutation pass over the buffer.
-		for i := range seg {
-			s.buf[perm[i]] = seg[i] * complex(s.coeff[i], 0)
-		}
+		s.scatter(s.buf, x[start:start+s.segLen])
 		s.plan.butterflies(s.buf)
-		if count == 0 {
-			// First segment overwrites dst, so no clearing pass is needed
-			// (the loop always runs: len(x) ≥ segLen was checked above).
-			for k, v := range s.buf {
-				re, im := real(v), imag(v)
-				dst[k] = re*re + im*im
-			}
-		} else {
-			for k, v := range s.buf {
-				re, im := real(v), imag(v)
-				dst[k] += re*re + im*im
-			}
-		}
+		// The first segment always exists (len(x) ≥ segLen was checked).
+		s.accumulate(dst, s.buf, count == 0)
 		count++
 	}
-	scale := 1 / (fs * float64(s.segLen) * s.noise * float64(count))
-	for k := range dst {
-		dst[k] *= scale
-	}
+	s.finishScale(dst, fs, count)
 	return nil
 }
 
@@ -245,85 +265,105 @@ func (s *WelchScratch) WelchPairInto(pa, pb []float64, cross []complex128, a, b 
 	n := s.segLen
 	step := n / 2
 	count := 0
-	perm := s.plan.perm
 	for start := 0; start+n <= len(a); start += step {
-		// Window directly into bit-reversed order so the FFT skips its
-		// separate permutation pass over the buffer.
-		for i := 0; i < n; i++ {
-			w := s.coeff[i]
-			s.buf[perm[i]] = complex(w*a[start+i], w*b[start+i])
-		}
+		s.scatterPair(s.buf, a[start:start+n], b[start:start+n])
 		s.plan.butterflies(s.buf)
-		// Self-conjugate bins (DC and, for n > 1, Nyquist) unpack against
-		// themselves; every other bin pairs with n−k, whose A/B values are
-		// the conjugates of bin k's — one unpack serves both bins. The
-		// first segment overwrites the destinations (the loop always runs,
-		// so no separate clearing pass is needed); later segments add.
-		first := count == 0
-		for _, k := range [2]int{0, n / 2} {
-			z := s.buf[k]
-			zc := complex(real(z), -imag(z))
-			wa := (z + zc) * 0.5
-			d := z - zc
+		// The first segment always exists (len(a) ≥ segLen was checked).
+		s.accumulatePair(pa, pb, cross, s.buf, count == 0)
+		count++
+	}
+	s.finishScalePair(pa, pb, cross, fs, count)
+	return nil
+}
+
+// scatterPair packs one segment of the real pair as a[i] + i·b[i],
+// windowed directly into bit-reversed order in dst so the FFT skips
+// its separate permutation pass. len(a) == len(b) == segLen.
+func (s *WelchScratch) scatterPair(dst []complex128, a, b []float64) {
+	perm := s.plan.perm
+	for i := range a {
+		w := s.coeff[i]
+		dst[perm[i]] = complex(w*a[i], w*b[i])
+	}
+}
+
+// accumulatePair unpacks one packed-pair transform f and adds the two
+// periodograms and the cross-spectrum to the destinations.
+//
+// Self-conjugate bins (DC and, for n > 1, Nyquist) unpack against
+// themselves; every other bin pairs with n−k, whose A/B values are
+// the conjugates of bin k's — one unpack serves both bins. The
+// first segment overwrites the destinations (callers guarantee the
+// first segment exists, so no separate clearing pass is needed);
+// later segments add.
+func (s *WelchScratch) accumulatePair(pa, pb []float64, cross []complex128, f []complex128, first bool) {
+	n := s.segLen
+	for _, k := range [2]int{0, n / 2} {
+		z := f[k]
+		zc := complex(real(z), -imag(z))
+		wa := (z + zc) * 0.5
+		d := z - zc
+		wb := complex(imag(d)*0.5, -real(d)*0.5) // −i/2 · d
+		pwa := real(wa)*real(wa) + imag(wa)*imag(wa)
+		pwb := real(wb)*real(wb) + imag(wb)*imag(wb)
+		cr := wa * complex(real(wb), -imag(wb))
+		if first {
+			pa[k], pb[k], cross[k] = pwa, pwb, cr
+		} else {
+			pa[k] += pwa
+			pb[k] += pwb
+			cross[k] += cr
+		}
+		if n/2 == 0 {
+			break
+		}
+	}
+	if first {
+		for k := 1; k < n/2; k++ {
+			m := n - k
+			zk, zm := f[k], f[m]
+			zmc := complex(real(zm), -imag(zm))
+			wa := (zk + zmc) * 0.5
+			d := zk - zmc
 			wb := complex(imag(d)*0.5, -real(d)*0.5) // −i/2 · d
 			pwa := real(wa)*real(wa) + imag(wa)*imag(wa)
 			pwb := real(wb)*real(wb) + imag(wb)*imag(wb)
 			cr := wa * complex(real(wb), -imag(wb))
-			if first {
-				pa[k], pb[k], cross[k] = pwa, pwb, cr
-			} else {
-				pa[k] += pwa
-				pb[k] += pwb
-				cross[k] += cr
-			}
-			if n/2 == 0 {
-				break
-			}
+			pa[k], pb[k], cross[k] = pwa, pwb, cr
+			pa[m], pb[m] = pwa, pwb
+			cross[m] = complex(real(cr), -imag(cr))
 		}
-		if first {
-			for k := 1; k < n/2; k++ {
-				m := n - k
-				zk, zm := s.buf[k], s.buf[m]
-				zmc := complex(real(zm), -imag(zm))
-				wa := (zk + zmc) * 0.5
-				d := zk - zmc
-				wb := complex(imag(d)*0.5, -real(d)*0.5) // −i/2 · d
-				pwa := real(wa)*real(wa) + imag(wa)*imag(wa)
-				pwb := real(wb)*real(wb) + imag(wb)*imag(wb)
-				cr := wa * complex(real(wb), -imag(wb))
-				pa[k], pb[k], cross[k] = pwa, pwb, cr
-				pa[m], pb[m] = pwa, pwb
-				cross[m] = complex(real(cr), -imag(cr))
-			}
-		} else {
-			for k := 1; k < n/2; k++ {
-				m := n - k
-				zk, zm := s.buf[k], s.buf[m]
-				zmc := complex(real(zm), -imag(zm))
-				wa := (zk + zmc) * 0.5
-				d := zk - zmc
-				wb := complex(imag(d)*0.5, -real(d)*0.5) // −i/2 · d
-				pwa := real(wa)*real(wa) + imag(wa)*imag(wa)
-				pwb := real(wb)*real(wb) + imag(wb)*imag(wb)
-				cr := wa * complex(real(wb), -imag(wb))
-				pa[k] += pwa
-				pb[k] += pwb
-				cross[k] += cr
-				pa[m] += pwa
-				pb[m] += pwb
-				cross[m] += complex(real(cr), -imag(cr))
-			}
+	} else {
+		for k := 1; k < n/2; k++ {
+			m := n - k
+			zk, zm := f[k], f[m]
+			zmc := complex(real(zm), -imag(zm))
+			wa := (zk + zmc) * 0.5
+			d := zk - zmc
+			wb := complex(imag(d)*0.5, -real(d)*0.5) // −i/2 · d
+			pwa := real(wa)*real(wa) + imag(wa)*imag(wa)
+			pwb := real(wb)*real(wb) + imag(wb)*imag(wb)
+			cr := wa * complex(real(wb), -imag(wb))
+			pa[k] += pwa
+			pb[k] += pwb
+			cross[k] += cr
+			pa[m] += pwa
+			pb[m] += pwb
+			cross[m] += complex(real(cr), -imag(cr))
 		}
-		count++
 	}
-	scale := 1 / (fs * float64(n) * s.noise * float64(count))
+}
+
+// finishScalePair applies the Welch normalization for count averaged
+// segments to both PSDs and the cross-spectrum.
+func (s *WelchScratch) finishScalePair(pa, pb []float64, cross []complex128, fs float64, count int) {
+	scale := 1 / (fs * float64(s.segLen) * s.noise * float64(count))
 	cs := complex(scale, 0)
 	for k := range pa {
 		pa[k] *= scale
 		pb[k] *= scale
 		cross[k] *= cs
 	}
-	return nil
 }
 
 // Welch estimates the PSD of x into a fresh Spectrum using the scratch.

@@ -49,6 +49,7 @@ import (
 	"math/rand"
 
 	"repro/internal/activity"
+	"repro/internal/buf"
 )
 
 // RefDistance is the reference antenna distance at which Source
@@ -331,13 +332,6 @@ type Envelopes struct {
 	A, B []float64
 }
 
-func resizeFloats(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
-}
-
 // SynthesizeEnvelopes renders the two shared per-phase envelope streams
 // for n samples at rate fs: one jittered alternation timeline, rendered
 // once, from which every group's baseband stream follows by linear
@@ -349,77 +343,21 @@ func resizeFloats(s []float64, n int) []float64 {
 // also the return value; pass nil to allocate fresh envelopes. The rng
 // draws are exactly those of a SynthesizeGroups call with at least one
 // active group: the two initial fluctuation values, the edge phase, and
-// the per-period walk and fluctuation steps.
+// the per-period walk and fluctuation steps. It is one full-length
+// drain of an EnvelopeStream, so buffered and streaming synthesis are
+// bit-identical by construction.
 func SynthesizeEnvelopes(alt Alternation, fs float64, n int, jit Jitter, rng *rand.Rand, dst *Envelopes) (*Envelopes, error) {
-	if err := alt.Validate(); err != nil {
+	es, err := NewEnvelopeStream(alt, fs, n, jit, rng)
+	if err != nil {
 		return nil, err
-	}
-	if fs <= 0 || n <= 0 {
-		return nil, fmt.Errorf("emsim: bad synthesis parameters fs=%v n=%d", fs, n)
 	}
 	if dst == nil {
 		dst = &Envelopes{}
 	}
-	dst.A = resizeFloats(dst.A, n)
-	dst.B = resizeFloats(dst.B, n)
-
-	maxDrift := jit.MaxDrift
-	if maxDrift == 0 {
-		maxDrift = 10 * jit.DriftStd
-	}
-
-	rho := jit.AmpNoiseCorr
-	if rho == 0 {
-		rho = 0.99
-	}
-	ampStep := jit.AmpNoiseStd * math.Sqrt(1-rho*rho)
-
-	dt := 1 / fs
-	phase := 0
-	walk := 0.0
-	scale := 1 + jit.FreqOffset
-	ampFluct := [2]float64{jit.AmpNoiseStd * rng.NormFloat64(), jit.AmpNoiseStd * rng.NormFloat64()}
-	tEdge := rng.Float64() * alt.HalfSeconds[0] * scale
-
-	// The edge-walking loop is the envelope synthesis hot path; the phase
-	// advance is inlined (no closure) and the amplitude factors are
-	// carried as locals so the per-sample work is straight-line float
-	// arithmetic.
-	fact := [2]float64{1 + ampFluct[0], 1 + ampFluct[1]}
-	t := 0.0
-	for m := 0; m < n; m++ {
-		end := t + dt
-		var accA, accB float64
-		for t < end {
-			segEnd := end
-			if tEdge < end {
-				segEnd = tEdge
-			}
-			w := (segEnd - t) * fact[phase]
-			if phase == 0 {
-				accA += w
-			} else {
-				accB += w
-			}
-			t = segEnd
-			if t >= tEdge {
-				phase ^= 1
-				if phase == 0 { // new full period: step the drift walk and fluctuation
-					walk += rng.NormFloat64() * jit.DriftStd
-					walk = math.Max(-maxDrift, math.Min(maxDrift, walk))
-					scale = 1 + jit.FreqOffset + walk
-					if jit.AmpNoiseStd > 0 {
-						for p := 0; p < 2; p++ {
-							ampFluct[p] = rho*ampFluct[p] + ampStep*rng.NormFloat64()
-							fact[p] = 1 + ampFluct[p]
-						}
-					}
-				}
-				tEdge += alt.HalfSeconds[phase] * scale
-			}
-		}
-		dst.A[m] = accA * fs // average envelope over the sample
-		dst.B[m] = accB * fs
+	dst.A = buf.Grow(dst.A, n)
+	dst.B = buf.Grow(dst.B, n)
+	if _, err := es.Next(dst.A, dst.B); err != nil {
+		return nil, err
 	}
 	return dst, nil
 }

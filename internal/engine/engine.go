@@ -22,6 +22,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/workpool"
 )
 
 // ErrCheckpointMismatch is returned by Run when the checkpoint file at
@@ -226,8 +228,18 @@ func (e *Engine) runCampaign(ctx context.Context, spec Spec) (*Result, error) {
 	var wg sync.WaitGroup
 	wg.Add(e.opts.Parallelism)
 	for w := 0; w < e.opts.Parallelism; w++ {
+		reserve := w > 0
 		go func() {
 			defer wg.Done()
+			if reserve {
+				// Campaign workers beyond the first occupy shared worker-pool
+				// slots for their lifetime, so per-cell transform fan-out
+				// (specan's segment feeds) plus campaign parallelism never
+				// oversubscribes the machine: every concurrent executor past
+				// the first holds a pool token, whoever it belongs to.
+				_, release := workpool.Default.Reserve(1)
+				defer release()
+			}
 			var state any
 			if spec.NewWorkerState != nil {
 				state = spec.NewWorkerState()

@@ -165,7 +165,9 @@ func (m *Machine) RunPhases(prog []isa.Instruction, phaseAt map[int]int, opts Ru
 	inPhase := false
 	cur := activity.PhaseSample{ID: -1}
 
-	for steps := uint64(0); steps < maxSteps; steps++ {
+	// The core's fused interpreter runs from marker to marker; this loop
+	// only does the per-phase bookkeeping at each boundary.
+	for steps := uint64(0); steps < maxSteps; {
 		if core.Halted() {
 			break
 		}
@@ -186,8 +188,13 @@ func (m *Machine) RunPhases(prog []isa.Instruction, phaseAt map[int]int, opts Ru
 			cur = activity.PhaseSample{ID: int(lookup[pc]), StartCycle: core.Cycle()}
 			inPhase = true
 		}
-		if err := core.Step(); err != nil {
+		k, err := core.RunToMarker(lookup, opts.MaxCycles, maxSteps-steps)
+		if err != nil {
 			return nil, fmt.Errorf("machine %s: %w", m.cfg.Name, err)
+		}
+		steps += k
+		if k == 0 {
+			break
 		}
 	}
 	if core.Halted() && inPhase {

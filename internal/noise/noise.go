@@ -106,55 +106,36 @@ func (e Environment) Render(x []complex128, fs float64, rng *rand.Rand) error {
 	return e.realize(x, fs, rng, true)
 }
 
+// realize drains a Stream over x, overwriting or adding. Routing both
+// buffered entry points through the streaming renderer keeps exactly
+// one copy of the synthesis (and one rng draw order: background level,
+// carrier phases, then white noise in sample order), so buffered and
+// streaming noise are bit-identical by construction.
 func (e Environment) realize(x []complex128, fs float64, rng *rand.Rand, overwrite bool) error {
-	if err := e.Validate(); err != nil {
+	var s Stream
+	if err := s.Init(e, fs, len(x), rng); err != nil {
 		return err
 	}
-	if fs <= 0 {
-		return fmt.Errorf("noise: sample rate %g", fs)
-	}
-	// Campaign-specific background level.
-	bg := e.RFBackgroundPSD
-	if e.RFBackgroundSpread > 0 {
-		bg *= 1 + e.RFBackgroundSpread*(2*rng.Float64()-1)
-	}
-	// White complex noise: total PSD spread uniformly over fs; per-part
-	// variance σ² with 2σ²·(1/fs)... PSD = 2σ²/fs ⇒ σ = √(PSD·fs/2).
-	sigma := math.Sqrt((e.ThermalPSD + bg) * fs / 2)
 	if overwrite {
-		for i := range x {
-			x[i] = complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
-		}
-	} else {
-		for i := range x {
-			x[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
-		}
+		_, err := s.Next(x)
+		return err
 	}
-	// Discrete carriers with random starting phase, synthesized by phasor
-	// rotation: one complex multiply per sample instead of two or three
-	// trig calls. Rotation accumulates rounding, so both phasors are
-	// re-anchored from an exact sin/cos every carrierRenorm samples,
-	// bounding the phase error at ~1e-13 radians — far below the carriers'
-	// own random phase and the white-noise floor.
-	for _, c := range e.Carriers {
-		amp := math.Sqrt(c.Power)
-		ph0 := 2 * math.Pi * rng.Float64()
-		carStep := rotation(c.Freq / fs)
-		amStep := rotation(c.AMRate / fs)
-		for base := 0; base < len(x); base += carrierRenorm {
-			end := base + carrierRenorm
-			if end > len(x) {
-				end = len(x)
-			}
-			car := anchor(c.Freq/fs, base, ph0)
-			am := anchor(c.AMRate/fs, base, 0)
-			for i := base; i < end; i++ {
-				a := amp * (1 + c.AMDepth*imag(am))
-				x[i] += complex(a*real(car), a*imag(car))
-				car *= carStep
-				am *= amStep
-			}
+	// Additive path: render in bounded blocks and accumulate. Blocking
+	// does not change the rendered values (see Stream), so Apply on a
+	// zeroed buffer equals Render bit for bit.
+	var tmp [1024]complex128
+	for off := 0; off < len(x); {
+		k, err := s.Next(tmp[:])
+		if err != nil {
+			return err
 		}
+		if k == 0 {
+			break
+		}
+		for i := 0; i < k; i++ {
+			x[off+i] += tmp[i]
+		}
+		off += k
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/stats"
+	"repro/internal/workpool"
 )
 
 // CampaignOptions configure a full pairwise measurement campaign.
@@ -24,6 +25,11 @@ type CampaignOptions struct {
 	Seed int64
 	// Parallelism bounds concurrent cell measurements (0 = GOMAXPROCS).
 	Parallelism int
+	// AnalyzerPool, when non-nil, is the worker pool each campaign
+	// worker's spectrum analyzer uses for per-segment transforms
+	// (nil = the process-default pool, shared with the engine's own
+	// workers so campaigns never oversubscribe the machine).
+	AnalyzerPool *workpool.Pool
 
 	// Progress, when non-nil, receives one call per finished pair (all
 	// repetitions done), with total = len(Events)².
@@ -135,7 +141,11 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 		// cells reuse sample buffers, FFT plans, and per-pair alternation
 		// results without locking. The scratch never influences values:
 		// cells remain exactly equal to MeasurePair for the same seed.
-		NewWorkerState: func() any { return NewMeasureScratch() },
+		NewWorkerState: func() any {
+			ws := NewMeasureScratch()
+			ws.SetAnalyzerPool(opts.AnalyzerPool)
+			return ws
+		},
 		ComputeState: func(_ context.Context, state any, i, j, r int) (float64, error) {
 			k, err := kernelFor(i, j)
 			if err != nil {

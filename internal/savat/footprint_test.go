@@ -1,0 +1,69 @@
+package savat
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestStreamingMeasurementFootprint checks the measurement-level memory
+// claim of the streaming pipeline: MeasureKernelScratch never
+// materializes a capture-length buffer — the scratch's envelope and
+// noise captures stay empty, and a warmed measurement allocates far
+// less than one capture — while MeasureKernelBuffered on the same
+// scratch pays the full O(n) working set and still produces the exact
+// same value.
+func TestStreamingMeasurementFootprint(t *testing.T) {
+	mc := machine.Core2Duo()
+	cfg := DefaultConfig()
+	cfg.Analyzer.RBW = 50 // coarse RBW: segment 8192 ≪ capture 262144
+	n := int(cfg.Duration * cfg.SampleRate)
+	k, err := BuildKernel(mc, ADD, LDM, cfg.Frequency)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewMeasureScratch()
+	warm, err := MeasureKernelScratch(mc, k, cfg, rand.New(rand.NewSource(9)), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.env.A) != 0 || len(s.env.B) != 0 || len(s.noise) != 0 {
+		t.Errorf("streaming path materialized capture buffers: env %d/%d, noise %d samples",
+			len(s.env.A), len(s.env.B), len(s.noise))
+	}
+
+	// A warmed streaming measurement's total allocation stays far below
+	// even one capture-length float64 buffer (8n bytes; the buffered
+	// pipeline's working set is 4·8n for the envelope pair and complex
+	// noise). The bound leaves generous headroom for the rng and result
+	// structs while still being an order below one capture.
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	again, err := MeasureKernelScratch(mc, k, cfg, rand.New(rand.NewSource(9)), s)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta, bound := m1.TotalAlloc-m0.TotalAlloc, uint64(n); delta > bound {
+		t.Errorf("warmed streaming measurement allocated %d bytes; want ≤ %d (capture is %d bytes)",
+			delta, bound, 8*n)
+	}
+	if again.SAVAT != warm.SAVAT {
+		t.Errorf("repeat measurement drifted: %g vs %g", again.SAVAT, warm.SAVAT)
+	}
+
+	// The buffered oracle pays O(n) and agrees bit for bit.
+	buffered, err := MeasureKernelBuffered(mc, k, cfg, rand.New(rand.NewSource(9)), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.env.A) != n || len(s.noise) != n {
+		t.Errorf("buffered path buffers: env %d, noise %d samples, want %d", len(s.env.A), len(s.noise), n)
+	}
+	if buffered.SAVAT != warm.SAVAT {
+		t.Errorf("buffered %g != streaming %g (must be bit-identical)", buffered.SAVAT, warm.SAVAT)
+	}
+}

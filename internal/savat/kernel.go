@@ -2,6 +2,7 @@ package savat
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/activity"
 	"repro/internal/asm"
@@ -9,6 +10,34 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memhier"
 )
+
+// hierPools recycles memory hierarchies per configuration. A hierarchy
+// is multi-megabyte (the L2 line array dominates) and kernel
+// calibration needs one only for the duration of its probe runs, so
+// campaigns building ~10² kernels borrow instead of allocating.
+// Hierarchies are Reset by RunPhases before use, so pooled state never
+// leaks into a run.
+var hierPools sync.Map // memhier.Config -> *sync.Pool
+
+func borrowHier(mc memhier.Config) (*memhier.Hierarchy, error) {
+	pi, ok := hierPools.Load(mc)
+	if !ok {
+		pi, _ = hierPools.LoadOrStore(mc, &sync.Pool{})
+	}
+	if h, _ := pi.(*sync.Pool).Get().(*memhier.Hierarchy); h != nil {
+		return h, nil
+	}
+	return memhier.New(mc)
+}
+
+func returnHier(mc memhier.Config, h *memhier.Hierarchy) {
+	if h == nil {
+		return
+	}
+	if pi, ok := hierPools.Load(mc); ok {
+		pi.(*sync.Pool).Put(h)
+	}
+}
 
 // Register allocation of the alternation kernel (Figure 4 of the paper,
 // expressed in SVX32). r0 is never written and serves as zero.
@@ -253,11 +282,12 @@ func BuildKernelStride(mc machine.Config, a, b Event, frequency float64, stride 
 	// Fixed-point calibration: run a trial kernel, measure the achieved
 	// period, rescale the loop count. Two rounds converge because the
 	// per-iteration cost is nearly independent of the count. The probe
-	// runs share one memory hierarchy (reset between runs).
-	hier, err := memhier.New(mc.Mem)
+	// runs share one pooled memory hierarchy (reset between runs).
+	hier, err := borrowHier(mc.Mem)
 	if err != nil {
 		return nil, err
 	}
+	defer returnHier(mc.Mem, hier)
 	loopCount := 256
 	for round := 0; round < 2; round++ {
 		k, err := assemble(mc, a, b, frequency, loopCount, stride)

@@ -5,10 +5,13 @@ import (
 	"math/rand"
 
 	"repro/internal/activity"
+	"repro/internal/buf"
 	"repro/internal/emsim"
 	"repro/internal/machine"
 	"repro/internal/memhier"
+	"repro/internal/noise"
 	"repro/internal/specan"
+	"repro/internal/workpool"
 )
 
 // altKey identifies one deterministic alternation simulation: the
@@ -38,6 +41,12 @@ type MeasureScratch struct {
 	alts   map[altKey]*AlternationResult
 	hiers  map[memhier.Config]*memhier.Hierarchy
 
+	// Streaming sources, re-initialized per measurement. Only the
+	// buffered path (MeasureKernelBuffered) materializes env and noise
+	// above; the streaming path renders through these instead.
+	envStream   emsim.EnvelopeStream
+	noiseStream noise.Stream
+
 	analyzer    *specan.Analyzer
 	analyzerCfg specan.Config
 }
@@ -52,12 +61,14 @@ func NewMeasureScratch() *MeasureScratch {
 	}
 }
 
-func resizeComplex(s []complex128, n int) []complex128 {
-	if cap(s) < n {
-		return make([]complex128, n)
-	}
-	return s[:n]
-}
+// SetAnalyzerPool directs the spectrum analyzer's per-segment
+// transforms through p instead of the process-default pool. The default
+// is right for campaigns — workers and segment transforms share one
+// CPU budget — but tests (and callers that know the machine is
+// otherwise idle) can hand each scratch an explicit pool to force
+// parallel segment transforms regardless of GOMAXPROCS. Results are
+// bit-identical either way: segment PSDs are reduced in capture order.
+func (s *MeasureScratch) SetAnalyzerPool(p *workpool.Pool) { s.specan.Pool = p }
 
 // alternation returns the cached steady-state alternation of (k, mc),
 // simulating it on first need. Alternation is deterministic — it
@@ -83,54 +94,43 @@ func (s *MeasureScratch) alternation(mc machine.Config, k *Kernel, cfg Config) (
 	return alt, nil
 }
 
-// MeasureKernelScratch is MeasureKernel with an explicit scratch: the
-// same pipeline and the same rng draw sequence, but the per-group
-// time-domain synthesis and per-stream Welch passes are replaced by the
-// shared-envelope fast path (emsim.SynthesizeEnvelopes +
-// specan.AnalyzeEnvelopes), and every sample-sized buffer lives in the
-// scratch. Values match the reference pipeline within rounding (the
-// equivalence tests bound the relative difference by 1e-9).
-//
-// The returned Measurement's Trace aliases the scratch and is valid
-// until the scratch's next measurement; callers that keep traces must
-// use distinct scratches (or MeasureKernel, which uses a fresh one).
-// A nil scratch is allowed and behaves like MeasureKernel.
-func MeasureKernelScratch(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch) (*Measurement, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+// prepare runs the shared front half of a measurement — validation,
+// the cached cycle-accurate alternation, radiator initialization, and
+// the group-coefficient filter (left in s.coeffs) — and caches the
+// analyzer. Both the streaming and buffered paths start here, so they
+// consume identical rng draws up to synthesis.
+func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand) (alt *AlternationResult, spec emsim.Alternation, n int, jit emsim.Jitter, err error) {
+	if err = cfg.Validate(); err != nil {
+		return nil, spec, 0, jit, err
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("savat: nil rng")
-	}
-	if s == nil {
-		s = NewMeasureScratch()
+		return nil, spec, 0, jit, fmt.Errorf("savat: nil rng")
 	}
 
 	// 1. Cycle-accurate steady-state activity of the alternation loop.
-	alt, err := s.alternation(mc, k, cfg)
-	if err != nil {
-		return nil, err
+	if alt, err = s.alternation(mc, k, cfg); err != nil {
+		return nil, spec, 0, jit, err
 	}
 
 	// 2. Radiate: per-component coupling at the measurement distance with
 	// campaign-specific spatial phases. Only the two shared envelope
 	// streams are rendered; each group is carried as its pair of complex
 	// phase amplitudes.
-	if err := s.rad.Init(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, rng); err != nil {
-		return nil, err
+	if err = s.rad.Init(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, rng); err != nil {
+		return nil, spec, 0, jit, err
 	}
-	spec := emsim.Alternation{
+	spec = emsim.Alternation{
 		Rates:       [2]activity.Vector{alt.PhaseStats[0].MeanRates, alt.PhaseStats[1].MeanRates},
 		HalfSeconds: alt.HalfSeconds,
 	}
-	n := int(cfg.Duration * cfg.SampleRate)
-	jit := cfg.Jitter
+	n = int(cfg.Duration * cfg.SampleRate)
+	jit = cfg.Jitter
 	if jit.AmpNoiseStd == 0 {
 		jit.AmpNoiseStd = mc.AmplitudeNoiseStd
 	}
 	amps, err := s.rad.PhaseAmplitudes(spec, cfg.SampleRate)
 	if err != nil {
-		return nil, err
+		return nil, spec, 0, jit, err
 	}
 	coeffs := s.coeffs[:0]
 	for g := 0; g < emsim.NumGroups; g++ {
@@ -139,44 +139,24 @@ func MeasureKernelScratch(mc machine.Config, k *Kernel, cfg Config, rng *rand.Ra
 		}
 	}
 	s.coeffs = coeffs
-	var envA, envB []float64
-	if len(coeffs) > 0 {
-		// Guarded exactly like SynthesizeGroups' active check, so a fully
-		// silent kernel consumes no timeline draws and the downstream
-		// noise realization matches the reference pipeline.
-		if _, err := emsim.SynthesizeEnvelopes(spec, cfg.SampleRate, n, jit, rng, &s.env); err != nil {
-			return nil, err
-		}
-		envA, envB = s.env.A, s.env.B
-	}
 
-	// 3. Environment noise, as one more incoherent contribution. Render
-	// overwrites the buffer, so the previous cell's capture needs no clear.
-	s.noise = resizeComplex(s.noise, n)
-	if err := cfg.Environment.Render(s.noise, cfg.SampleRate, rng); err != nil {
-		return nil, err
-	}
-
-	// 4. Spectrum analysis and band power around the intended frequency.
-	// Group signals and noise are mutually incoherent: powers add, which
-	// is exactly what the frequency-domain group combination computes.
 	if s.analyzer == nil || s.analyzerCfg != cfg.Analyzer {
-		an, err := specan.New(cfg.Analyzer)
-		if err != nil {
-			return nil, err
+		var an *specan.Analyzer
+		if an, err = specan.New(cfg.Analyzer); err != nil {
+			return nil, spec, 0, jit, err
 		}
 		s.analyzer, s.analyzerCfg = an, cfg.Analyzer
 	}
-	tr, err := s.analyzer.AnalyzeEnvelopes(envA, envB, coeffs, s.noise, cfg.SampleRate, s.specan)
-	if err != nil {
-		return nil, err
-	}
+	return alt, spec, n, jit, nil
+}
+
+// finish turns a recorded trace into the Measurement: band power
+// around the intended frequency, then energy per A/B instruction pair.
+func finish(k *Kernel, alt *AlternationResult, cfg Config, tr *specan.Trace) (*Measurement, error) {
 	p, err := tr.BandPower(cfg.Frequency, cfg.BandHalfWidth)
 	if err != nil {
 		return nil, err
 	}
-
-	// 5. Energy per A/B instruction pair.
 	pairs := alt.PairsPerSecond()
 	return &Measurement{
 		A: k.A, B: k.B,
@@ -187,4 +167,96 @@ func MeasureKernelScratch(mc machine.Config, k *Kernel, cfg Config, rng *rand.Ra
 		ActualFrequency: alt.ActualFrequency(),
 		Trace:           tr,
 	}, nil
+}
+
+// MeasureKernelScratch is MeasureKernel with an explicit scratch: the
+// same pipeline and the same rng draw sequence, but the per-group
+// time-domain synthesis and per-stream Welch passes are replaced by the
+// shared-envelope streaming fast path (emsim.EnvelopeStream +
+// noise.Stream + specan.AnalyzeEnvelopesStream), so the working set is
+// O(segment) instead of O(capture) and no sample-sized buffer is ever
+// materialized. Values are bit-identical to MeasureKernelBuffered (the
+// renderers are the same code, consumed in the same order) and match
+// the reference pipeline within rounding (the equivalence tests bound
+// the relative difference by 1e-9).
+//
+// The returned Measurement's Trace aliases the scratch and is valid
+// until the scratch's next measurement; callers that keep traces must
+// use distinct scratches (or MeasureKernel, which uses a fresh one).
+// A nil scratch is allowed and behaves like MeasureKernel.
+func MeasureKernelScratch(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch) (*Measurement, error) {
+	if s == nil {
+		s = NewMeasureScratch()
+	}
+	alt, spec, n, jit, err := s.prepare(mc, k, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Synthesis by streaming sources: the envelope stream draws its
+	// leading state here (guarded exactly like SynthesizeGroups' active
+	// check, so a fully silent kernel consumes no timeline draws), then
+	// the analyzer pulls envelope and noise segments on demand — the
+	// envelope source is fully drained before the noise stream's first
+	// draw, preserving the buffered pipeline's rng order. Group signals
+	// and noise are mutually incoherent: powers add, which is exactly
+	// what the frequency-domain group combination computes.
+	var envSrc specan.PairSource
+	if len(s.coeffs) > 0 {
+		if err := s.envStream.Init(spec, cfg.SampleRate, n, jit, rng); err != nil {
+			return nil, err
+		}
+		envSrc = &s.envStream
+	}
+	if err := s.noiseStream.Init(cfg.Environment, cfg.SampleRate, n, rng); err != nil {
+		return nil, err
+	}
+
+	// 4. Segment-fused spectrum analysis.
+	tr, err := s.analyzer.AnalyzeEnvelopesStream(n, envSrc, s.coeffs, &s.noiseStream, cfg.SampleRate, s.specan)
+	if err != nil {
+		return nil, err
+	}
+	return finish(k, alt, cfg, tr)
+}
+
+// MeasureKernelBuffered is the capture-at-once form of
+// MeasureKernelScratch: it materializes the full envelope and noise
+// captures in the scratch and analyzes them with the buffered
+// shared-envelope path (emsim.SynthesizeEnvelopes +
+// specan.AnalyzeEnvelopes). It produces bit-identical Measurements to
+// MeasureKernelScratch — the conformance suite asserts this — at
+// O(capture) memory; it exists as the plain-shaped oracle for the
+// streaming path and for callers that want the rendered captures.
+func MeasureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch) (*Measurement, error) {
+	if s == nil {
+		s = NewMeasureScratch()
+	}
+	alt, spec, n, jit, err := s.prepare(mc, k, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Full-capture synthesis: both shared envelope streams, then the
+	// environment noise as one more incoherent contribution. Render
+	// overwrites the buffer, so the previous cell's capture needs no
+	// clear.
+	var envA, envB []float64
+	if len(s.coeffs) > 0 {
+		if _, err := emsim.SynthesizeEnvelopes(spec, cfg.SampleRate, n, jit, rng, &s.env); err != nil {
+			return nil, err
+		}
+		envA, envB = s.env.A, s.env.B
+	}
+	s.noise = buf.Grow(s.noise, n)
+	if err := cfg.Environment.Render(s.noise, cfg.SampleRate, rng); err != nil {
+		return nil, err
+	}
+
+	// 4. Buffered spectrum analysis.
+	tr, err := s.analyzer.AnalyzeEnvelopes(envA, envB, s.coeffs, s.noise, cfg.SampleRate, s.specan)
+	if err != nil {
+		return nil, err
+	}
+	return finish(k, alt, cfg, tr)
 }

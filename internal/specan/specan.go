@@ -11,7 +11,9 @@ package specan
 import (
 	"fmt"
 
+	"repro/internal/buf"
 	"repro/internal/dsp"
+	"repro/internal/workpool"
 )
 
 // Config describes the analyzer settings.
@@ -188,6 +190,11 @@ func (a *Analyzer) AnalyzeIncoherent(xs [][]complex128, fs float64) (*Trace, err
 // itself to whatever segment length and window a call needs (rebuilding
 // is the only allocating path) and is NOT safe for concurrent use.
 type Scratch struct {
+	// Pool, when non-nil, is the worker pool the streaming analysis
+	// fans its per-segment transforms out on; nil means
+	// workpool.Default. Results are bit-identical for any pool.
+	Pool *workpool.Pool
+
 	welch    *dsp.WelchScratch
 	pa, pb   []float64
 	cross    []complex128
@@ -195,6 +202,14 @@ type Scratch struct {
 	sum      []float64
 	trace    Trace
 	spectrum dsp.Spectrum
+
+	// Streaming working set: the rolling 50%-overlap windows (two real
+	// envelope streams and one complex noise stream) and the segment
+	// feeds. All O(segLen), reused across captures.
+	wa, wb    []float64
+	wn        []complex128
+	pairFeed  dsp.PairFeed
+	noiseFeed dsp.Feed
 }
 
 // NewScratch returns an empty scratch; buffers are sized on first use.
@@ -208,18 +223,71 @@ func (s *Scratch) prepare(seg int, win dsp.Window) error {
 		}
 		s.welch = ws
 	}
-	if cap(s.pa) < seg {
-		s.pa = make([]float64, seg)
-		s.pb = make([]float64, seg)
-		s.cross = make([]complex128, seg)
-		s.noisePSD = make([]float64, seg)
-		s.sum = make([]float64, seg)
-	}
-	s.pa, s.pb = s.pa[:seg], s.pb[:seg]
-	s.cross = s.cross[:seg]
-	s.noisePSD = s.noisePSD[:seg]
-	s.sum = s.sum[:seg]
+	s.pa = buf.Grow(s.pa, seg)
+	s.pb = buf.Grow(s.pb, seg)
+	s.cross = buf.Grow(s.cross, seg)
+	s.noisePSD = buf.Grow(s.noisePSD, seg)
+	s.sum = buf.Grow(s.sum, seg)
 	return nil
+}
+
+// combineEnvelopes folds the pair-Welch results into the summed display
+// using the group coefficients: by Welch linearity the per-bin
+// group-sum PSD is CA·|WA|² + CB·|WB|² + 2·Re(CX·WA·conj(WB)) with
+// CA = Σ|a_g|², CB = Σ|b_g|², CX = Σ a_g·conj(b_g).
+func (s *Scratch) combineEnvelopes(coeffs [][2]complex128) {
+	var ca, cb float64
+	var cx complex128
+	for _, c := range coeffs {
+		a0, b0 := c[0], c[1]
+		ca += real(a0)*real(a0) + imag(a0)*imag(a0)
+		cb += real(b0)*real(b0) + imag(b0)*imag(b0)
+		cx += a0 * complex(real(b0), -imag(b0))
+	}
+	for k := range s.sum {
+		x := s.cross[k]
+		s.sum[k] = ca*s.pa[k] + cb*s.pb[k] +
+			2*(real(cx)*real(x)-imag(cx)*imag(x))
+	}
+}
+
+func (s *Scratch) zeroSum() {
+	for k := range s.sum {
+		s.sum[k] = 0
+	}
+}
+
+// finishDisplay folds the noise PSD (when haveNoise) into the sum and
+// applies the sensitivity floor — the floor applies to the summed
+// display, so it rides the final accumulation pass instead of a sweep
+// of its own.
+func (s *Scratch) finishDisplay(floor float64, haveNoise bool) {
+	if haveNoise {
+		for k, v := range s.noisePSD {
+			t := s.sum[k] + v
+			if t < floor {
+				t = floor
+			}
+			s.sum[k] = t
+		}
+	} else {
+		for k, v := range s.sum {
+			if v < floor {
+				s.sum[k] = floor
+			}
+		}
+	}
+}
+
+// traceFor points the scratch-owned Trace at the summed display.
+func (s *Scratch) traceFor(fs float64, seg int, enbw, floor float64) *Trace {
+	s.spectrum = dsp.Spectrum{PSD: s.sum, SampleRate: fs}
+	s.trace = Trace{
+		Spectrum:  &s.spectrum,
+		ActualRBW: enbw * fs / float64(seg),
+		FloorPSD:  floor,
+	}
+	return &s.trace
 }
 
 // AnalyzeEnvelopes records the summed incoherent spectrum of a family
@@ -277,53 +345,17 @@ func (a *Analyzer) AnalyzeEnvelopes(envA, envB []float64, coeffs [][2]complex128
 		if err := s.welch.WelchPairInto(s.pa, s.pb, s.cross, envA, envB, fs); err != nil {
 			return nil, err
 		}
-		var ca, cb float64
-		var cx complex128
-		for _, c := range coeffs {
-			a0, b0 := c[0], c[1]
-			ca += real(a0)*real(a0) + imag(a0)*imag(a0)
-			cb += real(b0)*real(b0) + imag(b0)*imag(b0)
-			cx += a0 * complex(real(b0), -imag(b0))
-		}
-		for k := range s.sum {
-			x := s.cross[k]
-			s.sum[k] = ca*s.pa[k] + cb*s.pb[k] +
-				2*(real(cx)*real(x)-imag(cx)*imag(x))
-		}
+		s.combineEnvelopes(coeffs)
 	} else {
-		for k := range s.sum {
-			s.sum[k] = 0
-		}
+		s.zeroSum()
 	}
-	// The sensitivity floor applies to the summed display, so it rides
-	// the final accumulation pass instead of a sweep of its own.
-	floor := a.cfg.FloorPSD
 	if extra != nil {
 		if err := s.welch.WelchInto(s.noisePSD, extra, fs); err != nil {
 			return nil, err
 		}
-		for k, v := range s.noisePSD {
-			t := s.sum[k] + v
-			if t < floor {
-				t = floor
-			}
-			s.sum[k] = t
-		}
-	} else {
-		for k, v := range s.sum {
-			if v < floor {
-				s.sum[k] = floor
-			}
-		}
 	}
-
-	s.spectrum = dsp.Spectrum{PSD: s.sum, SampleRate: fs}
-	s.trace = Trace{
-		Spectrum:  &s.spectrum,
-		ActualRBW: enbw * fs / float64(seg),
-		FloorPSD:  a.cfg.FloorPSD,
-	}
-	return &s.trace, nil
+	s.finishDisplay(a.cfg.FloorPSD, extra != nil)
+	return s.traceFor(fs, seg, enbw, a.cfg.FloorPSD), nil
 }
 
 // BandPower integrates the displayed PSD over center ± halfSpan Hz and

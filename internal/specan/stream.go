@@ -1,0 +1,189 @@
+package specan
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+)
+
+// PairSource produces two equal-length real streams one block at a
+// time: Next fills a[:k] and b[:k] with the next k = min(len(a),
+// remaining) samples and returns k, 0 when drained.
+// emsim.EnvelopeStream satisfies it.
+type PairSource interface {
+	Next(a, b []float64) (int, error)
+}
+
+// SampleSource produces one complex stream one block at a time with
+// the same contract. noise.Stream satisfies it.
+type SampleSource interface {
+	Next(dst []complex128) (int, error)
+}
+
+// fillPair reads exactly len(a) samples from src (looping over partial
+// blocks), erroring if the source drains early.
+func fillPair(src PairSource, a, b []float64) error {
+	for off := 0; off < len(a); {
+		k, err := src.Next(a[off:], b[off:])
+		if err != nil {
+			return err
+		}
+		if k == 0 {
+			return fmt.Errorf("specan: envelope source drained after %d of %d samples", off, len(a))
+		}
+		off += k
+	}
+	return nil
+}
+
+// fill reads exactly len(dst) samples from src.
+func fill(src SampleSource, dst []complex128) error {
+	for off := 0; off < len(dst); {
+		k, err := src.Next(dst[off:])
+		if err != nil {
+			return err
+		}
+		if k == 0 {
+			return fmt.Errorf("specan: sample source drained after %d of %d samples", off, len(dst))
+		}
+		off += k
+	}
+	return nil
+}
+
+// drainPair consumes src to exhaustion, discarding samples into the
+// scrap windows. The Welch walk ignores any tail shorter than half a
+// segment, but the sources' rng draws must still happen so streaming
+// and buffered analyses consume identical randomness.
+func drainPair(src PairSource, a, b []float64) error {
+	for {
+		k, err := src.Next(a, b)
+		if err != nil {
+			return err
+		}
+		if k == 0 {
+			return nil
+		}
+	}
+}
+
+func drain(src SampleSource, dst []complex128) error {
+	for {
+		k, err := src.Next(dst)
+		if err != nil {
+			return err
+		}
+		if k == 0 {
+			return nil
+		}
+	}
+}
+
+// AnalyzeEnvelopesStream is AnalyzeEnvelopes over sources instead of
+// buffers: the same summed incoherent spectrum of a two-envelope
+// linear family plus one optional extra complex capture, computed
+// segment by segment so the working set is O(segment) instead of O(n).
+// n is the capture length every source will produce.
+//
+// The envelope source is fully consumed (rendered and drained) before
+// the extra source's first Next — matching the buffered pipeline's rng
+// draw order, so a measurement built on one shared rng is bit-identical
+// either way. Per-segment transforms fan out on the scratch's Pool
+// (workpool.Default when nil); reduction order is fixed, so results do
+// not depend on the pool.
+//
+// The returned Trace aliases the scratch's buffers, like
+// AnalyzeEnvelopes. Pass a nil scratch to allocate a private one.
+func (a *Analyzer) AnalyzeEnvelopesStream(n int, envs PairSource, coeffs [][2]complex128, extra SampleSource, fs float64, s *Scratch) (*Trace, error) {
+	if fs <= 0 {
+		return nil, fmt.Errorf("specan: sample rate %g", fs)
+	}
+	if len(coeffs) > 0 && envs == nil {
+		return nil, fmt.Errorf("specan: %d coefficient groups but no envelope source", len(coeffs))
+	}
+	if len(coeffs) == 0 && extra == nil {
+		return nil, ErrNoCaptures
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("specan: capture of %d samples too short", n)
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	seg, enbw, err := a.segmentFor(n, fs)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.prepare(seg, a.cfg.Window); err != nil {
+		return nil, err
+	}
+	half := seg / 2
+
+	if len(coeffs) > 0 {
+		s.wa = buf.Grow(s.wa, seg)
+		s.wb = buf.Grow(s.wb, seg)
+		if err := s.pairFeed.Init(s.welch, s.pa, s.pb, s.cross, fs, s.Pool); err != nil {
+			return nil, err
+		}
+		// First full segment, then slide by half: the second half of the
+		// window becomes the first half of the next segment, so each
+		// subsequent segment costs one half-window read.
+		if err := fillPair(envs, s.wa, s.wb); err != nil {
+			return nil, err
+		}
+		if err := s.pairFeed.Feed(s.wa, s.wb); err != nil {
+			return nil, err
+		}
+		for read := seg; read+half <= n; read += half {
+			copy(s.wa[:half], s.wa[half:])
+			copy(s.wb[:half], s.wb[half:])
+			if err := fillPair(envs, s.wa[half:], s.wb[half:]); err != nil {
+				return nil, err
+			}
+			if err := s.pairFeed.Feed(s.wa, s.wb); err != nil {
+				return nil, err
+			}
+		}
+		// The window contents are already consumed (Feed scatters before
+		// returning), so the tail can be discarded into the windows.
+		if err := drainPair(envs, s.wa, s.wb); err != nil {
+			return nil, err
+		}
+		if err := s.pairFeed.Finish(); err != nil {
+			return nil, err
+		}
+		s.combineEnvelopes(coeffs)
+	} else {
+		s.zeroSum()
+	}
+
+	if extra != nil {
+		s.wn = buf.Grow(s.wn, seg)
+		if err := s.noiseFeed.Init(s.welch, s.noisePSD, fs, s.Pool); err != nil {
+			return nil, err
+		}
+		if err := fill(extra, s.wn); err != nil {
+			return nil, err
+		}
+		if err := s.noiseFeed.Feed(s.wn); err != nil {
+			return nil, err
+		}
+		for read := seg; read+half <= n; read += half {
+			copy(s.wn[:half], s.wn[half:])
+			if err := fill(extra, s.wn[half:]); err != nil {
+				return nil, err
+			}
+			if err := s.noiseFeed.Feed(s.wn); err != nil {
+				return nil, err
+			}
+		}
+		if err := drain(extra, s.wn); err != nil {
+			return nil, err
+		}
+		if err := s.noiseFeed.Finish(); err != nil {
+			return nil, err
+		}
+	}
+	s.finishDisplay(a.cfg.FloorPSD, extra != nil)
+	return s.traceFor(fs, seg, enbw, a.cfg.FloorPSD), nil
+}

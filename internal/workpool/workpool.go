@@ -1,0 +1,107 @@
+// Package workpool provides a process-wide bounded token pool that
+// caps the *extra* goroutines the measurement pipeline fans out.
+//
+// Two layers want parallelism at once: the campaign engine runs one
+// worker per core, and inside every worker the streaming analyzer can
+// fan per-segment FFT work out to helpers. Unchecked, a matrix campaign
+// would schedule workers × segments goroutines and oversubscribe the
+// machine. Both layers therefore draw from one shared pool whose
+// capacity is GOMAXPROCS−1 (the caller's own goroutine is the implied
+// extra token): engine workers beyond the first each hold a token for
+// their lifetime, and the per-segment fan-out inside a worker only
+// spawns helpers when tokens remain. On a saturated engine — or a
+// single-core machine — the pool is empty and every stage simply runs
+// inline on its caller, which is also the degenerate case the
+// bit-identity tests pin: parallel and inline execution produce the
+// same bytes because reduction order never depends on scheduling.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded token bucket. The zero value is unusable; use New.
+// All methods are safe for concurrent use.
+type Pool struct {
+	tokens chan struct{}
+}
+
+// New returns a pool with the given capacity. A non-positive capacity
+// yields a pool that never grants tokens (all work runs inline).
+func New(capacity int) *Pool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	p := &Pool{tokens: make(chan struct{}, capacity)}
+	for i := 0; i < capacity; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// Default is the process-wide pool shared by the campaign engine and
+// the streaming analyzer, sized GOMAXPROCS−1 at startup.
+var Default = New(runtime.GOMAXPROCS(0) - 1)
+
+// Cap returns the pool's total token capacity.
+func (p *Pool) Cap() int { return cap(p.tokens) }
+
+// TryAcquire takes a token if one is free, without blocking.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case <-p.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token taken with TryAcquire (or granted to a Go
+// callback). Releasing more tokens than were acquired panics.
+func (p *Pool) Release() {
+	select {
+	case p.tokens <- struct{}{}:
+	default:
+		panic("workpool: Release without Acquire")
+	}
+}
+
+// Go runs f on a new goroutine if a token is free, returning true; the
+// token is released when f returns. With no token it returns false
+// WITHOUT running f — the caller runs the work inline. Callers that
+// need completion tracking wrap f with their own WaitGroup:
+//
+//	wg.Add(1)
+//	if !pool.Go(func() { defer wg.Done(); work() }) {
+//		work()
+//		wg.Done()
+//	}
+func (p *Pool) Go(f func()) bool {
+	if !p.TryAcquire() {
+		return false
+	}
+	go func() {
+		defer p.Release()
+		f()
+	}()
+	return true
+}
+
+// Reserve acquires up to max tokens (without blocking) and returns a
+// release function for all of them. Engine workers use it to hold their
+// core's token for the lifetime of the run.
+func (p *Pool) Reserve(max int) (held int, release func()) {
+	for held < max && p.TryAcquire() {
+		held++
+	}
+	n := held
+	var once sync.Once
+	return held, func() {
+		once.Do(func() {
+			for i := 0; i < n; i++ {
+				p.Release()
+			}
+		})
+	}
+}
