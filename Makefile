@@ -11,7 +11,11 @@ FUZZ_TARGETS := \
 	./internal/engine:FuzzLoadCheckpoint \
 	./internal/engine:FuzzCacheDiskEntry
 
-.PHONY: build test bench bench-json verify fuzz-smoke
+.PHONY: build test bench bench-json bench-guard lint verify fuzz-smoke
+
+# Baseline snapshot cmd/benchguard compares against; re-record with
+# `make bench-json` after intentional performance changes.
+BENCH_BASELINE ?= BENCH_20260806.json
 
 build:
 	$(GO) build ./...
@@ -30,6 +34,28 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	$(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y%m%d).json < bench.out
 	@rm -f bench.out
+
+# Static analysis: vet always; staticcheck when installed (CI installs a
+# pinned version, local runs without it degrade gracefully).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipped (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
+
+# Perf contract on the campaign hot path: the streaming measurement with
+# the observability registry disabled must stay within BUDGET of the
+# recorded baseline (NOISE is slack for run/machine variance — CI
+# runners are not the baseline machine).
+BENCH_GUARD_BUDGET ?= 0.01
+BENCH_GUARD_NOISE ?= 0.25
+bench-guard:
+	$(GO) test -run '^$$' -bench 'BenchmarkMeasureKernelScratch$$' -benchtime 20x . > benchguard.out || (cat benchguard.out; rm -f benchguard.out; exit 1)
+	$(GO) run ./cmd/benchguard -baseline $(BENCH_BASELINE) -only 'MeasureKernelScratch$$' \
+		-budget $(BENCH_GUARD_BUDGET) -noise $(BENCH_GUARD_NOISE) < benchguard.out
+	@rm -f benchguard.out
 
 # Tier-1 gate plus a perf smoke: vet, race-enabled tests, and one pass of
 # the Figure 9 matrix benchmark so fast-path breakage (correctness or a

@@ -18,6 +18,7 @@ import (
 	"repro/internal/emsim"
 	"repro/internal/machine"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/paperdata"
 	"repro/internal/report"
 	"repro/internal/savat"
@@ -112,6 +113,44 @@ func BenchmarkFig17Matrix50cm(b *testing.B) { benchMatrixFigure(b, "fig17") }
 // BenchmarkFig18Matrix100cm regenerates Figure 18 (Core 2 Duo, 100 cm).
 func BenchmarkFig18Matrix100cm(b *testing.B) { benchMatrixFigure(b, "fig18") }
 
+// benchMeasureKernelScratch times the scratch-reusing streaming fast
+// path — the per-cell hot path of every campaign — with the
+// observability registry on or off. The Off variant is the perf
+// contract cmd/benchguard enforces in CI: instrumentation left in the
+// pipeline must cost one atomic load per site when disabled, so its
+// ns/op must stay within 1% of the recorded baseline.
+func benchMeasureKernelScratch(b *testing.B, obsOn bool) {
+	if obsOn {
+		obs.Default.SetEnabled(true)
+		defer func() {
+			obs.Default.SetEnabled(false)
+			obs.Default.Reset()
+		}()
+	}
+	mc := machine.Core2Duo()
+	cfg := savat.FastConfig()
+	k, err := savat.BuildKernel(mc, savat.ADD, savat.LDM, cfg.Frequency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := savat.NewMeasurer(mc, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		if _, err := m.MeasureKernel(k, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureKernelScratch is the disabled-observability hot path
+// (the name predates the Measurer API; cmd/benchguard keys on it).
+func BenchmarkMeasureKernelScratch(b *testing.B) { benchMeasureKernelScratch(b, false) }
+
+// BenchmarkMeasureKernelScratchObsOn is the same path with metrics
+// recording, bounding what -metrics-addr costs a campaign.
+func BenchmarkMeasureKernelScratchObsOn(b *testing.B) { benchMeasureKernelScratch(b, true) }
+
 // spectrumBench measures one pair and reports the Figure 7/8 observables:
 // peak shift from the intended 80 kHz and the peak-to-floor ratio.
 func spectrumBench(b *testing.B, a, ev savat.Event) {
@@ -119,7 +158,7 @@ func spectrumBench(b *testing.B, a, ev savat.Event) {
 	cfg := savat.FastConfig()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(1))
-		m, err := savat.Measure(mc, a, ev, cfg, rng)
+		m, err := savat.NewMeasurer(mc, cfg).Measure(a, ev, rng)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +248,7 @@ func BenchmarkRepeatability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		total := 0.0
 		for _, p := range pairs {
-			_, sum, err := savat.MeasurePair(mc, p[0], p[1], cfg, 10, 1)
+			_, sum, err := savat.NewMeasurer(mc, cfg).MeasurePair(p[0], p[1], 10, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -229,7 +268,7 @@ func BenchmarkNaiveVsAlternation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, sum, err := savat.MeasurePair(mc, savat.ADD, savat.MUL, savat.FastConfig(), 6, 3)
+		_, sum, err := savat.NewMeasurer(mc, savat.FastConfig()).MeasurePair(savat.ADD, savat.MUL, 6, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -358,7 +397,7 @@ func BenchmarkAblationCoherentCombining(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		get := func(a, ev savat.Event) float64 {
 			rng := rand.New(rand.NewSource(42))
-			m, err := savat.Measure(mc, a, ev, cfg, rng)
+			m, err := savat.NewMeasurer(mc, cfg).Measure(a, ev, rng)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -399,12 +438,12 @@ func BenchmarkAblationNearFieldOnly(b *testing.B) {
 		// pairs/second, so it scales as 1/LoopCount).
 		excess := func(mc machine.Config) float64 {
 			rng := rand.New(rand.NewSource(7))
-			pair, err := savat.Measure(mc, savat.ADD, savat.LDM, cfg, rng)
+			pair, err := savat.NewMeasurer(mc, cfg).Measure(savat.ADD, savat.LDM, rng)
 			if err != nil {
 				b.Fatal(err)
 			}
 			rng = rand.New(rand.NewSource(7))
-			aa, err := savat.Measure(mc, savat.ADD, savat.ADD, cfg, rng)
+			aa, err := savat.NewMeasurer(mc, cfg).Measure(savat.ADD, savat.ADD, rng)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -428,7 +467,7 @@ func BenchmarkAblationNoAsymmetry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		get := func(mc machine.Config) float64 {
 			rng := rand.New(rand.NewSource(3))
-			m, err := savat.Measure(mc, savat.ADD, savat.ADD, quiet, rng)
+			m, err := savat.NewMeasurer(mc, quiet).Measure(savat.ADD, savat.ADD, rng)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -486,12 +525,12 @@ func BenchmarkExtensionBranchEvents(b *testing.B) {
 	cfg := savat.FastConfig()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(1))
-		pair, err := savat.Measure(mc, savat.BPH, savat.BPM, cfg, rng)
+		pair, err := savat.NewMeasurer(mc, cfg).Measure(savat.BPH, savat.BPM, rng)
 		if err != nil {
 			b.Fatal(err)
 		}
 		rng = rand.New(rand.NewSource(1))
-		floor, err := savat.Measure(mc, savat.BPH, savat.BPH, cfg, rng)
+		floor, err := savat.NewMeasurer(mc, cfg).Measure(savat.BPH, savat.BPH, rng)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -521,7 +560,7 @@ func BenchmarkAnalyticCrossCheck(b *testing.B) {
 			b.Fatal(err)
 		}
 		rng := rand.New(rand.NewSource(13))
-		m, err := savat.MeasureKernel(mc, k, cfg, rng)
+		m, err := savat.NewMeasurer(mc, cfg).MeasureKernel(k, rng)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineJSON = `{
+  "date": "20260806",
+  "benchmarks": [
+    {"name": "BenchmarkMeasureKernelScratch", "iterations": 20, "metrics": {"ns/op": 1000000}},
+    {"name": "BenchmarkOther", "iterations": 5, "metrics": {"ns/op": 500000}}
+  ]
+}
+`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(p, []byte(baselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func guard(t *testing.T, benchOut, only string, budget, noise float64) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(strings.NewReader(benchOut), &out, writeBaseline(t), budget, noise, only)
+	return out.String(), err
+}
+
+func TestWithinBudgetPasses(t *testing.T) {
+	out, err := guard(t, "BenchmarkMeasureKernelScratch 20 1004000 ns/op\n", "", 0.01, 0)
+	if err != nil {
+		t.Fatalf("0.4%% over baseline rejected: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "1 benchmarks within budget") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	out, err := guard(t, "BenchmarkMeasureKernelScratch 20 1020000 ns/op\n", "", 0.01, 0)
+	if err == nil {
+		t.Fatalf("2%% regression accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestNoiseSlackForgives(t *testing.T) {
+	// The same 2% regression passes once run-variance slack is granted.
+	if out, err := guard(t, "BenchmarkMeasureKernelScratch 20 1020000 ns/op\n", "", 0.01, 0.25); err != nil {
+		t.Fatalf("regression within noise slack rejected: %v\n%s", err, out)
+	}
+}
+
+func TestOnlyFilterAndMissingBaseline(t *testing.T) {
+	benchOut := "BenchmarkMeasureKernelScratch 20 1000000 ns/op\n" +
+		"BenchmarkBrandNew 3 9999999999 ns/op\n"
+	out, err := guard(t, benchOut, "", 0.01, 0)
+	if err != nil {
+		t.Fatalf("unrelated new benchmark failed the guard: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "SKIP BenchmarkBrandNew") {
+		t.Errorf("missing-baseline benchmark not reported:\n%s", out)
+	}
+
+	// -only matching nothing is an error, not a silent pass.
+	if _, err := guard(t, benchOut, "NoSuchBenchmark", 0.01, 0); err == nil {
+		t.Error("empty guard set accepted")
+	}
+}
+
+func TestRequiresBaselineFlag(t *testing.T) {
+	if err := run(strings.NewReader(""), &strings.Builder{}, "", 0.01, 0, ""); err == nil {
+		t.Error("missing -baseline accepted")
+	}
+}

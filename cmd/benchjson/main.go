@@ -9,90 +9,19 @@
 // Every reported metric is captured — ns/op, B/op, allocs/op, and the
 // custom b.ReportMetric units the figure benchmarks emit (cell-ratio,
 // spearman, diag-violations, ...). `make bench-json` wraps the whole
-// flow and names the file BENCH_<YYYYMMDD>.json.
+// flow and names the file BENCH_<YYYYMMDD>.json. The snapshots feed
+// cmd/benchguard, which fails a run that regresses past a baseline.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"strconv"
-	"strings"
 	"time"
+
+	"repro/internal/benchfmt"
 )
-
-// Bench is one benchmark result line.
-type Bench struct {
-	Name       string             `json:"name"`
-	Package    string             `json:"package,omitempty"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// File is the snapshot written to disk.
-type File struct {
-	Date       string  `json:"date"` // YYYYMMDD
-	GOOS       string  `json:"goos,omitempty"`
-	GOARCH     string  `json:"goarch,omitempty"`
-	CPU        string  `json:"cpu,omitempty"`
-	Benchmarks []Bench `json:"benchmarks"`
-}
-
-// parse reads `go test -bench` output and collects every benchmark
-// line, tracking the `pkg:` header lines so each result carries its
-// package.
-func parse(r io.Reader) (*File, error) {
-	f := &File{}
-	pkg := ""
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			f.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			f.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "cpu:"):
-			f.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "pkg:"):
-			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			b, err := parseLine(line)
-			if err != nil {
-				return nil, err
-			}
-			b.Package = pkg
-			f.Benchmarks = append(f.Benchmarks, b)
-		}
-	}
-	return f, sc.Err()
-}
-
-// parseLine splits one result line — name, iteration count, then
-// (value, unit) pairs.
-func parseLine(line string) (Bench, error) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Bench{}, fmt.Errorf("benchjson: malformed benchmark line %q", line)
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Bench{}, fmt.Errorf("benchjson: iteration count in %q: %w", line, err)
-	}
-	b := Bench{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
-	for i := 2; i < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Bench{}, fmt.Errorf("benchjson: metric value in %q: %w", line, err)
-		}
-		b.Metrics[fields[i+1]] = v
-	}
-	return b, nil
-}
 
 func main() {
 	out := flag.String("out", "", "output file (default BENCH_<YYYYMMDD>.json)")
@@ -105,7 +34,7 @@ func main() {
 }
 
 func run(out, date string) error {
-	f, err := parse(os.Stdin)
+	f, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
 		return err
 	}

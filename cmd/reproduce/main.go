@@ -27,6 +27,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cliconf"
 	"repro/internal/cluster"
@@ -44,6 +45,22 @@ type runner struct {
 	repeats int
 	seed    int64
 	cache   *engine.Cache // shared across figures: repeated matrices hit it
+
+	section string       // experiment currently regenerating (set between campaigns)
+	live    atomic.Value // liveProgress — the value behind /progress
+}
+
+// liveProgress is the JSON shape the -metrics-addr /progress endpoint
+// serves: which experiment is regenerating and the latest campaign
+// event (engine stats + pipeline health).
+type liveProgress struct {
+	Section string               `json:"section"`
+	Event   engine.ProgressEvent `json:"event"`
+}
+
+// storeProgress caches the latest campaign event for /progress.
+func (r *runner) storeProgress(ev engine.ProgressEvent) {
+	r.live.Store(liveProgress{Section: r.section, Event: ev})
 }
 
 func main() {
@@ -55,7 +72,7 @@ func main() {
 
 func run() error {
 	var (
-		cf       = cliconf.Register(flag.CommandLine, cliconf.Repeats|cliconf.Seed|cliconf.Fast|cliconf.Profile)
+		cf       = cliconf.Register(flag.CommandLine, cliconf.Repeats|cliconf.Seed|cliconf.Fast|cliconf.Profile|cliconf.Metrics)
 		section  = flag.String("section", "all", "which experiment to regenerate")
 		cacheDir = flag.String("cache-dir", "", "persist per-cell results here and reuse them across runs")
 	)
@@ -87,6 +104,11 @@ func run() error {
 		seed:    cf.Seed,
 		cache:   cache,
 	}
+	stopObs, err := cf.StartObs(func() any { return r.live.Load() })
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	// -fast drops to 3 campaigns per cell unless -repeats was given
 	// explicitly.
 	if cf.Fast {
@@ -128,6 +150,7 @@ func run() error {
 			continue
 		}
 		ran = true
+		r.section = s.name
 		fmt.Printf("\n======== %s ========\n", s.name)
 		if err := s.fn(); err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)
@@ -167,7 +190,7 @@ func (r *runner) spectrum(a, b savat.Event, caption string) error {
 	mc := machine.Core2Duo()
 	cfg := r.cfgBase
 	rng := rand.New(rand.NewSource(r.seed))
-	m, err := savat.Measure(mc, a, b, cfg, rng)
+	m, err := savat.NewMeasurer(mc, cfg).Measure(a, b, rng)
 	if err != nil {
 		return err
 	}
@@ -224,6 +247,7 @@ func (r *runner) campaign(id string) (*savat.MatrixStats, paperdata.Experiment, 
 		defer wg.Done()
 		shown := false
 		for ev := range ch {
+			r.storeProgress(ev)
 			// Cache-served replays finish too fast to be worth drawing.
 			if !ev.Cached || shown {
 				shown = true
@@ -371,7 +395,7 @@ func (r *runner) naive() error {
 	} else {
 		fmt.Printf("  naive mean relative error (50 GS/s scope, 0.5%% vertical error): %.2f\n", e)
 	}
-	vals, sum, err := savat.MeasurePair(mc, savat.LDL1, savat.STL1, r.cfgBase, r.repeats, r.seed)
+	vals, sum, err := savat.NewMeasurer(mc, r.cfgBase).MeasurePair(savat.LDL1, savat.STL1, r.repeats, r.seed)
 	if err != nil {
 		return err
 	}
@@ -442,6 +466,7 @@ func (r *runner) extensions() error {
 	mc := machine.Core2Duo()
 	cfg := r.cfgBase
 	fmt.Println("Section VII — extension events: branch prediction hit (BPH) vs miss (BPM)")
+	meas := savat.NewMeasurer(mc, cfg)
 	for _, p := range [][2]savat.Event{
 		{savat.BPH, savat.BPH},
 		{savat.BPH, savat.BPM},
@@ -449,7 +474,7 @@ func (r *runner) extensions() error {
 		{savat.ADD, savat.BPM},
 		{savat.BPM, savat.DIV},
 	} {
-		vals, sum, err := savat.MeasurePair(mc, p[0], p[1], cfg, r.repeats, r.seed)
+		vals, sum, err := meas.MeasurePair(p[0], p[1], r.repeats, r.seed)
 		if err != nil {
 			return err
 		}

@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cliconf"
 	"repro/internal/engine"
@@ -55,6 +56,15 @@ func run() error {
 		return err
 	}
 	defer stopProf()
+
+	// With -metrics-addr set, /progress serves the latest campaign event
+	// (stats + health) cached by the monitor goroutine below.
+	var lastEvent atomic.Value // engine.ProgressEvent
+	stopObs, err := cf.StartObs(func() any { return lastEvent.Load() })
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 
 	mc, err := cf.MachineConfig()
 	if err != nil {
@@ -92,7 +102,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		vals, sum, err := savat.MeasurePair(mc, a, b, cfg, cf.Repeats, cf.Seed)
+		vals, sum, err := savat.NewMeasurer(mc, cfg).MeasurePair(a, b, cf.Repeats, cf.Seed)
 		if err != nil {
 			return err
 		}
@@ -131,6 +141,7 @@ func run() error {
 			defer wg.Done()
 			for ev := range ch {
 				last = ev.Stats
+				lastEvent.Store(ev)
 				fmt.Fprintf(os.Stderr, "\rmeasuring %d/%d cells (%d cached)",
 					ev.Stats.Done, ev.Stats.Total, ev.Stats.Cached)
 			}

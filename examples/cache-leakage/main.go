@@ -45,13 +45,14 @@ func main() {
 	// detection probability and traces needed at 3σ, per difference class.
 	fmt.Println("\nattacker budget per secret-dependent difference (noise RMS 30 zJ/window):")
 	cfg := savat.FastConfig()
+	meas := savat.NewMeasurer(mc, cfg)
 	for _, p := range [][2]savat.Event{
 		{savat.LDL1, savat.LDM},  // cache hit vs DRAM miss — this example
 		{savat.LDL1, savat.LDL2}, // hit vs L2 hit
 		{savat.ADD, savat.DIV},   // arithmetic-only difference
 		{savat.ADD, savat.SUB},   // the "safe" difference
 	} {
-		_, sum, err := savat.MeasurePair(mc, p[0], p[1], cfg, 3, 11)
+		_, sum, err := meas.MeasurePair(p[0], p[1], 3, 11)
 		if err != nil {
 			log.Fatal(err)
 		}

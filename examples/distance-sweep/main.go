@@ -41,7 +41,7 @@ func main() {
 		for _, d := range distances {
 			c := cfg
 			c.Distance = d
-			_, sum, err := savat.MeasurePair(mc, p[0], p[1], c, 3, 42)
+			_, sum, err := savat.NewMeasurer(mc, c).MeasurePair(p[0], p[1], 3, 42)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -30,7 +30,7 @@ func main() {
 		cfg.Frequency = f
 		cfg.BandHalfWidth = f / 80 // keep the relative band of the paper's 80 kHz ± 1 kHz
 		rng := rand.New(rand.NewSource(1))
-		m, err := savat.Measure(mc, savat.ADD, savat.LDM, cfg, rng)
+		m, err := savat.NewMeasurer(mc, cfg).Measure(savat.ADD, savat.LDM, rng)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +47,7 @@ func main() {
 		{savat.ADD, savat.BPM},
 	} {
 		rng := rand.New(rand.NewSource(2))
-		m, err := savat.Measure(mc, p[0], p[1], cfg, rng)
+		m, err := savat.NewMeasurer(mc, cfg).Measure(p[0], p[1], rng)
 		if err != nil {
 			log.Fatal(err)
 		}

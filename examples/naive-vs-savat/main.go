@@ -64,7 +64,7 @@ func main() {
 	fmt.Printf("%-12s %12s %14s\n", "pair", "SAVAT", "σ/mean")
 	cfg := savat.FastConfig()
 	for _, p := range pairs {
-		_, sum, err := savat.MeasurePair(mc, p[0], p[1], cfg, repeats, 3)
+		_, sum, err := savat.NewMeasurer(mc, cfg).MeasurePair(p[0], p[1], repeats, 3)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -27,7 +27,7 @@ func main() {
 	// Measure the ADD/LDM pair: "did the program run an add, or a load
 	// that missed all the way to DRAM?"
 	rng := rand.New(rand.NewSource(1))
-	m, err := savat.Measure(mc, savat.ADD, savat.LDM, cfg, rng)
+	m, err := savat.NewMeasurer(mc, cfg).Measure(savat.ADD, savat.LDM, rng)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func main() {
 
 	// Same-instruction control: the A/A "measurement floor".
 	rng = rand.New(rand.NewSource(1))
-	floor, err := savat.Measure(mc, savat.ADD, savat.ADD, cfg, rng)
+	floor, err := savat.NewMeasurer(mc, cfg).Measure(savat.ADD, savat.ADD, rng)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -55,12 +55,13 @@ func main() {
 	// campaign, how many repetitions does a noisy attacker need?
 	fmt.Println("\nrepetitions needed at 3σ confidence (noise RMS 50 zJ per window):")
 	cfg := savat.FastConfig()
+	meas := savat.NewMeasurer(mc, cfg)
 	for _, p := range [][2]savat.Event{
 		{savat.ADD, savat.DIV},
 		{savat.ADD, savat.LDL2},
 		{savat.ADD, savat.LDM},
 	} {
-		_, sum, err := savat.MeasurePair(mc, p[0], p[1], cfg, 3, 7)
+		_, sum, err := meas.MeasurePair(p[0], p[1], 3, 7)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -25,7 +25,7 @@ func TestIntegrationQuickstart(t *testing.T) {
 	mc := machine.Core2Duo()
 	cfg := savat.DefaultConfig()
 	rng := rand.New(rand.NewSource(1))
-	m, err := savat.Measure(mc, savat.ADD, savat.LDM, cfg, rng)
+	m, err := savat.NewMeasurer(mc, cfg).Measure(savat.ADD, savat.LDM, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestIntegrationDistanceTransition(t *testing.T) {
 		cfg := savat.FastConfig()
 		cfg.Distance = d
 		rng := rand.New(rand.NewSource(2))
-		m, err := savat.Measure(mc, a, b, cfg, rng)
+		m, err := savat.NewMeasurer(mc, cfg).Measure(a, b, rng)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,93 @@
+// Package benchfmt parses `go test -bench` text output into the
+// machine-readable snapshot shape shared by cmd/benchjson (which
+// records baselines) and cmd/benchguard (which compares runs against
+// them).
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the snapshot written to (and read back from) disk.
+type File struct {
+	Date       string  `json:"date"` // YYYYMMDD
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Find returns the first benchmark whose name equals name.
+func (f *File) Find(name string) (Bench, bool) {
+	for _, b := range f.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Bench{}, false
+}
+
+// Parse reads `go test -bench` output and collects every benchmark
+// line, tracking the `pkg:` header lines so each result carries its
+// package.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			f.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			f.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			f.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := ParseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			b.Package = pkg
+			f.Benchmarks = append(f.Benchmarks, b)
+		}
+	}
+	return f, sc.Err()
+}
+
+// ParseLine splits one result line — name, iteration count, then
+// (value, unit) pairs.
+func ParseLine(line string) (Bench, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Bench{}, fmt.Errorf("benchfmt: malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, fmt.Errorf("benchfmt: iteration count in %q: %w", line, err)
+	}
+	b := Bench{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, fmt.Errorf("benchfmt: metric value in %q: %w", line, err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,4 +1,4 @@
-package main
+package benchfmt
 
 import (
 	"strings"
@@ -18,7 +18,7 @@ BenchmarkWelch 	     100	   1234567 ns/op
 `
 
 func TestParse(t *testing.T) {
-	f, err := parse(strings.NewReader(sample))
+	f, err := Parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,6 +45,13 @@ func TestParse(t *testing.T) {
 	if f.Benchmarks[2].Package != "repro/internal/dsp" {
 		t.Errorf("third package = %q", f.Benchmarks[2].Package)
 	}
+
+	if _, ok := f.Find("BenchmarkWelch"); !ok {
+		t.Error("Find missed BenchmarkWelch")
+	}
+	if _, ok := f.Find("BenchmarkNope"); ok {
+		t.Error("Find invented BenchmarkNope")
+	}
 }
 
 func TestParseRejectsMalformed(t *testing.T) {
@@ -53,7 +60,7 @@ func TestParseRejectsMalformed(t *testing.T) {
 		"BenchmarkX notanint 12 ns/op", // bad iteration count
 		"BenchmarkX 1 twelve ns/op",    // bad metric value
 	} {
-		if _, err := parse(strings.NewReader(bad)); err == nil {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
 			t.Errorf("accepted malformed line %q", bad)
 		}
 	}

@@ -9,24 +9,29 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/savat"
 )
 
-// Sentinel validation errors; test with errors.Is.
+// Sentinel validation errors; test with errors.Is. The setup sentinels
+// are aliases of the savat package's — flag validation delegates to
+// savat.Validate, so a bad -distance fails with the same identity at
+// the CLI, the campaign runner, and the measurement pipeline.
 var (
 	// ErrUnknownMachine reports a -machine that is not a case-study system.
 	ErrUnknownMachine = errors.New("cliconf: unknown machine")
 	// ErrBadDistance reports a non-positive -distance.
-	ErrBadDistance = errors.New("cliconf: distance must be positive")
+	ErrBadDistance = savat.ErrBadDistance
 	// ErrBadFrequency reports a non-positive -freq.
-	ErrBadFrequency = errors.New("cliconf: frequency must be positive")
+	ErrBadFrequency = savat.ErrBadFrequency
 	// ErrBadRepeats reports a -repeats below one.
-	ErrBadRepeats = errors.New("cliconf: repeats must be at least 1")
+	ErrBadRepeats = savat.ErrBadRepeats
 )
 
 // Set selects which of the shared flags a command registers.
@@ -47,22 +52,25 @@ const (
 	Fast
 	// Profile registers -cpuprofile and -memprofile (pprof output files).
 	Profile
+	// Metrics registers -metrics-addr (observability HTTP endpoint).
+	Metrics
 	// All registers every shared flag.
-	All = Machine | Distance | Frequency | Repeats | Seed | Fast | Profile
+	All = Machine | Distance | Frequency | Repeats | Seed | Fast | Profile | Metrics
 )
 
 // Flags holds the parsed values of the shared measurement-setup flags.
 // Fields whose flag was not registered keep their defaults and are not
 // validated.
 type Flags struct {
-	Machine    string
-	Distance   float64
-	Frequency  float64
-	Repeats    int
-	Seed       int64
-	Fast       bool
-	CPUProfile string
-	MemProfile string
+	Machine     string
+	Distance    float64
+	Frequency   float64
+	Repeats     int
+	Seed        int64
+	Fast        bool
+	CPUProfile  string
+	MemProfile  string
+	MetricsAddr string
 
 	set Set
 }
@@ -100,6 +108,9 @@ func Register(fs *flag.FlagSet, which Set) *Flags {
 	if which&Profile != 0 {
 		fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 		fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	}
+	if which&Metrics != 0 {
+		fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics and /progress on this address (e.g. localhost:9090); also enables the end-of-run summary")
 	}
 	return f
 }
@@ -158,23 +169,47 @@ func (f *Flags) StartProfiles() (stop func(), err error) {
 }
 
 // Validate reports the first problem among the registered flags as a
-// wrapped sentinel error.
+// wrapped sentinel error. After its own machine-name check it delegates
+// to savat.Validate on the measurement configuration and campaign
+// options the registered flags imply, so the CLI rejects exactly what
+// the campaign runner would reject, with the same error identities.
+// Unregistered fields keep their (valid) defaults and so can never
+// fail.
 func (f *Flags) Validate() error {
 	if f.set&Machine != 0 {
 		if _, err := machine.ConfigByName(f.Machine); err != nil {
 			return fmt.Errorf("%w: %q (have Core2Duo, Pentium3M, TurionX2)", ErrUnknownMachine, f.Machine)
 		}
 	}
-	if f.set&Distance != 0 && f.Distance <= 0 {
-		return fmt.Errorf("%w: %g m", ErrBadDistance, f.Distance)
+	return savat.Validate(f.impliedConfig(), f.impliedOptions())
+}
+
+// impliedConfig is the measurement setup the registered flags imply:
+// the default (or, with -fast, the quarter-second) config with the
+// registered distance and frequency applied. Unregistered fields keep
+// the defaults even if the struct fields were clobbered.
+func (f *Flags) impliedConfig() savat.Config {
+	cfg := savat.DefaultConfig()
+	if f.set&Fast != 0 && f.Fast {
+		cfg = savat.FastConfig()
 	}
-	if f.set&Frequency != 0 && f.Frequency <= 0 {
-		return fmt.Errorf("%w: %g Hz", ErrBadFrequency, f.Frequency)
+	if f.set&Distance != 0 {
+		cfg.Distance = f.Distance
 	}
-	if f.set&Repeats != 0 && f.Repeats < 1 {
-		return fmt.Errorf("%w: %d", ErrBadRepeats, f.Repeats)
+	if f.set&Frequency != 0 {
+		cfg.Frequency = f.Frequency
 	}
-	return nil
+	return cfg
+}
+
+// impliedOptions is the campaign-shaped view of the registered flags,
+// for validation purposes: only -repeats influences validity.
+func (f *Flags) impliedOptions() savat.CampaignOptions {
+	opts := savat.DefaultCampaignOptions()
+	if f.set&Repeats != 0 {
+		opts.Repeats = f.Repeats
+	}
+	return opts
 }
 
 // MachineConfig validates the flags and returns the selected case-study
@@ -193,15 +228,47 @@ func (f *Flags) MeasureConfig() (savat.Config, error) {
 	if err := f.Validate(); err != nil {
 		return savat.Config{}, err
 	}
-	cfg := savat.DefaultConfig()
-	if f.set&Fast != 0 && f.Fast {
-		cfg = savat.FastConfig()
+	return f.impliedConfig(), nil
+}
+
+// StartObs starts the observability side channel the -metrics-addr flag
+// requests and returns a stop function that must run once before the
+// process exits (defer it right after the call, like StartProfiles).
+// With the flag unset both calls are no-ops and the measurement
+// pipeline's metric sites stay at their disabled cost of one atomic
+// load each.
+//
+// When the flag is set, StartObs enables the default obs registry and
+// serves /metrics, /progress, and /debug/vars on the address; progress
+// (which may be nil) supplies the live value behind /progress and
+// should read a cached value, not compute. The stop function shuts the
+// server down and writes the end-of-run summary table to stderr.
+func (f *Flags) StartObs(progress func() any) (stop func(), err error) {
+	if f.set&Metrics == 0 || f.MetricsAddr == "" {
+		return func() {}, nil
 	}
-	if f.set&Distance != 0 {
-		cfg.Distance = f.Distance
+	srv, err := obs.Serve(f.MetricsAddr, obs.Default, progress)
+	if err != nil {
+		return nil, fmt.Errorf("cliconf: -metrics-addr: %w", err)
 	}
-	if f.set&Frequency != 0 {
-		cfg.Frequency = f.Frequency
+	fmt.Fprintf(os.Stderr, "obs: serving /metrics and /progress on http://%s\n", srv.Addr())
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		srv.Close()
+		WriteObsSummary(os.Stderr)
+	}, nil
+}
+
+// WriteObsSummary writes the default registry's end-of-run summary
+// table to w. It is a no-op while the registry is disabled (nothing was
+// recorded), so commands can call it unconditionally.
+func WriteObsSummary(w io.Writer) {
+	if !obs.Default.Enabled() {
+		return
 	}
-	return cfg, nil
+	obs.WriteSummary(w, obs.Default.Snapshot())
 }

@@ -5,6 +5,8 @@ import (
 	"flag"
 	"os"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func parse(t *testing.T, which Set, args ...string) *Flags {
@@ -106,6 +108,38 @@ func TestMeasureConfig(t *testing.T) {
 	}
 	if cfg.Distance != 0.10 {
 		t.Errorf("unregistered distance applied: %v", cfg.Distance)
+	}
+}
+
+func TestStartObs(t *testing.T) {
+	// Flag unset: start and stop are no-ops and the registry stays off.
+	f := parse(t, Metrics)
+	stop, err := f.StartObs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // idempotent
+	if obs.Default.Enabled() {
+		t.Fatal("registry enabled without -metrics-addr")
+	}
+
+	// Flag set: the registry turns on and /metrics answers.
+	f = parse(t, Metrics, "-metrics-addr", "localhost:0")
+	stop, err = f.StartObs(func() any { return map[string]int{"done": 3} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if !obs.Default.Enabled() {
+		t.Error("registry not enabled by -metrics-addr")
+	}
+	t.Cleanup(func() { obs.Default.SetEnabled(false) })
+
+	// An unusable address fails up front.
+	f = parse(t, Metrics, "-metrics-addr", "256.256.256.256:1")
+	if _, err := f.StartObs(nil); err == nil {
+		t.Error("unusable -metrics-addr accepted")
 	}
 }
 

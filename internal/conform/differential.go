@@ -110,11 +110,11 @@ func RunDifferential(specs []DiffSpec, relTol float64) ([]DiffResult, *Report, e
 		if err != nil {
 			return nil, nil, fmt.Errorf("conform: %s: build kernel: %w", s.Name, err)
 		}
-		fast, err := savat.MeasureKernelScratch(s.Machine, k, s.Config, rand.New(rand.NewSource(s.Seed)), scratch)
+		fast, err := savat.NewMeasurer(s.Machine, s.Config, savat.WithScratch(scratch)).MeasureKernel(k, rand.New(rand.NewSource(s.Seed)))
 		if err != nil {
 			return nil, nil, fmt.Errorf("conform: %s: fast path: %w", s.Name, err)
 		}
-		ref, err := savat.MeasureKernelReference(s.Machine, k, s.Config, rand.New(rand.NewSource(s.Seed)))
+		ref, err := savat.NewMeasurer(s.Machine, s.Config, savat.WithReference()).MeasureKernel(k, rand.New(rand.NewSource(s.Seed)))
 		if err != nil {
 			return nil, nil, fmt.Errorf("conform: %s: reference: %w", s.Name, err)
 		}
@@ -134,8 +134,8 @@ func RunDifferential(specs []DiffSpec, relTol float64) ([]DiffResult, *Report, e
 }
 
 // RunStreamingDifferential drives every spec through the streaming
-// measurement path (savat.MeasureKernelScratch) and the buffered
-// oracle (savat.MeasureKernelBuffered) with identical rng streams and
+// measurement path (the default Measurer mode) and the buffered
+// oracle (savat.WithBuffered) with identical rng streams and
 // demands BIT-EXACT agreement — zero ULP, not a tolerance. The
 // streaming pipeline is a re-segmentation of the buffered one over the
 // same renderers and the same per-segment transform primitives, so any
@@ -152,11 +152,11 @@ func RunStreamingDifferential(specs []DiffSpec) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("conform: %s: build kernel: %w", s.Name, err)
 		}
-		sm, err := savat.MeasureKernelScratch(s.Machine, k, s.Config, rand.New(rand.NewSource(s.Seed)), stream)
+		sm, err := savat.NewMeasurer(s.Machine, s.Config, savat.WithScratch(stream)).MeasureKernel(k, rand.New(rand.NewSource(s.Seed)))
 		if err != nil {
 			return nil, fmt.Errorf("conform: %s: streaming path: %w", s.Name, err)
 		}
-		bm, err := savat.MeasureKernelBuffered(s.Machine, k, s.Config, rand.New(rand.NewSource(s.Seed)), buffered)
+		bm, err := savat.NewMeasurer(s.Machine, s.Config, savat.WithScratch(buffered), savat.WithBuffered()).MeasureKernel(k, rand.New(rand.NewSource(s.Seed)))
 		if err != nil {
 			return nil, fmt.Errorf("conform: %s: buffered path: %w", s.Name, err)
 		}
@@ -197,7 +197,7 @@ func RunStreamingDifferential(specs []DiffSpec) (*Report, error) {
 }
 
 // ReferenceMatrix measures the full pairwise matrix for events through
-// savat.MeasureKernelReference — the readable specification pipeline —
+// the reference pipeline (savat.WithReference) — the readable specification —
 // with the same per-cell seeding as a campaign, so the result is
 // directly comparable to savat.RunCampaign's mean matrix at Repeats 1.
 func ReferenceMatrix(mc machine.Config, cfg savat.Config, events []savat.Event, seed int64) (*savat.Matrix, error) {
@@ -209,7 +209,7 @@ func ReferenceMatrix(mc machine.Config, cfg savat.Config, events []savat.Event, 
 				return nil, fmt.Errorf("conform: %v/%v: %w", a, b, err)
 			}
 			rng := rand.New(rand.NewSource(savat.CellSeed(seed, a, b, 0)))
-			meas, err := savat.MeasureKernelReference(mc, k, cfg, rng)
+			meas, err := savat.NewMeasurer(mc, cfg, savat.WithReference()).MeasureKernel(k, rng)
 			if err != nil {
 				return nil, fmt.Errorf("conform: %v/%v: %w", a, b, err)
 			}

@@ -64,7 +64,7 @@ func TestGoldenMatrix(t *testing.T) {
 }
 
 func goldenPSDMeasure() (*savat.Measurement, error) {
-	return savat.Measure(machine.Core2Duo(), savat.LDM, savat.NOI, savat.FastConfig(),
+	return savat.NewMeasurer(machine.Core2Duo(), savat.FastConfig()).Measure(savat.LDM, savat.NOI,
 		rand.New(rand.NewSource(goldenSeed)))
 }
 

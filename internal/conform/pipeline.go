@@ -57,7 +57,7 @@ func DefaultPipelineTolerances() PipelineTolerances {
 // tol.NoiseFloorRatio). The rng seed fixes the noise realization per
 // pair, so the check is deterministic.
 func VerifyNoiseFloorDiagonal(mc machine.Config, cfg savat.Config, events []savat.Event, seed int64, tol PipelineTolerances) (*Report, error) {
-	floor, err := savat.Measure(mc, savat.NOI, savat.NOI, cfg, rand.New(rand.NewSource(seed)))
+	floor, err := savat.NewMeasurer(mc, cfg).Measure(savat.NOI, savat.NOI, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, fmt.Errorf("conform: NOI/NOI floor: %w", err)
 	}
@@ -66,7 +66,7 @@ func VerifyNoiseFloorDiagonal(mc machine.Config, cfg savat.Config, events []sava
 	}
 	r := &Report{}
 	for _, e := range events {
-		m, err := savat.Measure(mc, e, e, cfg, rand.New(rand.NewSource(seed)))
+		m, err := savat.NewMeasurer(mc, cfg).Measure(e, e, rand.New(rand.NewSource(seed)))
 		if err != nil {
 			return nil, fmt.Errorf("conform: %v/%v: %w", e, e, err)
 		}
@@ -98,7 +98,7 @@ func VerifyLoopCountScaling(mc machine.Config, cfg savat.Config, a, b savat.Even
 	for _, f := range freqs {
 		c := cfg
 		c.Frequency = f
-		m, err := savat.Measure(mc, a, b, c, rand.New(rand.NewSource(seed)))
+		m, err := savat.NewMeasurer(mc, c).Measure(a, b, rand.New(rand.NewSource(seed)))
 		if err != nil {
 			return nil, fmt.Errorf("conform: %v/%v at %g Hz: %w", a, b, f, err)
 		}

@@ -5,7 +5,17 @@ import (
 	"sync"
 
 	"repro/internal/buf"
+	"repro/internal/obs"
 	"repro/internal/workpool"
+)
+
+// FFT-stage metrics. The segment histogram times each segment's
+// butterflies wherever they run (pool worker or inline), so its count
+// equals the number of transformed Welch segments. No-ops until the
+// registry is enabled.
+var (
+	mFFTSegment  = obs.Default.Histogram("dsp.fft.segment")
+	mFFTSegments = obs.Default.Counter("dsp.fft.segments")
 )
 
 // maxFeedSlots bounds how many segment transforms a feed keeps in
@@ -70,9 +80,12 @@ func (r *slotRing) next(reduce func(f []complex128, first bool)) *feedSlot {
 func (r *slotRing) dispatch(sl *feedSlot, plan *Plan) {
 	sl.wg.Add(1)
 	run := func() {
+		sp := mFFTSegment.Start()
 		plan.butterflies(sl.fft)
+		sp.End()
 		sl.wg.Done()
 	}
+	mFFTSegments.Inc()
 	if !r.pool.Go(run) {
 		run()
 	}

@@ -4,6 +4,15 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/obs"
+)
+
+// Envelope-synthesis metrics, recorded once per block so the edge-walk
+// loop stays untouched. No-ops until the registry is enabled.
+var (
+	mBlocks  = obs.Default.Counter("emsim.blocks")
+	mSamples = obs.Default.Counter("emsim.samples")
 )
 
 // EnvelopeStream renders the two shared per-phase envelope streams (see
@@ -151,5 +160,7 @@ func (s *EnvelopeStream) Next(dstA, dstB []float64) (int, error) {
 	s.ampFluct, s.fact = ampFluct, fact
 	s.tEdge, s.t = tEdge, t
 	s.remaining -= n
+	mBlocks.Inc()
+	mSamples.Add(uint64(n))
 	return n, nil
 }

@@ -126,6 +126,7 @@ func (c *Cache) insertLocked(key string, v float64) {
 		tail := c.ll.Back()
 		c.ll.Remove(tail)
 		delete(c.items, tail.Value.(*cacheEntry).key)
+		mEvictions.Inc()
 	}
 }
 

@@ -79,6 +79,9 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 // save writes the checkpoint atomically (temp file + rename), sorting
 // cells for deterministic bytes.
 func (cp *Checkpoint) save(path string) error {
+	sp := mCkptSave.Start()
+	defer sp.End()
+	mCkptSaves.Inc()
 	sort.Slice(cp.Cells, func(a, b int) bool {
 		x, y := cp.Cells[a], cp.Cells[b]
 		if x.Row != y.Row {

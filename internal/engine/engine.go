@@ -21,6 +21,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/workpool"
@@ -141,6 +142,7 @@ func New(opts Options) *Engine {
 	if opts.Cache == nil {
 		opts.Cache, _ = NewCache(DefaultCacheCapacity, "") // memory-only: cannot fail
 	}
+	bindCacheGauges(opts.Cache)
 	return &Engine{opts: opts}
 }
 
@@ -164,10 +166,11 @@ type Result struct {
 
 // run carries the mutable state of one Run call.
 type run struct {
-	eng    *Engine
-	spec   Spec
-	start  time.Time
-	values [][][]float64
+	eng      *Engine
+	spec     Spec
+	start    time.Time
+	values   [][][]float64
+	inflight int64 // cells currently in compute (atomic)
 
 	mu      sync.Mutex
 	done    []bool // flat (row*Cols+col)*Reps+rep
@@ -311,25 +314,33 @@ func (r *run) cell(ctx context.Context, idx int, state any) error {
 	}
 	if key != "" {
 		if v, ok := r.eng.opts.Cache.Get(key); ok {
+			mCellsCached.Inc()
 			r.record(row, col, rep, v, ProgressEvent{Row: row, Col: col, Rep: rep, Cached: true})
 			return nil
 		}
 	}
 
+	atomic.AddInt64(&r.inflight, 1)
+	mInFlight.Add(1)
 	begin := time.Now()
 	v, attempts, err := r.compute(ctx, state, row, col, rep)
+	dur := time.Since(begin)
+	atomic.AddInt64(&r.inflight, -1)
+	mInFlight.Add(-1)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil // cancellation, not a cell failure
 		}
 		return err
 	}
+	mCellsComputed.Inc()
+	mCellLatency.Observe(dur)
 	if key != "" {
 		r.eng.opts.Cache.Put(key, v)
 	}
 	r.record(row, col, rep, v, ProgressEvent{
 		Row: row, Col: col, Rep: rep,
-		Duration: time.Since(begin), Attempts: attempts,
+		Duration: dur, Attempts: attempts,
 	})
 	return nil
 }
@@ -381,6 +392,7 @@ func (r *run) record(row, col, rep int, v float64, ev ProgressEvent) {
 	}
 	r.st.Elapsed = time.Since(r.start)
 	ev.Stats = r.st
+	ev.Health = r.healthLocked()
 	var cp *Checkpoint
 	if r.eng.opts.CheckpointPath != "" && r.st.Done < r.st.Total && r.st.Done%r.eng.opts.CheckpointEvery == 0 {
 		cp = r.snapshotLocked()
@@ -397,10 +409,30 @@ func (r *run) record(row, col, rep int, v float64, ev ProgressEvent) {
 	}
 }
 
+// healthLocked derives the pipeline-health snapshot attached to each
+// progress event from the run's own accounting plus the engine cell
+// latency histogram. The latency quantiles are zero when the
+// observability registry is disabled; the scheduling numbers are always
+// live. Callers hold r.mu.
+func (r *run) healthLocked() Health {
+	inFlight := int(atomic.LoadInt64(&r.inflight))
+	h := Health{
+		InFlight:   inFlight,
+		QueueDepth: r.st.Total - r.st.Done - inFlight,
+	}
+	if r.st.Done > 0 {
+		h.CacheHitRate = float64(r.st.Cached) / float64(r.st.Done)
+	}
+	h.LatencyP50, h.LatencyP90, h.LatencyP99 = mCellLatency.Quantiles(0.50, 0.90, 0.99)
+	mQueueDepth.Set(int64(h.QueueDepth))
+	return h
+}
+
 func (r *run) bumpRetries() {
 	r.mu.Lock()
 	r.st.Retries++
 	r.mu.Unlock()
+	mRetries.Inc()
 }
 
 func (r *run) fail(err error) {
@@ -429,6 +461,7 @@ func (r *run) restoreCheckpoint() error {
 		cp.Rows != r.spec.Rows || cp.Cols != r.spec.Cols || cp.Reps != r.spec.Reps {
 		return fmt.Errorf("%w: %s", ErrCheckpointMismatch, path)
 	}
+	mCellsRestored.Add(uint64(len(cp.Cells)))
 	for _, c := range cp.Cells {
 		r.values[c.Row][c.Col][c.Rep] = c.Value
 		r.done[(c.Row*r.spec.Cols+c.Col)*r.spec.Reps+c.Rep] = true
@@ -438,6 +471,7 @@ func (r *run) restoreCheckpoint() error {
 			r.st.Elapsed = time.Since(r.start)
 			r.eng.opts.Monitor <- ProgressEvent{
 				Row: c.Row, Col: c.Col, Rep: c.Rep, Cached: true, Stats: r.st,
+				Health: r.healthLocked(),
 			}
 		}
 	}

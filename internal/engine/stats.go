@@ -48,4 +48,26 @@ type ProgressEvent struct {
 	Attempts int
 	// Stats is a consistent snapshot taken when this cell finished.
 	Stats Stats
+	// Health is a pipeline-health snapshot taken when this cell
+	// finished.
+	Health Health
+}
+
+// Health is the pipeline-health view attached to every ProgressEvent:
+// how the campaign is flowing right now, derived from the engine's own
+// accounting plus the observability layer's cell-latency histogram.
+type Health struct {
+	// CacheHitRate is Cached/Done so far (0 before any cell finishes).
+	CacheHitRate float64
+	// QueueDepth counts cells neither finished nor being computed.
+	QueueDepth int
+	// InFlight counts cells currently inside the compute function.
+	InFlight int
+	// LatencyP50/P90/P99 are conservative per-cell compute latency
+	// quantiles (upper bound of the containing log₂ bucket). All zero
+	// when the observability registry is disabled — enable it (serve
+	// -metrics-addr, or obs.Default.SetEnabled(true)) to populate them.
+	LatencyP50 time.Duration
+	LatencyP90 time.Duration
+	LatencyP99 time.Duration
 }

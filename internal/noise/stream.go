@@ -6,6 +6,15 @@ import (
 	"math/rand"
 
 	"repro/internal/buf"
+	"repro/internal/obs"
+)
+
+// Streaming-synthesis metrics, recorded once per block so the
+// per-sample loops stay untouched. No-ops until the registry is
+// enabled.
+var (
+	mBlocks  = obs.Default.Counter("noise.blocks")
+	mSamples = obs.Default.Counter("noise.samples")
 )
 
 // carrierState is one interferer's streaming synthesis state: the
@@ -155,5 +164,7 @@ func (s *Stream) Next(dst []complex128) (int, error) {
 		c.car, c.am = car, am
 	}
 	s.pos += k
+	mBlocks.Inc()
+	mSamples.Add(uint64(k))
 	return k, nil
 }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled-path benchmarks are the package's contract: an
+// instrumentation site on a disabled registry costs one atomic load
+// (plus the call), so sprinkling metric updates through the hot
+// measurement loops is free when -metrics-addr is unset. The CI
+// bench-guard job asserts the end-to-end version of this on
+// MeasureKernelScratch.
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != 0 {
+		b.Fatal("disabled counter recorded")
+	}
+}
+
+func BenchmarkDisabledHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	h := NewRegistry().Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Start().End()
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Start().End()
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// holds observations with 2^(i-1) < ns ≤ 2^i (bucket 0 holds ns ≤ 1),
+// so 48 buckets span one nanosecond to ~3.2 days — far past anything a
+// pipeline stage can take.
+const histBuckets = 48
+
+// Histogram is a log₂-bucketed latency histogram: one atomic counter
+// per power-of-two duration bucket plus total count and sum. Recording
+// is a bucket-index computation and three atomic adds; quantile
+// estimation happens only at read time and is accurate to the bucket
+// width (a factor of two), which is the right resolution for "where
+// does the time go" questions. The zero value is inert; obtain working
+// histograms from a Registry.
+type Histogram struct {
+	on      *uint32
+	count   uint64
+	sum     uint64 // nanoseconds
+	buckets [histBuckets]uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(d) - 1) // ⌈log2(ns)⌉ for ns ≥ 2
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration. On a disabled registry this is one
+// atomic load.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil || h.on == nil || atomic.LoadUint32(h.on) == 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddUint64(&h.sum, uint64(d))
+	atomic.AddUint64(&h.buckets[bucketOf(d)], 1)
+}
+
+// Count returns how many observations have been recorded.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&h.count)
+}
+
+// Sum returns the total of all recorded durations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(atomic.LoadUint64(&h.sum))
+}
+
+// bucketUpper is the inclusive upper bound reported for bucket i.
+func bucketUpper(i int) time.Duration { return time.Duration(uint64(1) << uint(i)) }
+
+// Quantiles estimates the q1/q2/q3 quantiles (each in [0,1]) from the
+// bucket counts in a single pass. Each estimate is the upper bound of
+// the bucket containing that quantile — conservative to within the 2×
+// bucket width. All zeros when nothing has been recorded.
+func (h *Histogram) Quantiles(q1, q2, q3 float64) (d1, d2, d3 time.Duration) {
+	if h == nil {
+		return 0, 0, 0
+	}
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = atomic.LoadUint64(&h.buckets[i])
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	rank := func(q float64) uint64 {
+		r := uint64(math.Ceil(q * float64(total)))
+		if r < 1 {
+			r = 1
+		}
+		if r > total {
+			r = total
+		}
+		return r
+	}
+	r1, r2, r3 := rank(q1), rank(q2), rank(q3)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if d1 == 0 && cum >= r1 {
+			d1 = bucketUpper(i)
+		}
+		if d2 == 0 && cum >= r2 {
+			d2 = bucketUpper(i)
+		}
+		if d3 == 0 && cum >= r3 {
+			d3 = bucketUpper(i)
+		}
+	}
+	return d1, d2, d3
+}
+
+// loadBucket reads one bucket counter atomically.
+func loadBucket(h *Histogram, i int) uint64 { return atomic.LoadUint64(&h.buckets[i]) }
+
+func (h *Histogram) reset() {
+	atomic.StoreUint64(&h.count, 0)
+	atomic.StoreUint64(&h.sum, 0)
+	for i := range h.buckets {
+		atomic.StoreUint64(&h.buckets[i], 0)
+	}
+}
+
+// Span times one pipeline-stage execution into a histogram. Start on
+// a disabled registry returns the zero Span after one atomic load —
+// no clock read — and End on a zero Span is a nil check.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Start begins a span if the histogram's registry is enabled.
+func (h *Histogram) Start() Span {
+	if h == nil || h.on == nil || atomic.LoadUint32(h.on) == 0 {
+		return Span{}
+	}
+	return Span{h: h, t0: time.Now()}
+}
+
+// End records the elapsed time since Start. Safe on the zero Span.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.t0))
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Handler returns the observability HTTP mux:
+//
+//	/metrics     — the registry Snapshot as JSON
+//	/progress    — the live value returned by progress() as JSON
+//	/debug/vars  — the standard expvar surface (cmdline, memstats, obs)
+//
+// progress supplies the caller's live campaign state (the latest
+// engine stats, the section being reproduced, ...); nil, or a nil
+// return, serves an empty object. The handler never blocks the
+// pipeline: snapshots are atomic reads and progress functions are
+// expected to read a cached value, not compute.
+func Handler(r *Registry, progress func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, req *http.Request) {
+		var v any
+		if progress != nil {
+			v = progress()
+		}
+		if v == nil {
+			v = struct{}{}
+		}
+		writeJSON(w, v)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// expvarOnce guards the process-global expvar names (Publish panics on
+// duplicates, and tests may Serve more than once).
+var expvarOnce sync.Once
+
+// Server is a running observability HTTP server.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve enables the registry and serves Handler(r, progress) on addr
+// (e.g. "localhost:9090" or ":0" for an ephemeral port). It also
+// publishes the registry snapshot as the expvar "obs", so the standard
+// /debug/vars surface carries the same numbers. The returned server is
+// already listening; shut it down with Close.
+func Serve(addr string, r *Registry, progress func() any) (*Server, error) {
+	r.SetEnabled(true)
+	expvarOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		srv: &http.Server{Handler: Handler(r, progress), ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go func() {
+		// ErrServerClosed after Close is the normal shutdown path; any
+		// other serve error just ends the telemetry side channel, never
+		// the measurement run.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

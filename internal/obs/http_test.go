@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestMetricsHandlerGolden pins the /metrics JSON shape byte-for-byte:
+// a deterministic registry state must serialize to exactly this
+// document, so downstream scrapers can rely on field names and
+// ordering.
+func TestMetricsHandlerGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("engine.cells.computed").Add(3)
+	r.Counter("engine.cache.hits").Add(2)
+	r.Gauge("engine.inflight").Set(1)
+	r.GaugeFunc("engine.cache.entries", func() int64 { return 5 })
+	h := r.Histogram("dsp.fft.segment")
+	h.Observe(100 * time.Nanosecond) // bucket upper 128
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(1000 * time.Nanosecond) // bucket upper 1024
+
+	srv := httptest.NewServer(Handler(r, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = `{
+  "enabled": true,
+  "counters": [
+    {
+      "name": "engine.cache.hits",
+      "value": 2
+    },
+    {
+      "name": "engine.cells.computed",
+      "value": 3
+    }
+  ],
+  "gauges": [
+    {
+      "name": "engine.cache.entries",
+      "value": 5
+    },
+    {
+      "name": "engine.inflight",
+      "value": 1
+    }
+  ],
+  "histograms": [
+    {
+      "name": "dsp.fft.segment",
+      "count": 3,
+      "sum_ns": 1200,
+      "p50_ns": 128,
+      "p90_ns": 1024,
+      "p99_ns": 1024,
+      "buckets": [
+        {
+          "upper_ns": 128,
+          "count": 2
+        },
+        {
+          "upper_ns": 1024,
+          "count": 1
+        }
+      ]
+    }
+  ]
+}
+`
+	if string(body) != golden {
+		t.Errorf("/metrics mismatch:\ngot:\n%s\nwant:\n%s", body, golden)
+	}
+}
+
+func TestProgressHandler(t *testing.T) {
+	r := NewRegistry()
+	type prog struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	}
+	srv := httptest.NewServer(Handler(r, func() any { return prog{Done: 4, Total: 9} }))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got prog
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != (prog{Done: 4, Total: 9}) {
+		t.Errorf("progress = %+v", got)
+	}
+}
+
+func TestProgressHandlerNilFunc(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "{}\n" {
+		t.Errorf("nil progress body = %q", body)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	s, err := Serve("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !r.Enabled() {
+		t.Error("Serve did not enable the registry")
+	}
+	r.Counter("c").Inc()
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Counter("c"); !ok || v != 1 {
+		t.Errorf("served counter = %d,%v", v, ok)
+	}
+
+	// /debug/vars must carry the standard expvar surface.
+	resp2, err := http.Get("http://" + s.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp2.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing memstats")
+	}
+
+	// A second Serve must not panic on duplicate expvar registration.
+	s2, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+}

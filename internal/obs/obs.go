@@ -1,0 +1,207 @@
+// Package obs is the measurement pipeline's observability layer: a
+// zero-dependency named registry of atomic counters, gauges, and
+// log-bucketed latency histograms, plus lightweight pipeline-stage
+// spans, an HTTP exposition surface (/metrics, /progress), and an
+// end-of-run summary table.
+//
+// The design constraint is the hot path: the pipeline's inner loops
+// (per-FFT-segment, per-synthesis-block, per-campaign-cell) are
+// instrumented unconditionally, so a metric update on a DISABLED
+// registry must cost exactly one atomic load — no time.Now(), no map
+// lookup, no branch on anything but that load. Call sites therefore
+// hold pre-resolved metric handles (package-level vars or struct
+// fields); the name→handle lookup happens once, at registration, never
+// per update. Registries start disabled; nothing is recorded until
+// SetEnabled(true), which the CLI ties to -metrics-addr.
+//
+// All metric methods are safe for concurrent use. Reads (Value,
+// Snapshot) are unsynchronized atomic loads: a snapshot taken while
+// updates race is internally consistent per metric, not across
+// metrics, which is the usual and sufficient contract for telemetry.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics and the shared enabled flag every one
+// of its metrics gates on. The zero value is not usable; use
+// NewRegistry (or the process-wide Default).
+type Registry struct {
+	on uint32 // atomic: 0 disabled, 1 enabled
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// Default is the process-wide registry. Every built-in instrumentation
+// site in the pipeline (dsp, specan, emsim, noise, engine, savat)
+// registers its handles here; it starts disabled, so an uninstrumented
+// run pays one atomic load per site and records nothing.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// SetEnabled turns recording on or off for every metric of the
+// registry at once.
+func (r *Registry) SetEnabled(on bool) {
+	var v uint32
+	if on {
+		v = 1
+	}
+	atomic.StoreUint32(&r.on, v)
+}
+
+// Enabled reports whether the registry is recording.
+func (r *Registry) Enabled() bool { return atomic.LoadUint32(&r.on) == 1 }
+
+// Counter returns the counter registered under name, creating it on
+// first use. Handles are stable: every call with one name returns the
+// same *Counter, so call sites resolve once and update forever.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{on: &r.on}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{on: &r.on}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers fn as a read-on-snapshot gauge under name,
+// replacing any previous function with that name. The function is
+// called only when a Snapshot is taken, never on the hot path — it is
+// how external sources of truth (the engine's result cache, say)
+// surface their counters without double accounting.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the latency histogram registered under name,
+// creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{on: &r.on}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered counter, gauge, and histogram (gauge
+// functions are external state and are left alone). Handles stay
+// valid; only their values clear. Intended for tests and for reusing
+// one process across logically separate runs.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		atomic.StoreUint64(&c.v, 0)
+	}
+	for _, g := range r.gauges {
+		atomic.StoreInt64(&g.v, 0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// Counter is a monotonically increasing uint64. The zero value is
+// inert (updates are dropped); obtain working counters from a
+// Registry.
+type Counter struct {
+	on *uint32
+	v  uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. On a disabled registry this is one atomic load.
+func (c *Counter) Add(n uint64) {
+	if c == nil || c.on == nil || atomic.LoadUint32(c.on) == 0 {
+		return
+	}
+	atomic.AddUint64(&c.v, n)
+}
+
+// Value returns the current count (readable even while disabled).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&c.v)
+}
+
+// Gauge is an instantaneous int64 level. The zero value is inert;
+// obtain working gauges from a Registry.
+type Gauge struct {
+	on *uint32
+	v  int64
+}
+
+// Set stores v. On a disabled registry this is one atomic load.
+func (g *Gauge) Set(v int64) {
+	if g == nil || g.on == nil || atomic.LoadUint32(g.on) == 0 {
+		return
+	}
+	atomic.StoreInt64(&g.v, v)
+}
+
+// Add adds delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil || g.on == nil || atomic.LoadUint32(g.on) == 0 {
+		return
+	}
+	atomic.AddInt64(&g.v, delta)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.v)
+}
+
+// sortedKeys returns the map's keys in sorted order; snapshots use it
+// so the same registry state always serializes to the same bytes.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

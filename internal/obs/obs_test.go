@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Add(5)
+	c.Inc()
+	g.Set(7)
+	g.Add(3)
+	h.Observe(time.Millisecond)
+	sp := h.Start()
+	sp.End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Errorf("disabled registry recorded: counter=%d gauge=%d hist=%d",
+			c.Value(), g.Value(), h.Count())
+	}
+	if r.Enabled() {
+		t.Error("fresh registry reports enabled")
+	}
+}
+
+func TestEnabledMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("c")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 6 {
+		t.Errorf("counter = %d, want 6", c.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+	h := r.Histogram("h")
+	h.Observe(3 * time.Millisecond)
+	if h.Count() != 1 || h.Sum() != 3*time.Millisecond {
+		t.Errorf("hist count=%d sum=%v", h.Count(), h.Sum())
+	}
+	sp := h.Start()
+	sp.End()
+	if h.Count() != 2 {
+		t.Errorf("span did not record: count=%d", h.Count())
+	}
+}
+
+func TestHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter returned distinct handles for one name")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("Gauge returned distinct handles for one name")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Error("Histogram returned distinct handles for one name")
+	}
+}
+
+func TestNilAndZeroHandlesAreInert(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	h.Start().End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil handles recorded")
+	}
+	var zc Counter
+	zc.Add(1) // zero value: no registry back-pointer
+	if zc.Value() != 0 {
+		t.Error("zero-value counter recorded")
+	}
+	var zs Span
+	zs.End() // must not panic
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{5, 3},
+		{8, 3},
+		{9, 4},
+		{1024, 10},
+		{1025, 11},
+		{time.Duration(-5), 0},
+		{time.Duration(1) << 62, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must contain the bucket's members
+	// (except the clamped final bucket, which is effectively unbounded).
+	for _, c := range cases {
+		if c.d < 0 || c.want == histBuckets-1 {
+			continue
+		}
+		if up := bucketUpper(bucketOf(c.d)); time.Duration(c.d) > up {
+			t.Errorf("duration %d above its bucket upper bound %d", c.d, up)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("h")
+	// 90 fast observations and 10 slow ones: p50 lands in the fast
+	// bucket, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket upper bound 128ns
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond) // bucket upper bound ~1.05ms
+	}
+	p50, p90, p99 := h.Quantiles(0.50, 0.90, 0.99)
+	if p50 != 128*time.Nanosecond {
+		t.Errorf("p50 = %v, want 128ns", p50)
+	}
+	if p90 != 128*time.Nanosecond {
+		t.Errorf("p90 = %v, want 128ns (rank 90 of 100 is the last fast observation)", p90)
+	}
+	if p99 <= time.Millisecond/2 || p99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1ms bucket bound", p99)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+
+	var empty Histogram
+	if a, b, c := empty.Quantiles(0.5, 0.9, 0.99); a != 0 || b != 0 || c != 0 {
+		t.Error("empty histogram quantiles non-zero")
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	// Snapshots race with the writers; they must stay internally sane.
+	for i := 0; i < 10; i++ {
+		snap := r.Snapshot()
+		if hs, ok := snap.Histogram("h"); ok {
+			var bucketTotal uint64
+			for _, b := range hs.Buckets {
+				bucketTotal += b.Count
+			}
+			if bucketTotal > workers*per {
+				t.Errorf("bucket total %d exceeds all observations", bucketTotal)
+			}
+		}
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("hist count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestGaugeFuncAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("c")
+	c.Add(3)
+	live := int64(42)
+	r.GaugeFunc("fn", func() int64 { return live })
+	snap := r.Snapshot()
+	if v, ok := snap.Gauge("fn"); !ok || v != 42 {
+		t.Errorf("gauge func = %d,%v", v, ok)
+	}
+	live = 7
+	if v, _ := r.Snapshot().Gauge("fn"); v != 7 {
+		t.Errorf("gauge func not re-evaluated: %d", v)
+	}
+	// Re-registration replaces.
+	r.GaugeFunc("fn", func() int64 { return -1 })
+	if v, _ := r.Snapshot().Gauge("fn"); v != -1 {
+		t.Errorf("gauge func not replaced: %d", v)
+	}
+
+	r.Reset()
+	if c.Value() != 0 {
+		t.Errorf("counter survived Reset: %d", c.Value())
+	}
+	if v, ok := r.Snapshot().Gauge("fn"); !ok || v != -1 {
+		t.Error("gauge func dropped by Reset")
+	}
+}
+
+func TestSnapshotOrderingAndLookups(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("z").Set(1)
+	r.GaugeFunc("m", func() int64 { return 2 })
+	snap := r.Snapshot()
+	if snap.Counters[0].Name != "a" || snap.Counters[1].Name != "b" {
+		t.Errorf("counters unsorted: %+v", snap.Counters)
+	}
+	if snap.Gauges[0].Name != "m" || snap.Gauges[1].Name != "z" {
+		t.Errorf("gauges (plain + funcs) unsorted: %+v", snap.Gauges)
+	}
+	if !snap.Enabled {
+		t.Error("snapshot of enabled registry reports disabled")
+	}
+	if _, ok := snap.Counter("nope"); ok {
+		t.Error("lookup of missing counter succeeded")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("engine.cells.computed").Add(12)
+	h := r.Histogram("savat.measure")
+	for i := 0; i < 4; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	r.Histogram("empty.stage") // zero count: must be omitted
+	var sb strings.Builder
+	if err := WriteSummary(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"savat.measure", "engine.cells.computed", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "empty.stage") {
+		t.Errorf("summary includes empty histogram:\n%s", out)
+	}
+
+	sb.Reset()
+	if err := WriteSummary(&sb, NewRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no metrics recorded") {
+		t.Errorf("empty summary = %q", sb.String())
+	}
+}

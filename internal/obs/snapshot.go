@@ -1,0 +1,160 @@
+package obs
+
+import "time"
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// ordered by name within each kind so equal registry states marshal to
+// equal bytes. It is the programmatic exposition surface: the HTTP
+// /metrics handler serializes one, the CLI summary renders one, and
+// callers embed its pieces wherever they need pipeline telemetry
+// without scraping.
+type Snapshot struct {
+	// Enabled records whether the registry was recording when the
+	// snapshot was taken — all-zero metrics on a disabled registry mean
+	// "not measured", not "measured zero".
+	Enabled    bool                `json:"enabled"`
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// CounterSnapshot is one counter's value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's level. Gauge functions appear here too,
+// evaluated at snapshot time.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's state: totals, conservative
+// quantile estimates, and the non-empty log₂ buckets.
+type HistogramSnapshot struct {
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
+	SumNS int64  `json:"sum_ns"`
+	P50NS int64  `json:"p50_ns"`
+	P90NS int64  `json:"p90_ns"`
+	P99NS int64  `json:"p99_ns"`
+	// Buckets lists only the occupied buckets; UpperNS is the bucket's
+	// inclusive upper bound in nanoseconds (a power of two).
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one occupied latency bucket.
+type HistogramBucket struct {
+	UpperNS int64  `json:"upper_ns"`
+	Count   uint64 `json:"count"`
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (h HistogramSnapshot) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return time.Duration(h.SumNS / int64(h.Count))
+}
+
+// Counter returns the named counter's value from the snapshot.
+func (s Snapshot) Counter(name string) (uint64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge's value from the snapshot.
+func (s Snapshot) Gauge(name string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram's snapshot.
+func (s Snapshot) Histogram(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// Snapshot captures every metric of the registry. Gauge functions are
+// evaluated here (and only here). The copy is consistent per metric;
+// metrics updated concurrently with the snapshot may land on either
+// side of it.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counterNames := sortedKeys(r.counters)
+	counters := make([]*Counter, len(counterNames))
+	for i, n := range counterNames {
+		counters[i] = r.counters[n]
+	}
+	gaugeNames := sortedKeys(r.gauges)
+	gauges := make([]*Gauge, len(gaugeNames))
+	for i, n := range gaugeNames {
+		gauges[i] = r.gauges[n]
+	}
+	fnNames := sortedKeys(r.gaugeFns)
+	fns := make([]func() int64, len(fnNames))
+	for i, n := range fnNames {
+		fns[i] = r.gaugeFns[n]
+	}
+	histNames := sortedKeys(r.hists)
+	hists := make([]*Histogram, len(histNames))
+	for i, n := range histNames {
+		hists[i] = r.hists[n]
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{Enabled: r.Enabled()}
+	snap.Counters = make([]CounterSnapshot, len(counters))
+	for i, c := range counters {
+		snap.Counters[i] = CounterSnapshot{Name: counterNames[i], Value: c.Value()}
+	}
+	// Plain gauges and gauge functions merge into one sorted section.
+	merged := make([]GaugeSnapshot, 0, len(gauges)+len(fns))
+	for i, g := range gauges {
+		merged = append(merged, GaugeSnapshot{Name: gaugeNames[i], Value: g.Value()})
+	}
+	for i, fn := range fns {
+		merged = append(merged, GaugeSnapshot{Name: fnNames[i], Value: fn()})
+	}
+	for i := 1; i < len(merged); i++ { // insertion merge of two sorted runs
+		for j := i; j > 0 && merged[j].Name < merged[j-1].Name; j-- {
+			merged[j], merged[j-1] = merged[j-1], merged[j]
+		}
+	}
+	snap.Gauges = merged
+	snap.Histograms = make([]HistogramSnapshot, len(hists))
+	for i, h := range hists {
+		snap.Histograms[i] = h.snapshot(histNames[i])
+	}
+	return snap
+}
+
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Name:  name,
+		Count: h.Count(),
+		SumNS: int64(h.Sum()),
+	}
+	p50, p90, p99 := h.Quantiles(0.50, 0.90, 0.99)
+	hs.P50NS, hs.P90NS, hs.P99NS = int64(p50), int64(p90), int64(p99)
+	for i := 0; i < histBuckets; i++ {
+		if c := loadBucket(h, i); c > 0 {
+			hs.Buckets = append(hs.Buckets, HistogramBucket{UpperNS: int64(bucketUpper(i)), Count: c})
+		}
+	}
+	return hs
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteSummary renders the snapshot as the end-of-run summary table:
+// histograms first (stage timings are what the table is for), then
+// counters and gauges, skipping empty metrics so a short run prints a
+// short table. It returns the first write error.
+func WriteSummary(w io.Writer, s Snapshot) error {
+	if _, err := fmt.Fprintf(w, "── observability summary ──\n"); err != nil {
+		return err
+	}
+	wroteAny := false
+	if len(s.Histograms) > 0 {
+		header := false
+		for _, h := range s.Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			if !header {
+				header = true
+				if _, err := fmt.Fprintf(w, "%-28s %10s %12s %10s %10s %10s %10s\n",
+					"stage", "count", "total", "mean", "p50", "p90", "p99"); err != nil {
+					return err
+				}
+			}
+			wroteAny = true
+			if _, err := fmt.Fprintf(w, "%-28s %10d %12s %10s %10s %10s %10s\n",
+				h.Name, h.Count,
+				fmtDur(time.Duration(h.SumNS)), fmtDur(h.Mean()),
+				fmtDur(time.Duration(h.P50NS)), fmtDur(time.Duration(h.P90NS)),
+				fmtDur(time.Duration(h.P99NS))); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range s.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		wroteAny = true
+		if _, err := fmt.Fprintf(w, "%-28s %10d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if g.Value == 0 {
+			continue
+		}
+		wroteAny = true
+		if _, err := fmt.Fprintf(w, "%-28s %10d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	if !wroteAny {
+		_, err := fmt.Fprintln(w, "(no metrics recorded)")
+		return err
+	}
+	return nil
+}
+
+// fmtDur renders a duration compactly at three significant-ish digits,
+// keeping table columns stable across nine orders of magnitude.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

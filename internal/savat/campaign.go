@@ -31,13 +31,6 @@ type CampaignOptions struct {
 	// workers so campaigns never oversubscribe the machine).
 	AnalyzerPool *workpool.Pool
 
-	// Progress, when non-nil, receives one call per finished pair (all
-	// repetitions done), with total = len(Events)².
-	//
-	// Deprecated: Progress is adapted onto the engine's event stream for
-	// compatibility; new code should consume Monitor, which reports
-	// per-repetition cells with cache provenance and timing.
-	Progress func(done, total int)
 	// Monitor, when non-nil, receives one engine.ProgressEvent per
 	// finished (pair, repetition) cell — checkpoint-restored and
 	// cache-served cells included. The campaign closes the channel when
@@ -106,15 +99,12 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 	if err := mc.Validate(); err != nil {
 		return fail(err)
 	}
-	if err := cfg.Validate(); err != nil {
+	if err := Validate(cfg, opts); err != nil {
 		return fail(err)
 	}
 	events := opts.Events
 	if len(events) == 0 {
 		events = Events()
-	}
-	if opts.Repeats <= 0 {
-		return fail(fmt.Errorf("savat: campaign repeats %d", opts.Repeats))
 	}
 	n := len(events)
 
@@ -137,14 +127,13 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 		Key: func(i, j, r int) string {
 			return cellKeyMaterial(mc, cfg, events[i], events[j], opts.Seed, r)
 		},
-		// Each engine worker owns one MeasureScratch, so steady-state
-		// cells reuse sample buffers, FFT plans, and per-pair alternation
-		// results without locking. The scratch never influences values:
-		// cells remain exactly equal to MeasurePair for the same seed.
+		// Each engine worker owns one Measurer (and through it one
+		// MeasureScratch), so steady-state cells reuse sample buffers, FFT
+		// plans, and per-pair alternation results without locking. The
+		// scratch never influences values: cells remain exactly equal to
+		// Measurer.MeasurePair for the same seed.
 		NewWorkerState: func() any {
-			ws := NewMeasureScratch()
-			ws.SetAnalyzerPool(opts.AnalyzerPool)
-			return ws
+			return NewMeasurer(mc, cfg, WithPool(opts.AnalyzerPool))
 		},
 		ComputeState: func(_ context.Context, state any, i, j, r int) (float64, error) {
 			k, err := kernelFor(i, j)
@@ -152,42 +141,12 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 				return 0, fmt.Errorf("savat: cell %v/%v: %w", events[i], events[j], err)
 			}
 			rng := rand.New(rand.NewSource(cellSeed(opts.Seed, int(events[i]), int(events[j]), r)))
-			m, err := MeasureKernelScratch(mc, k, cfg, rng, state.(*MeasureScratch))
+			m, err := state.(*Measurer).MeasureKernel(k, rng)
 			if err != nil {
 				return 0, fmt.Errorf("savat: cell %v/%v rep %d: %w", events[i], events[j], r, err)
 			}
 			return m.SAVAT, nil
 		},
-	}
-
-	// The deprecated Progress callback is adapted onto the event stream:
-	// an interposed channel tallies per-pair completion and forwards
-	// every event to the caller's Monitor.
-	monitor := opts.Monitor
-	var adapter sync.WaitGroup
-	if opts.Progress != nil {
-		inner := make(chan engine.ProgressEvent, 128)
-		monitor = inner
-		adapter.Add(1)
-		go func() {
-			defer adapter.Done()
-			if opts.Monitor != nil {
-				defer close(opts.Monitor)
-			}
-			perPair := make([]int, n*n)
-			pairsDone := 0
-			for ev := range inner {
-				if opts.Monitor != nil {
-					opts.Monitor <- ev
-				}
-				p := ev.Row*n + ev.Col
-				perPair[p]++
-				if perPair[p] == opts.Repeats {
-					pairsDone++
-					opts.Progress(pairsDone, n*n)
-				}
-			}
-		}()
 	}
 
 	eng := engine.New(engine.Options{
@@ -197,10 +156,9 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 		Cache:           opts.Cache,
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
-		Monitor:         monitor,
+		Monitor:         opts.Monitor,
 	})
 	res, err := eng.Run(ctx, spec)
-	adapter.Wait()
 	if err != nil {
 		return nil, err
 	}
@@ -265,25 +223,11 @@ func CellSeed(base int64, a, b Event, rep int) int64 {
 }
 
 // MeasurePair is a convenience wrapper: one cell, `repeats` repetitions,
-// returning the per-repetition values and their summary. Values agree
-// exactly with the corresponding campaign cells for the same seed.
+// returning the per-repetition values and their summary.
+//
+// Deprecated: Use NewMeasurer(mc, cfg).MeasurePair(a, b, repeats, seed).
+// This wrapper produces bit-identical values and remains for
+// compatibility.
 func MeasurePair(mc machine.Config, a, b Event, cfg Config, repeats int, seed int64) ([]float64, stats.Summary, error) {
-	if repeats <= 0 {
-		return nil, stats.Summary{}, fmt.Errorf("savat: repeats %d", repeats)
-	}
-	k, err := BuildKernel(mc, a, b, cfg.Frequency)
-	if err != nil {
-		return nil, stats.Summary{}, err
-	}
-	vals := make([]float64, repeats)
-	scratch := NewMeasureScratch() // one scratch across repetitions, like a campaign worker
-	for r := range vals {
-		rng := rand.New(rand.NewSource(cellSeed(seed, int(a), int(b), r)))
-		m, err := MeasureKernelScratch(mc, k, cfg, rng, scratch)
-		if err != nil {
-			return nil, stats.Summary{}, err
-		}
-		vals[r] = m.SAVAT
-	}
-	return vals, stats.Summarize(vals), nil
+	return NewMeasurer(mc, cfg).MeasurePair(a, b, repeats, seed)
 }

@@ -138,7 +138,7 @@ func TestRunCampaignCellIdentityCache(t *testing.T) {
 	}
 
 	// Campaign cells and MeasurePair share seeds and kernels exactly.
-	vals, _, err := MeasurePair(mc, ADD, LDM, cfg, 2, 3)
+	vals, _, err := NewMeasurer(mc, cfg).MeasurePair(ADD, LDM, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,47 +148,54 @@ func TestRunCampaignCellIdentityCache(t *testing.T) {
 	}
 }
 
-// The deprecated Progress callback still fires once per finished pair,
-// and composes with a Monitor channel.
-func TestRunCampaignProgressCompat(t *testing.T) {
+// The Monitor event stream subsumes the removed per-pair Progress
+// callback: tallying events by (Row, Col) recovers pair completion
+// exactly, and the running Stats on the final event account for every
+// cell.
+func TestRunCampaignMonitorPairCompletion(t *testing.T) {
 	mc := machine.Core2Duo()
 	cfg := FastConfig()
-	var mu sync.Mutex
-	var calls [][2]int
+	const repeats = 2
 	ch := make(chan engine.ProgressEvent, 16)
 	events := 0
+	pairsDone := 0
+	var last engine.ProgressEvent
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for range ch {
+		perPair := make(map[[2]int]int)
+		for ev := range ch {
 			events++
+			last = ev
+			p := [2]int{ev.Row, ev.Col}
+			perPair[p]++
+			if perPair[p] == repeats {
+				pairsDone++
+			}
 		}
 	}()
 	opts := CampaignOptions{
 		Events:  []Event{ADD, LDM},
-		Repeats: 2,
+		Repeats: repeats,
 		Seed:    1,
 		Monitor: ch,
-		Progress: func(done, total int) {
-			mu.Lock()
-			calls = append(calls, [2]int{done, total})
-			mu.Unlock()
-		},
 	}
 	if _, err := RunCampaign(mc, cfg, opts); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
-	if len(calls) != 4 {
-		t.Fatalf("Progress called %d times, want 4 (pairs)", len(calls))
-	}
-	last := calls[len(calls)-1]
-	if last != [2]int{4, 4} {
-		t.Errorf("final Progress call = %v, want (4,4)", last)
+	if pairsDone != 4 {
+		t.Fatalf("derived %d finished pairs, want 4", pairsDone)
 	}
 	if events != 8 {
 		t.Errorf("Monitor saw %d events, want 8 (cells)", events)
+	}
+	if last.Stats.Done != 8 || last.Stats.Total != 8 {
+		t.Errorf("final event stats = %+v", last.Stats)
+	}
+	if last.Health.QueueDepth != 0 {
+		t.Errorf("final event health = %+v", last.Health)
 	}
 }
 

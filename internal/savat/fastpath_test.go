@@ -37,11 +37,11 @@ func TestFastPathMatchesReferenceFigure9(t *testing.T) {
 				t.Fatalf("%v/%v: %v", a, b, err)
 			}
 			seed := cellSeed(1, int(a), int(b), 0)
-			fast, err := MeasureKernelScratch(mc, k, cfg, rand.New(rand.NewSource(seed)), scratch)
+			fast, err := NewMeasurer(mc, cfg, WithScratch(scratch)).MeasureKernel(k, rand.New(rand.NewSource(seed)))
 			if err != nil {
 				t.Fatalf("%v/%v fast: %v", a, b, err)
 			}
-			ref, err := MeasureKernelReference(mc, k, cfg, rand.New(rand.NewSource(seed)))
+			ref, err := NewMeasurer(mc, cfg, WithReference()).MeasureKernel(k, rand.New(rand.NewSource(seed)))
 			if err != nil {
 				t.Fatalf("%v/%v reference: %v", a, b, err)
 			}
@@ -103,11 +103,11 @@ func TestFastPathMatchesReferenceRandomized(t *testing.T) {
 		}
 		for rep := 0; rep < 2; rep++ {
 			seed := cellSeed(int64(100+vi), int(a), int(b), rep)
-			fast, err := MeasureKernelScratch(v.mc, k, cfg, rand.New(rand.NewSource(seed)), scratch)
+			fast, err := NewMeasurer(v.mc, cfg, WithScratch(scratch)).MeasureKernel(k, rand.New(rand.NewSource(seed)))
 			if err != nil {
 				t.Fatalf("%s fast: %v", v.name, err)
 			}
-			ref, err := MeasureKernelReference(v.mc, k, cfg, rand.New(rand.NewSource(seed)))
+			ref, err := NewMeasurer(v.mc, cfg, WithReference()).MeasureKernel(k, rand.New(rand.NewSource(seed)))
 			if err != nil {
 				t.Fatalf("%s reference: %v", v.name, err)
 			}
@@ -119,7 +119,7 @@ func TestFastPathMatchesReferenceRandomized(t *testing.T) {
 	}
 }
 
-// A warmed scratch must keep steady-state MeasureKernelScratch free of
+// A warmed Measurer must keep the steady-state streaming path free of
 // per-call sample-buffer allocations: only a handful of small
 // fixed-size allocations (the Measurement itself) may remain, and the
 // allocated bytes per call must be far below one sample buffer.
@@ -131,20 +131,20 @@ func TestMeasureKernelScratchAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scratch := NewMeasureScratch()
+	m := NewMeasurer(mc, cfg)
 	rng := rand.New(rand.NewSource(7))
 	// Warm every lazily-sized buffer and the alternation cache.
-	if _, err := MeasureKernelScratch(mc, k, cfg, rng, scratch); err != nil {
+	if _, err := m.MeasureKernel(k, rng); err != nil {
 		t.Fatal(err)
 	}
 
 	allocs := testing.AllocsPerRun(10, func() {
-		if _, err := MeasureKernelScratch(mc, k, cfg, rng, scratch); err != nil {
+		if _, err := m.MeasureKernel(k, rng); err != nil {
 			t.Fatal(err)
 		}
 	})
 	if allocs > 8 {
-		t.Errorf("steady-state MeasureKernelScratch allocates %.0f objects per call, want ≤8", allocs)
+		t.Errorf("steady-state MeasureKernel allocates %.0f objects per call, want ≤8", allocs)
 	}
 
 	// Bytes, not just counts: one leaked sample buffer would be ≥256 KiB.
@@ -153,14 +153,14 @@ func TestMeasureKernelScratchAllocs(t *testing.T) {
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	for i := 0; i < runs; i++ {
-		if _, err := MeasureKernelScratch(mc, k, cfg, rng, scratch); err != nil {
+		if _, err := m.MeasureKernel(k, rng); err != nil {
 			t.Fatal(err)
 		}
 	}
 	runtime.ReadMemStats(&after)
 	perRun := float64(after.TotalAlloc-before.TotalAlloc) / runs
 	if perRun > 16*1024 {
-		t.Errorf("steady-state MeasureKernelScratch allocates %.0f bytes per call, want ≤16384", perRun)
+		t.Errorf("steady-state MeasureKernel allocates %.0f bytes per call, want ≤16384", perRun)
 	}
 }
 
@@ -189,11 +189,11 @@ func TestMeasureScratchReuseValueIndependent(t *testing.T) {
 	}{{kA, cfgA}, {kB, cfgB}, {kA, cfgB}, {kA, cfgA}}
 	for i, r := range runs {
 		seed := int64(1000 + i)
-		got, err := MeasureKernelScratch(mc, r.k, r.cfg, rand.New(rand.NewSource(seed)), shared)
+		got, err := NewMeasurer(mc, r.cfg, WithScratch(shared)).MeasureKernel(r.k, rand.New(rand.NewSource(seed)))
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := MeasureKernelScratch(mc, r.k, r.cfg, rand.New(rand.NewSource(seed)), NewMeasureScratch())
+		want, err := NewMeasurer(mc, r.cfg).MeasureKernel(r.k, rand.New(rand.NewSource(seed)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,12 +210,12 @@ func TestMeasureKernelScratchErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := MeasureKernelScratch(mc, k, cfg, nil, NewMeasureScratch()); err == nil {
+	if _, err := NewMeasurer(mc, cfg).MeasureKernel(k, nil); err == nil {
 		t.Error("nil rng should fail")
 	}
 	bad := cfg
 	bad.Duration = -1
-	if _, err := MeasureKernelScratch(mc, k, bad, rand.New(rand.NewSource(1)), nil); err == nil {
+	if _, err := NewMeasurer(mc, bad).MeasureKernel(k, rand.New(rand.NewSource(1))); err == nil {
 		t.Error("invalid config should fail")
 	}
 }

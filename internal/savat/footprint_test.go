@@ -9,10 +9,10 @@ import (
 )
 
 // TestStreamingMeasurementFootprint checks the measurement-level memory
-// claim of the streaming pipeline: MeasureKernelScratch never
+// claim of the streaming pipeline: the streaming Measurer never
 // materializes a capture-length buffer — the scratch's envelope and
 // noise captures stay empty, and a warmed measurement allocates far
-// less than one capture — while MeasureKernelBuffered on the same
+// less than one capture — while the buffered mode on the same
 // scratch pays the full O(n) working set and still produces the exact
 // same value.
 func TestStreamingMeasurementFootprint(t *testing.T) {
@@ -26,7 +26,7 @@ func TestStreamingMeasurementFootprint(t *testing.T) {
 	}
 
 	s := NewMeasureScratch()
-	warm, err := MeasureKernelScratch(mc, k, cfg, rand.New(rand.NewSource(9)), s)
+	warm, err := NewMeasurer(mc, cfg, WithScratch(s)).MeasureKernel(k, rand.New(rand.NewSource(9)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestStreamingMeasurementFootprint(t *testing.T) {
 	// structs while still being an order below one capture.
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	again, err := MeasureKernelScratch(mc, k, cfg, rand.New(rand.NewSource(9)), s)
+	again, err := NewMeasurer(mc, cfg, WithScratch(s)).MeasureKernel(k, rand.New(rand.NewSource(9)))
 	runtime.ReadMemStats(&m1)
 	if err != nil {
 		t.Fatal(err)
@@ -56,7 +56,7 @@ func TestStreamingMeasurementFootprint(t *testing.T) {
 	}
 
 	// The buffered oracle pays O(n) and agrees bit for bit.
-	buffered, err := MeasureKernelBuffered(mc, k, cfg, rand.New(rand.NewSource(9)), s)
+	buffered, err := NewMeasurer(mc, cfg, WithScratch(s), WithBuffered()).MeasureKernel(k, rand.New(rand.NewSource(9)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,13 +62,15 @@ func FastConfig() Config {
 	return c
 }
 
-// Validate reports the first configuration problem.
+// Validate reports the first configuration problem. Distance and
+// frequency problems wrap the package sentinels (ErrBadDistance,
+// ErrBadFrequency) so callers at any layer can test with errors.Is.
 func (c Config) Validate() error {
 	switch {
 	case c.Distance <= 0:
-		return fmt.Errorf("savat: non-positive distance %g", c.Distance)
+		return fmt.Errorf("%w: %g m", ErrBadDistance, c.Distance)
 	case c.Frequency <= 0:
-		return fmt.Errorf("savat: non-positive frequency %g", c.Frequency)
+		return fmt.Errorf("%w: %g Hz", ErrBadFrequency, c.Frequency)
 	case c.BandHalfWidth <= 0 || c.BandHalfWidth >= c.Frequency:
 		return fmt.Errorf("savat: band half-width %g outside (0, f0)", c.BandHalfWidth)
 	case c.SampleRate < 2*(c.Frequency+c.BandHalfWidth):
@@ -108,32 +110,38 @@ type Measurement struct {
 func (m *Measurement) ZJ() float64 { return m.SAVAT * 1e21 }
 
 // Measure runs the complete pipeline for one event pair on one machine.
-// The rng drives every stochastic stage (component spatial phases, period
-// drift, noise realization), so a fixed seed reproduces the measurement
-// exactly; campaigns use a fresh rng per repetition.
+//
+// Deprecated: Use NewMeasurer(mc, cfg).Measure(a, b, rng). This wrapper
+// produces bit-identical Measurements and remains for compatibility.
 func Measure(mc machine.Config, a, b Event, cfg Config, rng *rand.Rand) (*Measurement, error) {
-	k, err := BuildKernel(mc, a, b, cfg.Frequency)
-	if err != nil {
-		return nil, err
-	}
-	return MeasureKernel(mc, k, cfg, rng)
+	return NewMeasurer(mc, cfg).Measure(a, b, rng)
 }
 
-// MeasureKernel measures a prebuilt kernel (avoids re-calibrating the loop
-// count across campaign repetitions). It runs the shared-envelope fast
-// path on a private scratch; campaign workers reuse one scratch across
-// cells via MeasureKernelScratch instead.
+// MeasureKernel measures a prebuilt kernel on a fresh private scratch.
+//
+// Deprecated: Use NewMeasurer(mc, cfg).MeasureKernel(k, rng). This
+// wrapper produces bit-identical Measurements and remains for
+// compatibility.
 func MeasureKernel(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand) (*Measurement, error) {
-	return MeasureKernelScratch(mc, k, cfg, rng, nil)
+	return NewMeasurer(mc, cfg).MeasureKernel(k, rng)
 }
 
-// MeasureKernelReference is the direct-rendering measurement pipeline:
+// MeasureKernelReference runs the direct-rendering reference pipeline.
+//
+// Deprecated: Use NewMeasurer(mc, cfg, WithReference()).MeasureKernel(k, rng).
+// This wrapper produces bit-identical Measurements and remains for
+// compatibility.
+func MeasureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand) (*Measurement, error) {
+	return NewMeasurer(mc, cfg, WithReference()).MeasureKernel(k, rng)
+}
+
+// measureKernelReference is the direct-rendering measurement pipeline:
 // every coherence group synthesized in the time domain and analyzed
 // with its own Welch pass. It consumes the same rng draws and computes
 // the same quantity as the fast path — equivalence tests hold the two
 // within 1e-9 relative — and remains the readable specification of the
 // pipeline as well as the ablations' entry point.
-func MeasureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand) (*Measurement, error) {
+func measureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, mo *measureObs) (*Measurement, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -142,14 +150,18 @@ func MeasureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.
 	}
 
 	// 1. Cycle-accurate steady-state activity of the alternation loop.
+	altSp := mo.alternation.Start()
 	alt, err := k.Alternation(mc, cfg.WarmupPeriods, cfg.MeasurePeriods)
+	altSp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// 2. Radiate: per-component coupling at the measurement distance with
 	// campaign-specific spatial phases, synthesized over the capture.
+	radSp := mo.radiate.Start()
 	rad, err := emsim.NewRadiator(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, rng)
+	radSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +174,7 @@ func MeasureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.
 	if jit.AmpNoiseStd == 0 {
 		jit.AmpNoiseStd = mc.AmplitudeNoiseStd
 	}
+	synSp := mo.synthesize.Start()
 	groups, err := rad.SynthesizeGroups(spec, cfg.SampleRate, n, jit, rng)
 	if err != nil {
 		return nil, err
@@ -169,7 +182,9 @@ func MeasureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.
 
 	// 3. Environment noise, as one more incoherent contribution.
 	noiseStream := make([]complex128, n)
-	if err := cfg.Environment.Apply(noiseStream, cfg.SampleRate, rng); err != nil {
+	err = cfg.Environment.Apply(noiseStream, cfg.SampleRate, rng)
+	synSp.End()
+	if err != nil {
 		return nil, err
 	}
 

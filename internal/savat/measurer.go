@@ -1,0 +1,185 @@
+package savat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/workpool"
+)
+
+// measureMode selects which of the three equivalent pipeline
+// implementations a Measurer runs.
+type measureMode int
+
+const (
+	// modeStream is the segment-fused streaming fast path: O(segment)
+	// working set, no sample-sized buffers. The default.
+	modeStream measureMode = iota
+	// modeBuffered materializes full captures and analyzes them with the
+	// buffered shared-envelope path; bit-identical to modeStream.
+	modeBuffered
+	// modeReference renders every coherence group in the time domain and
+	// analyzes each with its own Welch pass — the readable specification
+	// of the pipeline; equal to the fast paths within 1e-9 relative.
+	modeReference
+)
+
+// Measurer is the single entry point to the SAVAT measurement
+// pipeline: one machine and measurement configuration, bound at
+// construction, measured through whichever pipeline implementation the
+// options select. The zero option set is the right choice almost
+// always — the streaming fast path on a Measurer-owned scratch:
+//
+//	m := savat.NewMeasurer(mc, cfg)
+//	meas, err := m.Measure(savat.ADD, savat.SUB, rng)
+//
+// Options:
+//
+//	WithScratch(s)   reuse the caller's MeasureScratch across Measurers
+//	WithBuffered()   capture-at-once path (bit-identical, O(capture) memory)
+//	WithReference()  direct-rendering reference pipeline
+//	WithPool(p)      explicit analyzer worker pool
+//	WithObs(r)       stage metrics on a private obs.Registry
+//
+// A Measurer reuses one scratch across its measurements, so the
+// returned Measurement's Trace aliases that scratch and is valid only
+// until the Measurer's next measurement; callers that keep traces use
+// one Measurer per retained trace. A Measurer is NOT safe for
+// concurrent use — the campaign engine gives each worker its own.
+//
+// Every former entry point maps onto a Measurer call:
+//
+//	Measure(mc, a, b, cfg, rng)              → NewMeasurer(mc, cfg).Measure(a, b, rng)
+//	MeasureKernel(mc, k, cfg, rng)           → NewMeasurer(mc, cfg).MeasureKernel(k, rng)
+//	MeasureKernelScratch(mc, k, cfg, rng, s) → NewMeasurer(mc, cfg, WithScratch(s)).MeasureKernel(k, rng)
+//	MeasureKernelBuffered(mc, k, cfg, rng, s)→ NewMeasurer(mc, cfg, WithScratch(s), WithBuffered()).MeasureKernel(k, rng)
+//	MeasureKernelReference(mc, k, cfg, rng)  → NewMeasurer(mc, cfg, WithReference()).MeasureKernel(k, rng)
+//	MeasurePair(mc, a, b, cfg, repeats, seed)→ NewMeasurer(mc, cfg).MeasurePair(a, b, repeats, seed)
+type Measurer struct {
+	mc      machine.Config
+	cfg     Config
+	mode    measureMode
+	scratch *MeasureScratch
+	pool    *workpool.Pool
+	mobs    *measureObs
+}
+
+// MeasureOption configures a Measurer at construction.
+type MeasureOption func(*Measurer)
+
+// WithScratch makes the Measurer measure through the caller's scratch
+// instead of owning a fresh one, sharing its buffers, FFT plans, and
+// alternation cache with whatever else uses it. A nil scratch is
+// allowed and equivalent to omitting the option.
+func WithScratch(s *MeasureScratch) MeasureOption {
+	return func(m *Measurer) { m.scratch = s }
+}
+
+// WithBuffered selects the capture-at-once pipeline: full envelope and
+// noise captures materialized in the scratch, analyzed with the
+// buffered shared-envelope path. Bit-identical to the default
+// streaming path; useful when the rendered captures themselves are
+// wanted.
+func WithBuffered() MeasureOption {
+	return func(m *Measurer) { m.mode = modeBuffered }
+}
+
+// WithReference selects the direct-rendering reference pipeline: every
+// coherence group synthesized in the time domain and analyzed with its
+// own Welch pass. It consumes the same rng draws as the fast paths and
+// agrees with them within 1e-9 relative.
+func WithReference() MeasureOption {
+	return func(m *Measurer) { m.mode = modeReference }
+}
+
+// WithPool directs the spectrum analyzer's per-segment transforms
+// through p instead of the process-default pool. Results are
+// bit-identical for any pool. When combined with WithScratch, the
+// caller's scratch is retargeted to p.
+func WithPool(p *workpool.Pool) MeasureOption {
+	return func(m *Measurer) { m.pool = p }
+}
+
+// WithObs records the Measurer's stage metrics (savat.measure,
+// savat.stage.*, savat.altcache.*) on r instead of the process
+// registry obs.Default. A nil registry is equivalent to omitting the
+// option.
+func WithObs(r *obs.Registry) MeasureOption {
+	return func(m *Measurer) {
+		if r != nil {
+			m.mobs = newMeasureObs(r)
+		}
+	}
+}
+
+// NewMeasurer binds a machine and measurement configuration and
+// applies the options. Configuration problems surface on the first
+// measurement (wrapped sentinel errors — see Validate), not here.
+func NewMeasurer(mc machine.Config, cfg Config, opts ...MeasureOption) *Measurer {
+	m := &Measurer{mc: mc, cfg: cfg, mobs: defaultMeasureObs}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.scratch == nil && m.mode != modeReference {
+		m.scratch = NewMeasureScratch()
+	}
+	if m.scratch != nil && m.pool != nil {
+		m.scratch.SetAnalyzerPool(m.pool)
+	}
+	return m
+}
+
+// Measure runs the complete pipeline for one event pair: kernel
+// construction (with loop-count calibration) and then MeasureKernel.
+// The rng drives every stochastic stage, so a fixed seed reproduces
+// the measurement exactly.
+func (m *Measurer) Measure(a, b Event, rng *rand.Rand) (*Measurement, error) {
+	k, err := BuildKernel(m.mc, a, b, m.cfg.Frequency)
+	if err != nil {
+		return nil, err
+	}
+	return m.MeasureKernel(k, rng)
+}
+
+// MeasureKernel measures a prebuilt kernel, avoiding re-calibration
+// across repetitions. The selected pipeline implementation runs inside
+// the savat.measure span.
+func (m *Measurer) MeasureKernel(k *Kernel, rng *rand.Rand) (*Measurement, error) {
+	sp := m.mobs.measure.Start()
+	defer sp.End()
+	switch m.mode {
+	case modeBuffered:
+		return measureKernelBuffered(m.mc, k, m.cfg, rng, m.scratch, m.mobs)
+	case modeReference:
+		return measureKernelReference(m.mc, k, m.cfg, rng, m.mobs)
+	default:
+		return measureKernelStream(m.mc, k, m.cfg, rng, m.scratch, m.mobs)
+	}
+}
+
+// MeasurePair measures one event pair `repeats` times with the
+// campaign's deterministic per-repetition seeding, returning the
+// per-repetition SAVAT values and their summary. Values agree exactly
+// with the corresponding campaign cells for the same seed.
+func (m *Measurer) MeasurePair(a, b Event, repeats int, seed int64) ([]float64, stats.Summary, error) {
+	if repeats <= 0 {
+		return nil, stats.Summary{}, fmt.Errorf("%w: %d", ErrBadRepeats, repeats)
+	}
+	k, err := BuildKernel(m.mc, a, b, m.cfg.Frequency)
+	if err != nil {
+		return nil, stats.Summary{}, err
+	}
+	vals := make([]float64, repeats)
+	for r := range vals {
+		rng := rand.New(rand.NewSource(cellSeed(seed, int(a), int(b), r)))
+		meas, err := m.MeasureKernel(k, rng)
+		if err != nil {
+			return nil, stats.Summary{}, err
+		}
+		vals[r] = meas.SAVAT
+	}
+	return vals, stats.Summarize(vals), nil
+}

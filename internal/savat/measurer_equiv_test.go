@@ -1,0 +1,185 @@
+//lint:file-ignore SA1019 this file intentionally calls the deprecated
+// measurement wrappers: it pins their contract of bit-identical results
+// against the Measurer API that replaced them.
+
+package savat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// equivSpecs is the fixed spec table every wrapper/Measurer pair is
+// compared on: machine, configuration tweaks, event pair, and seed all
+// vary so an rng-order or scratch-state divergence cannot hide behind
+// one lucky configuration.
+func equivSpecs() []struct {
+	name  string
+	mc    machine.Config
+	tweak func(*Config)
+	a, b  Event
+	seed  int64
+} {
+	noisy := machine.Core2Duo()
+	noisy.AmplitudeNoiseStd = 0.3
+	return []struct {
+		name  string
+		mc    machine.Config
+		tweak func(*Config)
+		a, b  Event
+		seed  int64
+	}{
+		{"core2duo-default", machine.Core2Duo(), func(c *Config) {}, ADD, LDM, 1},
+		{"pentium-50cm", machine.Pentium3M(), func(c *Config) { c.Distance = 0.50 }, LDL2, STL2, 7},
+		{"turion-jitter", machine.TurionX2(), func(c *Config) { c.Jitter.FreqOffset = 0.01 }, DIV, ADD, 42},
+		{"noisy-diagonal", noisy, func(c *Config) {}, ADD, ADD, 13},
+	}
+}
+
+func equivConfig(tweak func(*Config)) Config {
+	cfg := FastConfig()
+	cfg.Duration = 1.0 / 16
+	tweak(&cfg)
+	return cfg
+}
+
+// identicalMeasurements demands bit-exact agreement — every scalar field
+// and every spectrum bin — between a deprecated wrapper's result and the
+// Measurer's.
+func identicalMeasurements(t *testing.T, name string, old, new *Measurement) {
+	t.Helper()
+	if old.SAVAT != new.SAVAT || old.BandPower != new.BandPower ||
+		old.PairsPerSecond != new.PairsPerSecond || old.LoopCount != new.LoopCount ||
+		old.ActualFrequency != new.ActualFrequency || old.A != new.A || old.B != new.B {
+		t.Errorf("%s: wrapper %+v vs measurer %+v", name, old, new)
+		return
+	}
+	po, pn := old.Trace.Spectrum.PSD, new.Trace.Spectrum.PSD
+	if len(po) != len(pn) {
+		t.Errorf("%s: spectrum lengths %d vs %d", name, len(po), len(pn))
+		return
+	}
+	for i := range po {
+		if po[i] != pn[i] {
+			t.Errorf("%s: spectrum bin %d: %g vs %g", name, i, po[i], pn[i])
+			return
+		}
+	}
+}
+
+// Every deprecated kernel-measuring wrapper must produce bit-identical
+// Measurements to its Measurer replacement on the whole spec table.
+func TestDeprecatedWrappersMatchMeasurer(t *testing.T) {
+	for _, s := range equivSpecs() {
+		cfg := equivConfig(s.tweak)
+		k, err := BuildKernel(s.mc, s.a, s.b, cfg.Frequency)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		forms := []struct {
+			name    string
+			wrapper func() (*Measurement, error)
+			current func() (*Measurement, error)
+		}{
+			{"Measure",
+				func() (*Measurement, error) {
+					return Measure(s.mc, s.a, s.b, cfg, rand.New(rand.NewSource(s.seed)))
+				},
+				func() (*Measurement, error) {
+					return NewMeasurer(s.mc, cfg).Measure(s.a, s.b, rand.New(rand.NewSource(s.seed)))
+				}},
+			{"MeasureKernel",
+				func() (*Measurement, error) {
+					return MeasureKernel(s.mc, k, cfg, rand.New(rand.NewSource(s.seed)))
+				},
+				func() (*Measurement, error) {
+					return NewMeasurer(s.mc, cfg).MeasureKernel(k, rand.New(rand.NewSource(s.seed)))
+				}},
+			{"MeasureKernelScratch",
+				func() (*Measurement, error) {
+					return MeasureKernelScratch(s.mc, k, cfg, rand.New(rand.NewSource(s.seed)), NewMeasureScratch())
+				},
+				func() (*Measurement, error) {
+					return NewMeasurer(s.mc, cfg, WithScratch(NewMeasureScratch())).MeasureKernel(k, rand.New(rand.NewSource(s.seed)))
+				}},
+			{"MeasureKernelBuffered",
+				func() (*Measurement, error) {
+					return MeasureKernelBuffered(s.mc, k, cfg, rand.New(rand.NewSource(s.seed)), NewMeasureScratch())
+				},
+				func() (*Measurement, error) {
+					return NewMeasurer(s.mc, cfg, WithScratch(NewMeasureScratch()), WithBuffered()).MeasureKernel(k, rand.New(rand.NewSource(s.seed)))
+				}},
+			{"MeasureKernelReference",
+				func() (*Measurement, error) {
+					return MeasureKernelReference(s.mc, k, cfg, rand.New(rand.NewSource(s.seed)))
+				},
+				func() (*Measurement, error) {
+					return NewMeasurer(s.mc, cfg, WithReference()).MeasureKernel(k, rand.New(rand.NewSource(s.seed)))
+				}},
+		}
+		for _, f := range forms {
+			old, err := f.wrapper()
+			if err != nil {
+				t.Fatalf("%s/%s wrapper: %v", s.name, f.name, err)
+			}
+			cur, err := f.current()
+			if err != nil {
+				t.Fatalf("%s/%s measurer: %v", s.name, f.name, err)
+			}
+			identicalMeasurements(t, s.name+"/"+f.name, old, cur)
+		}
+	}
+}
+
+// The MeasurePair wrapper must reproduce the Measurer's per-repetition
+// values and summary exactly, including across scratch reuse inside one
+// Measurer.
+func TestDeprecatedMeasurePairMatchesMeasurer(t *testing.T) {
+	for _, s := range equivSpecs() {
+		cfg := equivConfig(s.tweak)
+		oldVals, oldSum, err := MeasurePair(s.mc, s.a, s.b, cfg, 3, s.seed)
+		if err != nil {
+			t.Fatalf("%s wrapper: %v", s.name, err)
+		}
+		vals, sum, err := NewMeasurer(s.mc, cfg).MeasurePair(s.a, s.b, 3, s.seed)
+		if err != nil {
+			t.Fatalf("%s measurer: %v", s.name, err)
+		}
+		if len(oldVals) != len(vals) {
+			t.Fatalf("%s: %d vs %d values", s.name, len(oldVals), len(vals))
+		}
+		for i := range vals {
+			if oldVals[i] != vals[i] {
+				t.Errorf("%s: repetition %d: %g vs %g", s.name, i, oldVals[i], vals[i])
+			}
+		}
+		if oldSum != sum {
+			t.Errorf("%s: summary %+v vs %+v", s.name, oldSum, sum)
+		}
+	}
+}
+
+// The streaming, buffered, and scratch-bearing Measurer modes must agree
+// with each other exactly (the shared-envelope contract), and explicit
+// WithScratch must never change a value relative to the implicit private
+// scratch.
+func TestMeasurerModeAgreement(t *testing.T) {
+	for _, s := range equivSpecs() {
+		cfg := equivConfig(s.tweak)
+		k, err := BuildKernel(s.mc, s.a, s.b, cfg.Frequency)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		stream, err := NewMeasurer(s.mc, cfg).MeasureKernel(k, rand.New(rand.NewSource(s.seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buffered, err := NewMeasurer(s.mc, cfg, WithBuffered()).MeasureKernel(k, rand.New(rand.NewSource(s.seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalMeasurements(t, s.name+"/stream-vs-buffered", stream, buffered)
+	}
+}

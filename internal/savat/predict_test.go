@@ -52,7 +52,7 @@ func TestMeasureMatchesAnalyticPrediction(t *testing.T) {
 			t.Fatal(err)
 		}
 		rng := rand.New(rand.NewSource(13))
-		m, err := MeasureKernel(mc, k, cfg, rng)
+		m, err := NewMeasurer(mc, cfg).MeasureKernel(k, rng)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -451,14 +451,14 @@ func TestRunCampaignErrors(t *testing.T) {
 
 func TestMeasurePair(t *testing.T) {
 	mc := machine.Core2Duo()
-	vals, sum, err := MeasurePair(mc, ADD, ADD, FastConfig(), 2, 9)
+	vals, sum, err := NewMeasurer(mc, FastConfig()).MeasurePair(ADD, ADD, 2, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(vals) != 2 || sum.N != 2 {
 		t.Errorf("MeasurePair: %v, %+v", vals, sum)
 	}
-	if _, _, err := MeasurePair(mc, ADD, ADD, FastConfig(), 0, 9); err == nil {
+	if _, _, err := NewMeasurer(mc, FastConfig()).MeasurePair(ADD, ADD, 0, 9); err == nil {
 		t.Error("zero repeats should fail")
 	}
 }

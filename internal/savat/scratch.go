@@ -73,11 +73,13 @@ func (s *MeasureScratch) SetAnalyzerPool(p *workpool.Pool) { s.specan.Pool = p }
 // alternation returns the cached steady-state alternation of (k, mc),
 // simulating it on first need. Alternation is deterministic — it
 // consumes no rng — so caching cannot change any measured value.
-func (s *MeasureScratch) alternation(mc machine.Config, k *Kernel, cfg Config) (*AlternationResult, error) {
+func (s *MeasureScratch) alternation(mc machine.Config, k *Kernel, cfg Config, mo *measureObs) (*AlternationResult, error) {
 	key := altKey{k: k, mc: mc, warm: cfg.WarmupPeriods, meas: cfg.MeasurePeriods}
 	if alt, ok := s.alts[key]; ok {
+		mo.altHits.Inc()
 		return alt, nil
 	}
+	mo.altMisses.Inc()
 	hier, ok := s.hiers[mc.Mem]
 	if !ok {
 		var err error
@@ -99,7 +101,7 @@ func (s *MeasureScratch) alternation(mc machine.Config, k *Kernel, cfg Config) (
 // the group-coefficient filter (left in s.coeffs) — and caches the
 // analyzer. Both the streaming and buffered paths start here, so they
 // consume identical rng draws up to synthesis.
-func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand) (alt *AlternationResult, spec emsim.Alternation, n int, jit emsim.Jitter, err error) {
+func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, mo *measureObs) (alt *AlternationResult, spec emsim.Alternation, n int, jit emsim.Jitter, err error) {
 	if err = cfg.Validate(); err != nil {
 		return nil, spec, 0, jit, err
 	}
@@ -108,7 +110,10 @@ func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, rng *
 	}
 
 	// 1. Cycle-accurate steady-state activity of the alternation loop.
-	if alt, err = s.alternation(mc, k, cfg); err != nil {
+	altSp := mo.alternation.Start()
+	alt, err = s.alternation(mc, k, cfg, mo)
+	altSp.End()
+	if err != nil {
 		return nil, spec, 0, jit, err
 	}
 
@@ -116,6 +121,8 @@ func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, rng *
 	// campaign-specific spatial phases. Only the two shared envelope
 	// streams are rendered; each group is carried as its pair of complex
 	// phase amplitudes.
+	radSp := mo.radiate.Start()
+	defer radSp.End()
 	if err = s.rad.Init(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, rng); err != nil {
 		return nil, spec, 0, jit, err
 	}
@@ -169,26 +176,36 @@ func finish(k *Kernel, alt *AlternationResult, cfg Config, tr *specan.Trace) (*M
 	}, nil
 }
 
-// MeasureKernelScratch is MeasureKernel with an explicit scratch: the
-// same pipeline and the same rng draw sequence, but the per-group
-// time-domain synthesis and per-stream Welch passes are replaced by the
-// shared-envelope streaming fast path (emsim.EnvelopeStream +
-// noise.Stream + specan.AnalyzeEnvelopesStream), so the working set is
-// O(segment) instead of O(capture) and no sample-sized buffer is ever
-// materialized. Values are bit-identical to MeasureKernelBuffered (the
+// MeasureKernelScratch is MeasureKernel with an explicit scratch.
+//
+// Deprecated: Use NewMeasurer(mc, cfg, WithScratch(s)).MeasureKernel(k, rng).
+// This wrapper produces bit-identical Measurements and remains for
+// compatibility.
+func MeasureKernelScratch(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch) (*Measurement, error) {
+	return NewMeasurer(mc, cfg, WithScratch(s)).MeasureKernel(k, rng)
+}
+
+// measureKernelStream is the streaming fast path behind the default
+// Measurer mode: the same pipeline and the same rng draw sequence as
+// the buffered path, but the per-group time-domain synthesis and
+// per-stream Welch passes are replaced by the shared-envelope streaming
+// fast path (emsim.EnvelopeStream + noise.Stream +
+// specan.AnalyzeEnvelopesStream), so the working set is O(segment)
+// instead of O(capture) and no sample-sized buffer is ever
+// materialized. Values are bit-identical to measureKernelBuffered (the
 // renderers are the same code, consumed in the same order) and match
 // the reference pipeline within rounding (the equivalence tests bound
 // the relative difference by 1e-9).
 //
 // The returned Measurement's Trace aliases the scratch and is valid
 // until the scratch's next measurement; callers that keep traces must
-// use distinct scratches (or MeasureKernel, which uses a fresh one).
-// A nil scratch is allowed and behaves like MeasureKernel.
-func MeasureKernelScratch(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch) (*Measurement, error) {
+// use distinct scratches. A nil scratch is allowed; a fresh one is
+// used.
+func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
 	if s == nil {
 		s = NewMeasureScratch()
 	}
-	alt, spec, n, jit, err := s.prepare(mc, k, cfg, rng)
+	alt, spec, n, jit, err := s.prepare(mc, k, cfg, rng, mo)
 	if err != nil {
 		return nil, err
 	}
@@ -221,18 +238,28 @@ func MeasureKernelScratch(mc machine.Config, k *Kernel, cfg Config, rng *rand.Ra
 }
 
 // MeasureKernelBuffered is the capture-at-once form of
-// MeasureKernelScratch: it materializes the full envelope and noise
+// MeasureKernelScratch.
+//
+// Deprecated: Use NewMeasurer(mc, cfg, WithScratch(s), WithBuffered()).MeasureKernel(k, rng).
+// This wrapper produces bit-identical Measurements and remains for
+// compatibility.
+func MeasureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch) (*Measurement, error) {
+	return NewMeasurer(mc, cfg, WithScratch(s), WithBuffered()).MeasureKernel(k, rng)
+}
+
+// measureKernelBuffered is the capture-at-once form of
+// measureKernelStream: it materializes the full envelope and noise
 // captures in the scratch and analyzes them with the buffered
 // shared-envelope path (emsim.SynthesizeEnvelopes +
 // specan.AnalyzeEnvelopes). It produces bit-identical Measurements to
-// MeasureKernelScratch — the conformance suite asserts this — at
+// measureKernelStream — the conformance suite asserts this — at
 // O(capture) memory; it exists as the plain-shaped oracle for the
 // streaming path and for callers that want the rendered captures.
-func MeasureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch) (*Measurement, error) {
+func measureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
 	if s == nil {
 		s = NewMeasureScratch()
 	}
-	alt, spec, n, jit, err := s.prepare(mc, k, cfg, rng)
+	alt, spec, n, jit, err := s.prepare(mc, k, cfg, rng, mo)
 	if err != nil {
 		return nil, err
 	}
@@ -241,6 +268,7 @@ func MeasureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, rng *rand.R
 	// environment noise as one more incoherent contribution. Render
 	// overwrites the buffer, so the previous cell's capture needs no
 	// clear.
+	synSp := mo.synthesize.Start()
 	var envA, envB []float64
 	if len(s.coeffs) > 0 {
 		if _, err := emsim.SynthesizeEnvelopes(spec, cfg.SampleRate, n, jit, rng, &s.env); err != nil {
@@ -249,7 +277,9 @@ func MeasureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, rng *rand.R
 		envA, envB = s.env.A, s.env.B
 	}
 	s.noise = buf.Grow(s.noise, n)
-	if err := cfg.Environment.Render(s.noise, cfg.SampleRate, rng); err != nil {
+	err = cfg.Environment.Render(s.noise, cfg.SampleRate, rng)
+	synSp.End()
+	if err != nil {
 		return nil, err
 	}
 

@@ -196,7 +196,7 @@ func MeasureSequence(mc machine.Config, a, b Sequence, cfg Config, rng *rand.Ran
 	if err != nil {
 		return nil, err
 	}
-	m, err := MeasureKernel(mc, k, cfg, rng)
+	m, err := NewMeasurer(mc, cfg).MeasureKernel(k, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -13,7 +13,16 @@ import (
 
 	"repro/internal/buf"
 	"repro/internal/dsp"
+	"repro/internal/obs"
 	"repro/internal/workpool"
+)
+
+// Analyzer-stage metrics: one span per recorded spectrum, covering the
+// whole Welch walk (streaming or buffered). No-ops until the registry
+// is enabled.
+var (
+	mAnalyze  = obs.Default.Histogram("specan.analyze")
+	mCaptures = obs.Default.Counter("specan.captures")
 )
 
 // Config describes the analyzer settings.
@@ -122,6 +131,9 @@ var ErrNoCaptures = fmt.Errorf("specan: no captures")
 // with the sensitivity floor applied once to the sum. Nil captures are
 // skipped; if every capture is nil the call fails with ErrNoCaptures.
 func (a *Analyzer) AnalyzeIncoherent(xs [][]complex128, fs float64) (*Trace, error) {
+	sp := mAnalyze.Start()
+	defer sp.End()
+	mCaptures.Inc()
 	if fs <= 0 {
 		return nil, fmt.Errorf("specan: sample rate %g", fs)
 	}
@@ -308,6 +320,9 @@ func (s *Scratch) traceFor(fs float64, seg int, enbw, floor float64) *Trace {
 // the scratch's next Analyze call. Pass a nil scratch to allocate a
 // private one (and a fresh, unaliased Trace).
 func (a *Analyzer) AnalyzeEnvelopes(envA, envB []float64, coeffs [][2]complex128, extra []complex128, fs float64, s *Scratch) (*Trace, error) {
+	sp := mAnalyze.Start()
+	defer sp.End()
+	mCaptures.Inc()
 	if fs <= 0 {
 		return nil, fmt.Errorf("specan: sample rate %g", fs)
 	}

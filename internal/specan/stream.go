@@ -95,6 +95,9 @@ func drain(src SampleSource, dst []complex128) error {
 // The returned Trace aliases the scratch's buffers, like
 // AnalyzeEnvelopes. Pass a nil scratch to allocate a private one.
 func (a *Analyzer) AnalyzeEnvelopesStream(n int, envs PairSource, coeffs [][2]complex128, extra SampleSource, fs float64, s *Scratch) (*Trace, error) {
+	sp := mAnalyze.Start()
+	defer sp.End()
+	mCaptures.Inc()
 	if fs <= 0 {
 		return nil, fmt.Errorf("specan: sample rate %g", fs)
 	}

@@ -19,6 +19,16 @@ package workpool
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Pool-wide scheduling metrics: how often fan-out work actually got a
+// goroutine versus running inline on its caller. Both are no-ops until
+// the observability registry is enabled.
+var (
+	mSpawned = obs.Default.Counter("workpool.spawned")
+	mInline  = obs.Default.Counter("workpool.inline")
 )
 
 // Pool is a bounded token bucket. The zero value is unusable; use New.
@@ -79,8 +89,10 @@ func (p *Pool) Release() {
 //	}
 func (p *Pool) Go(f func()) bool {
 	if !p.TryAcquire() {
+		mInline.Inc()
 		return false
 	}
+	mSpawned.Inc()
 	go func() {
 		defer p.Release()
 		f()
