@@ -11,7 +11,7 @@ FUZZ_TARGETS := \
 	./internal/engine:FuzzLoadCheckpoint \
 	./internal/engine:FuzzCacheDiskEntry
 
-.PHONY: build test bench bench-json bench-guard lint verify fuzz-smoke
+.PHONY: build test bench bench-json bench-guard lint verify fuzz-smoke daemon-smoke
 
 # Baseline snapshot cmd/benchguard compares against; re-record with
 # `make bench-json` after intentional performance changes.
@@ -64,6 +64,13 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench BenchmarkFig09MatrixCore2Duo10cm -benchtime=1x .
+
+# End-to-end smoke of the campaign daemon: builds savatd, starts it on
+# a random port, submits a 3×3 campaign over HTTP, cancels it mid-run,
+# resubmits to resume from the checkpoint, streams the events, and
+# diffs the served matrix bit-for-bit against a direct in-process run.
+daemon-smoke:
+	$(GO) run ./cmd/daemonsmoke
 
 # Short coverage-guided run of every fuzz target (FUZZTIME each); the
 # committed seed corpora additionally run as plain unit tests in `test`.

@@ -1,0 +1,285 @@
+// Command daemonsmoke is the end-to-end smoke harness for savatd (run
+// as `make daemon-smoke`). It builds the daemon, starts it on a random
+// port with a temporary state directory, and drives the full campaign
+// lifecycle over the HTTP API:
+//
+//  1. submit a 3×3 campaign and cancel it mid-run via DELETE,
+//  2. resubmit the identical spec and watch it resume from the
+//     checkpoint (cached cells > 0),
+//  3. stream the progress events (NDJSON),
+//  4. fetch the finished matrix and diff it bit-for-bit against a
+//     direct in-process savat.RunSpec of the same spec.
+//
+// Any divergence, HTTP error, or timeout exits non-zero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/savat"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "daemon-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("daemon-smoke: PASS")
+}
+
+// smokeSpec is the campaign the smoke run submits: a 3×3 grid with
+// quarter-second captures, slow enough (run with -parallelism 1) that
+// the mid-run DELETE below always lands before the campaign finishes.
+func smokeSpec() savat.CampaignSpec {
+	spec := savat.DefaultCampaignSpec()
+	spec.Config = savat.FastConfig()
+	spec.Config.Duration = 0.25
+	spec.Events = []savat.Event{savat.ADD, savat.LDM, savat.DIV}
+	spec.Repeats = 2
+	spec.Seed = 11
+	return spec
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "daemonsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	// Build the daemon binary; `go run` would put a wrapper process
+	// between us and savatd and swallow the SIGTERM at the end.
+	bin := filepath.Join(tmp, "savatd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/savatd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building savatd: %w", err)
+	}
+
+	daemon := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-state-dir", filepath.Join(tmp, "state"),
+		"-max-active", "1",
+		"-parallelism", "1",
+	)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("starting savatd: %w", err)
+	}
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		daemon.Wait()
+	}()
+
+	base, err := listenAddr(stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Println("daemon-smoke: daemon at", base)
+
+	spec := smokeSpec()
+	total := len(spec.Events) * len(spec.Events) * spec.Repeats
+
+	// Submit and cancel mid-run: wait for two cells to stream, then
+	// DELETE the campaign.
+	first, err := submit(base, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println("daemon-smoke: submitted", first.ID)
+	if err := streamEvents(base, first.ID, 2); err != nil {
+		return err
+	}
+	// DELETE requests cancellation; the job reaches the cancelled state
+	// asynchronously once the engine unwinds and checkpoints.
+	if _, err := cancel(base, first.ID); err != nil {
+		return err
+	}
+	final, err := awaitTerminal(base, first.ID)
+	if err != nil {
+		return err
+	}
+	if final.State != service.StateCancelled {
+		return fmt.Errorf("job %s after DELETE: %s, want cancelled", first.ID, final.State)
+	}
+	fmt.Printf("daemon-smoke: cancelled %s after %d/%d cells\n", first.ID, final.Stats.Done, total)
+
+	// Resubmit the identical spec: the fingerprint-keyed checkpoint
+	// must restore the cancelled run's finished cells.
+	second, err := submit(base, spec)
+	if err != nil {
+		return err
+	}
+	if second.Fingerprint != first.Fingerprint {
+		return fmt.Errorf("same spec, different fingerprints: %s vs %s", second.Fingerprint, first.Fingerprint)
+	}
+	if err := streamEvents(base, second.ID, total); err != nil {
+		return err
+	}
+	final, err = awaitTerminal(base, second.ID)
+	if err != nil {
+		return err
+	}
+	if final.State != service.StateDone {
+		return fmt.Errorf("resumed job %s: state %s, error %q", second.ID, final.State, final.Error)
+	}
+	if final.Stats.Cached == 0 {
+		return fmt.Errorf("resumed job %s recomputed everything; checkpoint restored nothing", second.ID)
+	}
+	fmt.Printf("daemon-smoke: resumed %s (%d cells from checkpoint, %d computed)\n",
+		second.ID, final.Stats.Cached, final.Stats.Computed)
+
+	// The daemon's matrix must match a direct in-process run bit for bit.
+	var served savat.MatrixStats
+	if err := getJSON(base+"/v1/campaigns/"+second.ID+"/result", &served); err != nil {
+		return err
+	}
+	direct, err := savat.RunSpec(spec, savat.CampaignOptions{})
+	if err != nil {
+		return err
+	}
+	a, _ := json.Marshal(served.Cells)
+	b, _ := json.Marshal(direct.Cells)
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("daemon result diverges from direct run:\n%s\nvs\n%s", a, b)
+	}
+	fmt.Println("daemon-smoke: matrix bit-identical to direct run")
+	return nil
+}
+
+// listenAddr reads the daemon's startup line ("savatd: listening on
+// http://ADDR") and returns the base URL.
+func listenAddr(stdout interface{ Read([]byte) (int, error) }) (string, error) {
+	type result struct {
+		base string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println("daemon-smoke: savatd:", line)
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				ch <- result{base: strings.TrimSpace(line[i+len("listening on "):])}
+				// Keep draining so the daemon never blocks on stdout.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		ch <- result{err: fmt.Errorf("savatd exited before announcing its address")}
+	}()
+	select {
+	case r := <-ch:
+		return r.base, r.err
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("timed out waiting for savatd to listen")
+	}
+}
+
+func submit(base string, spec savat.CampaignSpec) (service.Job, error) {
+	var jb service.Job
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return jb, err
+	}
+	body, err := json.Marshal(service.SubmitRequest{Spec: specJSON, Tenant: "smoke"})
+	if err != nil {
+		return jb, err
+	}
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jb, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return jb, fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+	return jb, json.NewDecoder(resp.Body).Decode(&jb)
+}
+
+// streamEvents reads the NDJSON event stream until n events arrived,
+// then drops the connection (the daemon must tolerate that).
+func streamEvents(base, id string, n int) error {
+	resp, err := http.Get(base + "/v1/campaigns/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	seen := 0
+	for seen < n && sc.Scan() {
+		var ev engine.ProgressEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad event line %q: %v", sc.Text(), err)
+		}
+		seen++
+	}
+	if seen < n {
+		return fmt.Errorf("event stream for %s ended after %d events, want %d", id, seen, n)
+	}
+	return nil
+}
+
+func cancel(base, id string) (service.Job, error) {
+	var jb service.Job
+	req, err := http.NewRequest("DELETE", base+"/v1/campaigns/"+id, nil)
+	if err != nil {
+		return jb, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return jb, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jb, fmt.Errorf("cancel %s: status %d", id, resp.StatusCode)
+	}
+	return jb, json.NewDecoder(resp.Body).Decode(&jb)
+}
+
+func awaitTerminal(base, id string) (service.Job, error) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var jb service.Job
+		if err := getJSON(base+"/v1/campaigns/"+id, &jb); err != nil {
+			return jb, err
+		}
+		if jb.State.Terminal() {
+			return jb, nil
+		}
+		if time.Now().After(deadline) {
+			return jb, fmt.Errorf("job %s still %s after 2m", id, jb.State)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

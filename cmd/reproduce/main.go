@@ -72,11 +72,17 @@ func main() {
 
 func run() error {
 	var (
-		cf       = cliconf.Register(flag.CommandLine, cliconf.Repeats|cliconf.Seed|cliconf.Fast|cliconf.Profile|cliconf.Metrics)
+		cf       = cliconf.Register(flag.CommandLine, cliconf.Repeats|cliconf.Seed|cliconf.Fast|cliconf.Profile|cliconf.Metrics|cliconf.Spec)
 		section  = flag.String("section", "all", "which experiment to regenerate")
 		cacheDir = flag.String("cache-dir", "", "persist per-cell results here and reuse them across runs")
 	)
 	flag.Parse()
+
+	// -emit-spec serializes the base campaign (the per-figure runs
+	// override machine and distance from paperdata) instead of running.
+	if emitted, err := cf.WriteEmittedSpec(); emitted || err != nil {
+		return err
+	}
 
 	stopProf, err := cf.StartProfiles()
 	if err != nil {
@@ -84,10 +90,13 @@ func run() error {
 	}
 	defer stopProf()
 
-	cfg, err := cf.MeasureConfig()
+	// The base spec — from a -spec file or the flags — carries the
+	// measurement setup, repeats, and seed shared by every experiment.
+	baseSpec, err := cf.CampaignSpec()
 	if err != nil {
 		return err
 	}
+	cfg := baseSpec.Config
 	cache, err := engine.NewCache(0, *cacheDir)
 	if err != nil {
 		return err
@@ -100,8 +109,8 @@ func run() error {
 	r := &runner{
 		ctx:     ctx,
 		cfgBase: cfg,
-		repeats: cf.Repeats,
-		seed:    cf.Seed,
+		repeats: baseSpec.Repeats,
+		seed:    baseSpec.Seed,
 		cache:   cache,
 	}
 	stopObs, err := cf.StartObs(func() any { return r.live.Load() })
@@ -110,8 +119,8 @@ func run() error {
 	}
 	defer stopObs()
 	// -fast drops to 3 campaigns per cell unless -repeats was given
-	// explicitly.
-	if cf.Fast {
+	// explicitly (a -spec file fixes repeats itself).
+	if cf.Fast && cf.SpecPath == "" {
 		repeatsSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "repeats" {
@@ -229,15 +238,15 @@ func (r *runner) campaign(id string) (*savat.MatrixStats, paperdata.Experiment, 
 	if err != nil {
 		return nil, exp, err
 	}
-	mc, err := machine.ConfigByName(exp.Machine)
-	if err != nil {
-		return nil, exp, err
-	}
-	cfg := r.cfgBase
-	cfg.Distance = exp.Distance
-	opts := savat.DefaultCampaignOptions()
-	opts.Repeats = r.repeats
-	opts.Seed = r.seed
+	// Each figure is the base campaign with the published machine and
+	// distance applied — the same CampaignSpec shape savatd serves.
+	spec := savat.DefaultCampaignSpec()
+	spec.Machine = exp.Machine
+	spec.Config = r.cfgBase
+	spec.Config.Distance = exp.Distance
+	spec.Repeats = r.repeats
+	spec.Seed = r.seed
+	var opts savat.CampaignOptions
 	opts.Cache = r.cache
 	ch := make(chan engine.ProgressEvent, 64)
 	opts.Monitor = ch
@@ -259,7 +268,7 @@ func (r *runner) campaign(id string) (*savat.MatrixStats, paperdata.Experiment, 
 			fmt.Fprintln(os.Stderr)
 		}
 	}()
-	res, err := savat.RunCampaignContext(r.ctx, mc, cfg, opts)
+	res, err := savat.RunSpecContext(r.ctx, spec, opts)
 	wg.Wait()
 	if err != nil {
 		return nil, exp, err

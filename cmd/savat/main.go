@@ -13,6 +13,13 @@
 // Long campaigns are resumable: -checkpoint persists finished cells and
 // a re-run with the same flags continues where the previous one (or a
 // Ctrl-C) left off; -cache-dir memoizes per-cell results across runs.
+//
+// Campaigns serialize: -emit-spec writes the savat.CampaignSpec the
+// flags describe (the same JSON the savatd service accepts), and -spec
+// runs a previously saved one:
+//
+//	savat -machine TurionX2 -distance 0.5 -emit-spec turion.json
+//	savat -spec turion.json -matrix
 package main
 
 import (
@@ -41,7 +48,7 @@ func main() {
 
 func run() error {
 	var (
-		cf         = cliconf.Register(flag.CommandLine, cliconf.All)
+		cf         = cliconf.Register(flag.CommandLine, cliconf.All|cliconf.Spec)
 		pair       = flag.String("pair", "", "single pair to measure, e.g. ADD/LDM")
 		matrix     = flag.Bool("matrix", false, "measure the full 11×11 matrix")
 		format     = flag.String("format", "table", "matrix output: table, heatmap, csv, bars, stats")
@@ -50,6 +57,11 @@ func run() error {
 		checkpoint = flag.String("checkpoint", "", "with -matrix: checkpoint file for resumable campaigns")
 	)
 	flag.Parse()
+
+	// -emit-spec serializes the campaign instead of running it.
+	if emitted, err := cf.WriteEmittedSpec(); emitted || err != nil {
+		return err
+	}
 
 	stopProf, err := cf.StartProfiles()
 	if err != nil {
@@ -66,14 +78,17 @@ func run() error {
 	}
 	defer stopObs()
 
-	mc, err := cf.MachineConfig()
+	// The spec — from the -spec file or implied by the setup flags — is
+	// the single campaign description; everything below reads it.
+	spec, err := cf.CampaignSpec()
 	if err != nil {
 		return err
 	}
-	cfg, err := cf.MeasureConfig()
+	mc, err := spec.MachineConfig()
 	if err != nil {
 		return err
 	}
+	cfg := spec.Config
 
 	switch {
 	case *pair != "" && *dumpKernel:
@@ -102,7 +117,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		vals, sum, err := savat.NewMeasurer(mc, cfg).MeasurePair(a, b, cf.Repeats, cf.Seed)
+		vals, sum, err := savat.NewMeasurer(mc, cfg).MeasurePair(a, b, spec.Repeats, spec.Seed)
 		if err != nil {
 			return err
 		}
@@ -121,9 +136,7 @@ func run() error {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 
-		opts := savat.DefaultCampaignOptions()
-		opts.Repeats = cf.Repeats
-		opts.Seed = cf.Seed
+		var opts savat.CampaignOptions
 		opts.CheckpointPath = *checkpoint
 		if *cacheDir != "" {
 			cache, err := engine.NewCache(0, *cacheDir)
@@ -147,7 +160,7 @@ func run() error {
 			}
 			fmt.Fprintln(os.Stderr)
 		}()
-		res, err := savat.RunCampaignContext(ctx, mc, cfg, opts)
+		res, err := savat.RunSpecContext(ctx, spec, opts)
 		wg.Wait()
 		if err != nil {
 			if *checkpoint != "" && ctx.Err() != nil {
@@ -161,7 +174,7 @@ func run() error {
 			res.Engine.Elapsed.Round(1e7), res.Engine.CellsPerSecond())
 		switch *format {
 		case "table":
-			fmt.Printf("%s at %.2f m — SAVAT in zJ (mean of %d campaigns)\n", res.Machine, res.Distance, cf.Repeats)
+			fmt.Printf("%s at %.2f m — SAVAT in zJ (mean of %d campaigns)\n", res.Machine, res.Distance, spec.Repeats)
 			fmt.Print(report.MatrixTable(res.Mean))
 		case "heatmap":
 			fmt.Print(report.Heatmap(res.Mean))

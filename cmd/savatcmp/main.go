@@ -42,10 +42,16 @@ func main() {
 
 func run() error {
 	var (
-		cf  = cliconf.Register(flag.CommandLine, cliconf.All)
+		cf  = cliconf.Register(flag.CommandLine, cliconf.All|cliconf.Spec)
 		top = flag.Int("top", 10, "how many largest deviations to list")
 	)
 	flag.Parse()
+
+	// -emit-spec serializes the live-measurement campaign instead of
+	// running a comparison; -spec drives the live side from a file.
+	if emitted, err := cf.WriteEmittedSpec(); emitted || err != nil {
+		return err
+	}
 
 	var a, b *savat.Matrix
 	var aName, bName string
@@ -67,7 +73,11 @@ func run() error {
 		if a, err = measureLive(cf); err != nil {
 			return err
 		}
-		aName, bName = "live "+cf.Machine, flag.Arg(0)
+		spec, err := cf.CampaignSpec()
+		if err != nil {
+			return err
+		}
+		aName, bName = "live "+spec.Machine, flag.Arg(0)
 	default:
 		return fmt.Errorf("usage: savatcmp [flags] a.csv b.csv  |  savatcmp [flags] baseline.csv")
 	}
@@ -132,20 +142,14 @@ func run() error {
 
 // measureLive runs a full matrix campaign on the configured machine.
 func measureLive(cf *cliconf.Flags) (*savat.Matrix, error) {
-	mc, err := cf.MachineConfig()
-	if err != nil {
-		return nil, err
-	}
-	cfg, err := cf.MeasureConfig()
+	spec, err := cf.CampaignSpec()
 	if err != nil {
 		return nil, err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := savat.DefaultCampaignOptions()
-	opts.Repeats = cf.Repeats
-	opts.Seed = cf.Seed
+	var opts savat.CampaignOptions
 	ch := make(chan engine.ProgressEvent, 64)
 	opts.Monitor = ch
 	var wg sync.WaitGroup
@@ -154,11 +158,11 @@ func measureLive(cf *cliconf.Flags) (*savat.Matrix, error) {
 		defer wg.Done()
 		for ev := range ch {
 			fmt.Fprintf(os.Stderr, "\rmeasuring %s: %d/%d cells",
-				mc.Name, ev.Stats.Done, ev.Stats.Total)
+				spec.Machine, ev.Stats.Done, ev.Stats.Total)
 		}
 		fmt.Fprintln(os.Stderr)
 	}()
-	res, err := savat.RunCampaignContext(ctx, mc, cfg, opts)
+	res, err := savat.RunSpecContext(ctx, spec, opts)
 	wg.Wait()
 	if err != nil {
 		return nil, err

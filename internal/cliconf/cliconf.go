@@ -1,12 +1,13 @@
 // Package cliconf centralizes the measurement-setup flags shared by the
 // CLI tools — machine, antenna distance, alternation frequency, campaign
 // repeats, seed, and the fast (quarter-second capture) mode — and
-// validates them with typed sentinel errors, so every command registers
-// and rejects a bad setup the same way.
+// resolves them into the one campaign description every surface shares,
+// savat.CampaignSpec. Validation is a single savat-side call on that
+// spec, so the CLI rejects exactly what the campaign runner and the
+// campaign service reject, with the same sentinel error identities.
 package cliconf
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,7 +26,7 @@ import (
 // the CLI, the campaign runner, and the measurement pipeline.
 var (
 	// ErrUnknownMachine reports a -machine that is not a case-study system.
-	ErrUnknownMachine = errors.New("cliconf: unknown machine")
+	ErrUnknownMachine = savat.ErrUnknownMachine
 	// ErrBadDistance reports a non-positive -distance.
 	ErrBadDistance = savat.ErrBadDistance
 	// ErrBadFrequency reports a non-positive -freq.
@@ -54,7 +55,12 @@ const (
 	Profile
 	// Metrics registers -metrics-addr (observability HTTP endpoint).
 	Metrics
-	// All registers every shared flag.
+	// Spec registers -spec (run the campaign a spec file describes,
+	// overriding the setup flags) and -emit-spec (write the resolved
+	// campaign spec instead of running it).
+	Spec
+	// All registers every shared measurement-setup flag. Spec is opted
+	// into separately by the commands whose unit of work is a campaign.
 	All = Machine | Distance | Frequency | Repeats | Seed | Fast | Profile | Metrics
 )
 
@@ -71,6 +77,8 @@ type Flags struct {
 	CPUProfile  string
 	MemProfile  string
 	MetricsAddr string
+	SpecPath    string
+	EmitSpec    string
 
 	set Set
 }
@@ -111,6 +119,10 @@ func Register(fs *flag.FlagSet, which Set) *Flags {
 	}
 	if which&Metrics != 0 {
 		fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics and /progress on this address (e.g. localhost:9090); also enables the end-of-run summary")
+	}
+	if which&Spec != 0 {
+		fs.StringVar(&f.SpecPath, "spec", "", "run the campaign this JSON spec file describes (overrides the setup flags)")
+		fs.StringVar(&f.EmitSpec, "emit-spec", "", "write the resolved campaign spec as JSON to this file ('-' = stdout) and exit")
 	}
 	return f
 }
@@ -169,19 +181,14 @@ func (f *Flags) StartProfiles() (stop func(), err error) {
 }
 
 // Validate reports the first problem among the registered flags as a
-// wrapped sentinel error. After its own machine-name check it delegates
-// to savat.Validate on the measurement configuration and campaign
-// options the registered flags imply, so the CLI rejects exactly what
-// the campaign runner would reject, with the same error identities.
-// Unregistered fields keep their (valid) defaults and so can never
-// fail.
+// wrapped sentinel error. It is one savat.CampaignSpec.Validate call on
+// the spec the registered flags imply, so the CLI rejects exactly what
+// the campaign runner and the campaign service would reject, with the
+// same error identities (machine first, then the measurement
+// configuration in field order, then repeats). Unregistered fields keep
+// their (valid) defaults and so can never fail.
 func (f *Flags) Validate() error {
-	if f.set&Machine != 0 {
-		if _, err := machine.ConfigByName(f.Machine); err != nil {
-			return fmt.Errorf("%w: %q (have Core2Duo, Pentium3M, TurionX2)", ErrUnknownMachine, f.Machine)
-		}
-	}
-	return savat.Validate(f.impliedConfig(), f.impliedOptions())
+	return f.impliedSpec().Validate()
 }
 
 // impliedConfig is the measurement setup the registered flags imply:
@@ -202,33 +209,88 @@ func (f *Flags) impliedConfig() savat.Config {
 	return cfg
 }
 
-// impliedOptions is the campaign-shaped view of the registered flags,
-// for validation purposes: only -repeats influences validity.
-func (f *Flags) impliedOptions() savat.CampaignOptions {
-	opts := savat.DefaultCampaignOptions()
-	if f.set&Repeats != 0 {
-		opts.Repeats = f.Repeats
+// impliedSpec is the campaign the registered flags describe:
+// DefaultCampaignSpec with the registered machine, setup, repeats, and
+// seed applied. Unregistered fields keep the paper defaults even if the
+// struct fields were clobbered.
+func (f *Flags) impliedSpec() savat.CampaignSpec {
+	spec := savat.DefaultCampaignSpec()
+	if f.set&Machine != 0 {
+		spec.Machine = f.Machine
 	}
-	return opts
+	spec.Config = f.impliedConfig()
+	if f.set&Repeats != 0 {
+		spec.Repeats = f.Repeats
+	}
+	if f.set&Seed != 0 {
+		spec.Seed = f.Seed
+	}
+	return spec
+}
+
+// CampaignSpec resolves the campaign this invocation describes: the
+// -spec file when one was given (already validated by
+// savat.LoadCampaignSpec), otherwise the validated spec the registered
+// flags imply. This is the single source of truth the commands hand to
+// savat.RunSpecContext or POST to the campaign service.
+func (f *Flags) CampaignSpec() (savat.CampaignSpec, error) {
+	if f.set&Spec != 0 && f.SpecPath != "" {
+		return savat.LoadCampaignSpec(f.SpecPath)
+	}
+	spec := f.impliedSpec()
+	if err := spec.Validate(); err != nil {
+		return savat.CampaignSpec{}, err
+	}
+	return spec, nil
+}
+
+// WriteEmittedSpec honors -emit-spec: when the flag was registered and
+// set, it writes the resolved campaign spec as canonical JSON to the
+// requested destination ("-" = stdout) and returns true, telling the
+// command to exit instead of running the campaign.
+func (f *Flags) WriteEmittedSpec() (emitted bool, err error) {
+	if f.set&Spec == 0 || f.EmitSpec == "" {
+		return false, nil
+	}
+	spec, err := f.CampaignSpec()
+	if err != nil {
+		return false, err
+	}
+	data, err := spec.MarshalIndent()
+	if err != nil {
+		return false, err
+	}
+	if f.EmitSpec == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(f.EmitSpec, data, 0o644)
+	}
+	if err != nil {
+		return false, fmt.Errorf("cliconf: -emit-spec: %w", err)
+	}
+	return true, nil
 }
 
 // MachineConfig validates the flags and returns the selected case-study
 // system.
 func (f *Flags) MachineConfig() (machine.Config, error) {
-	if err := f.Validate(); err != nil {
+	spec, err := f.CampaignSpec()
+	if err != nil {
 		return machine.Config{}, err
 	}
-	return machine.ConfigByName(f.Machine)
+	return spec.MachineConfig()
 }
 
 // MeasureConfig validates the flags and returns the measurement setup
 // they imply: the default (or, with -fast, the quarter-second) config
-// with the registered distance and frequency applied.
+// with the registered distance and frequency applied, or the -spec
+// file's configuration when one was given.
 func (f *Flags) MeasureConfig() (savat.Config, error) {
-	if err := f.Validate(); err != nil {
+	spec, err := f.CampaignSpec()
+	if err != nil {
 		return savat.Config{}, err
 	}
-	return f.impliedConfig(), nil
+	return spec.Config, nil
 }
 
 // StartObs starts the observability side channel the -metrics-addr flag

@@ -111,6 +111,64 @@ func TestMeasureConfig(t *testing.T) {
 	}
 }
 
+func TestCampaignSpecFromFlags(t *testing.T) {
+	f := parse(t, All|Spec, "-machine", "TurionX2", "-distance", "0.5", "-repeats", "3", "-seed", "7", "-fast")
+	spec, err := f.CampaignSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Machine != "TurionX2" || spec.Config.Distance != 0.5 ||
+		spec.Repeats != 3 || spec.Seed != 7 || spec.Config.Duration != 0.25 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Errorf("resolved spec invalid: %v", err)
+	}
+
+	// Bad flags fail with the shared sentinel through the spec path too.
+	f = parse(t, All|Spec, "-machine", "Cray1")
+	if _, err := f.CampaignSpec(); !errors.Is(err, ErrUnknownMachine) {
+		t.Errorf("err = %v, want ErrUnknownMachine", err)
+	}
+}
+
+func TestCampaignSpecFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/spec.json"
+
+	// Emit from one flag set, load from another: the file overrides the
+	// second invocation's setup flags.
+	f := parse(t, All|Spec, "-machine", "Pentium3M", "-repeats", "2", "-emit-spec", path)
+	emitted, err := f.WriteEmittedSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !emitted {
+		t.Fatal("-emit-spec set but not emitted")
+	}
+
+	f = parse(t, All|Spec, "-machine", "Core2Duo", "-spec", path)
+	spec, err := f.CampaignSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Machine != "Pentium3M" || spec.Repeats != 2 {
+		t.Errorf("-spec file should override flags: %+v", spec)
+	}
+
+	// Without -emit-spec nothing is written and the command proceeds.
+	f = parse(t, All|Spec)
+	if emitted, err := f.WriteEmittedSpec(); err != nil || emitted {
+		t.Errorf("emitted=%v err=%v without -emit-spec", emitted, err)
+	}
+
+	// A missing spec file fails loudly.
+	f = parse(t, All|Spec, "-spec", dir+"/missing.json")
+	if _, err := f.CampaignSpec(); err == nil {
+		t.Error("missing -spec file accepted")
+	}
+}
+
 func TestStartObs(t *testing.T) {
 	// Flag unset: start and stop are no-ops and the registry stays off.
 	f := parse(t, Metrics)

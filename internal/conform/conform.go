@@ -14,8 +14,8 @@
 //   - golden-vector regression against committed reference values with
 //     explicit tolerances (golden.go);
 //   - a randomized differential harness sweeping generated measurement
-//     specs through the fast path and savat.MeasureKernelReference
-//     (differential.go);
+//     specs through the fast path and the reference pipeline
+//     (savat.WithReference) (differential.go);
 //   - native fuzz targets for the parsing/numeric attack surface, which
 //     live with their packages (internal/dsp, internal/isa,
 //     internal/engine) and share this package's philosophy.

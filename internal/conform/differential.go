@@ -11,9 +11,9 @@ import (
 )
 
 // DiffRelTol is the acceptance bound of the shared-envelope
-// factorization: the fast measurement path must agree with
-// savat.MeasureKernelReference within this relative difference on
-// every generated spec.
+// factorization: the fast measurement path must agree with the
+// reference pipeline (savat.WithReference) within this relative
+// difference on every generated spec.
 const DiffRelTol = 1e-9
 
 // DiffSpec is one generated differential-test case: a machine, a full

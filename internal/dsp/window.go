@@ -36,6 +36,27 @@ func (w Window) String() string {
 	return fmt.Sprintf("window(%d)", uint8(w))
 }
 
+// MarshalText encodes the window by name ("hann"), so configurations
+// embedded in the campaign-spec wire format stay readable and stable
+// across reorderings of the Window constants.
+func (w Window) MarshalText() ([]byte, error) {
+	if w > FlatTop {
+		return nil, fmt.Errorf("dsp: cannot marshal unknown window %d", uint8(w))
+	}
+	return []byte(w.String()), nil
+}
+
+// UnmarshalText decodes a window name written by MarshalText.
+func (w *Window) UnmarshalText(text []byte) error {
+	for cand := Rectangular; cand <= FlatTop; cand++ {
+		if cand.String() == string(text) {
+			*w = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("dsp: unknown window %q", text)
+}
+
 // windowEntry caches the coefficients and gains of one (window, length)
 // pair; the coeff slice is shared and must never be mutated.
 type windowEntry struct {

@@ -195,11 +195,12 @@ func (a Alternation) Validate() error {
 }
 
 // Jitter configures alternation-period instability and slow activity
-// fluctuation.
+// fluctuation. The json tags are part of the savat.CampaignSpec wire
+// format.
 type Jitter struct {
-	FreqOffset float64 // fixed fractional period error (0.005 → 0.5% slower loop)
-	DriftStd   float64 // per-period fractional random-walk step (dispersion)
-	MaxDrift   float64 // clamp on the accumulated walk (0 = 10×DriftStd)
+	FreqOffset float64 `json:"freq_offset"` // fixed fractional period error (0.005 → 0.5% slower loop)
+	DriftStd   float64 `json:"drift_std"`   // per-period fractional random-walk step (dispersion)
+	MaxDrift   float64 `json:"max_drift"`   // clamp on the accumulated walk (0 = 10×DriftStd)
 	// AmpNoiseStd is the standard deviation of the slow, per-half
 	// fractional amplitude fluctuation: DRAM refresh collisions, row-buffer
 	// state wander, and arbitration beats make a loop half's activity level
@@ -210,10 +211,10 @@ type Jitter struct {
 	// DIV/STL2) their elevated A/A diagonals — the fluctuation power scales
 	// with the row's own signal power. Machine-specific; see
 	// machine.Config.AmplitudeNoiseStd.
-	AmpNoiseStd float64
+	AmpNoiseStd float64 `json:"amp_noise_std"`
 	// AmpNoiseCorr is the per-period AR(1) correlation of the fluctuation
 	// (0 = use the 0.99 default, ≈250 Hz bandwidth at 80 kHz).
-	AmpNoiseCorr float64
+	AmpNoiseCorr float64 `json:"amp_noise_corr"`
 }
 
 // DefaultJitter reproduces the paper's Figure 7: a few hundred Hz shift

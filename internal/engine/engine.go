@@ -98,6 +98,13 @@ type Options struct {
 	// directory — across processes. Nil uses a fresh in-memory cache of
 	// DefaultCacheCapacity.
 	Cache *Cache
+	// Flight, when non-nil, deduplicates identical cells while they are
+	// in flight: campaigns on engines sharing one Flight (and one Cache)
+	// compute each distinct cell key once even when they run
+	// concurrently; the others wait for that result and count it as
+	// Stats.Deduped. Nil disables in-flight deduplication (the cache
+	// still collapses identical cells across time).
+	Flight *Flight
 	// CheckpointPath, when non-empty, persists finished cells there
 	// every CheckpointEvery cells and when the campaign ends (including
 	// cancellation and failure). If the file already exists and matches
@@ -289,6 +296,7 @@ feed:
 	e.cum.Done += st.Done
 	e.cum.Cached += st.Cached
 	e.cum.Computed += st.Computed
+	e.cum.Deduped += st.Deduped
 	e.cum.Retries += st.Retries
 	e.cum.Elapsed += st.Elapsed
 	e.mu.Unlock()
@@ -302,9 +310,10 @@ feed:
 	return &Result{Values: r.values, Stats: st}, nil
 }
 
-// cell completes one grid cell: cache lookup, then bounded-retry
-// compute, then accounting, eventing, and periodic checkpointing.
-// state is the owning worker's NewWorkerState value (nil without one).
+// cell completes one grid cell: cache lookup, then in-flight
+// deduplication (when a Flight is shared), then bounded-retry compute,
+// then accounting, eventing, and periodic checkpointing. state is the
+// owning worker's NewWorkerState value (nil without one).
 func (r *run) cell(ctx context.Context, idx int, state any) error {
 	row, col, rep := r.unflatten(idx)
 
@@ -320,6 +329,48 @@ func (r *run) cell(ctx context.Context, idx int, state any) error {
 		}
 	}
 
+	fl := r.eng.opts.Flight
+	if key == "" || fl == nil {
+		return r.computeCell(ctx, state, key, row, col, rep, nil)
+	}
+	for {
+		c, leader := fl.lead(key)
+		if leader {
+			// Double-check the cache as leader: a previous leader may have
+			// finished (retiring the key) between our Get above and lead
+			// here. Re-checking makes "each distinct key computed once
+			// across engines sharing Flight and Cache" exact, not
+			// best-effort.
+			if v, ok := r.eng.opts.Cache.Get(key); ok {
+				fl.finish(key, c, v, nil)
+				mCellsCached.Inc()
+				r.record(row, col, rep, v, ProgressEvent{Row: row, Col: col, Rep: rep, Cached: true})
+				return nil
+			}
+			return r.computeCell(ctx, state, key, row, col, rep, func(v float64, err error) {
+				fl.finish(key, c, v, err)
+			})
+		}
+		v, err := c.wait(ctx)
+		if err == nil {
+			mCellsDeduped.Inc()
+			r.record(row, col, rep, v, ProgressEvent{Row: row, Col: col, Rep: rep, Deduped: true})
+			return nil
+		}
+		if ctx.Err() != nil {
+			return nil // our own cancellation, not a cell failure
+		}
+		// The leading campaign failed or was cancelled; its error is its
+		// own. Loop and compute the cell ourselves (possibly becoming the
+		// next leader).
+	}
+}
+
+// computeCell runs the bounded-retry computation of one cell and does
+// its accounting, eventing, and caching. publish, when non-nil, hands
+// the outcome to in-flight waiters (it runs before the error is acted
+// on, so waiters never block on a failed leader).
+func (r *run) computeCell(ctx context.Context, state any, key string, row, col, rep int, publish func(float64, error)) error {
 	atomic.AddInt64(&r.inflight, 1)
 	mInFlight.Add(1)
 	begin := time.Now()
@@ -327,6 +378,15 @@ func (r *run) cell(ctx context.Context, idx int, state any) error {
 	dur := time.Since(begin)
 	atomic.AddInt64(&r.inflight, -1)
 	mInFlight.Add(-1)
+	// Cache before publishing to in-flight waiters: once the flight key
+	// retires, the value must already be visible in the cache, so the
+	// leader double-check in cell never loses a result.
+	if err == nil && key != "" {
+		r.eng.opts.Cache.Put(key, v)
+	}
+	if publish != nil {
+		publish(v, err)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil // cancellation, not a cell failure
@@ -335,9 +395,6 @@ func (r *run) cell(ctx context.Context, idx int, state any) error {
 	}
 	mCellsComputed.Inc()
 	mCellLatency.Observe(dur)
-	if key != "" {
-		r.eng.opts.Cache.Put(key, v)
-	}
 	r.record(row, col, rep, v, ProgressEvent{
 		Row: row, Col: col, Rep: rep,
 		Duration: dur, Attempts: attempts,
@@ -385,9 +442,12 @@ func (r *run) record(row, col, rep int, v float64, ev ProgressEvent) {
 	r.values[row][col][rep] = v
 	r.done[(row*r.spec.Cols+col)*r.spec.Reps+rep] = true
 	r.st.Done++
-	if ev.Cached {
+	switch {
+	case ev.Cached:
 		r.st.Cached++
-	} else {
+	case ev.Deduped:
+		r.st.Deduped++
+	default:
 		r.st.Computed++
 	}
 	r.st.Elapsed = time.Since(r.start)

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// Flight deduplicates identical cells while they are being computed.
+// The result cache already collapses identical cells across time — a
+// cell computed once is never computed again — but two campaigns
+// submitted concurrently can both miss the cache and compute the same
+// cell twice. A Flight shared by their engines (Options.Flight) closes
+// that window: cells are keyed by the same content address as the
+// cache, the first campaign to reach a key computes it, and every
+// concurrent campaign that reaches the same key waits for that result
+// instead of recomputing it (counted as Stats.Deduped).
+//
+// Correctness rests on the cache-key contract: two cells share a key
+// exactly when their values are bit-identical by construction, so
+// handing one campaign's cell value to another can never change a
+// matrix. A Flight is safe for concurrent use; the zero value is not —
+// use NewFlight.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-progress computation. done is closed exactly
+// once, after val/err are set.
+type flightCall struct {
+	done chan struct{}
+	val  float64
+	err  error
+}
+
+// NewFlight returns an empty in-flight deduplication table.
+func NewFlight() *Flight {
+	return &Flight{calls: make(map[string]*flightCall)}
+}
+
+// lead registers the caller as the computer of key if no computation is
+// in progress, returning (call, true). Otherwise it returns the
+// existing in-progress call and false; the caller should wait on
+// call.done.
+func (f *Flight) lead(key string) (*flightCall, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result to every waiter and retires the
+// key. Retiring before closing done means a failed computation does not
+// poison the key: the next camper becomes a fresh leader and retries,
+// while current waiters observe the error and re-enter lead themselves.
+func (f *Flight) finish(key string, c *flightCall, v float64, err error) {
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	c.val, c.err = v, err
+	close(c.done)
+}
+
+// wait blocks until the call completes or ctx is cancelled.
+func (c *flightCall) wait(ctx context.Context) (float64, error) {
+	select {
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-c.done:
+		return c.val, c.err
+	}
+}

@@ -11,6 +11,7 @@ var (
 	mCellLatency   = obs.Default.Histogram("engine.cell")
 	mCellsComputed = obs.Default.Counter("engine.cells.computed")
 	mCellsCached   = obs.Default.Counter("engine.cells.cached")
+	mCellsDeduped  = obs.Default.Counter("engine.cells.deduped")
 	mCellsRestored = obs.Default.Counter("engine.cells.restored")
 	mRetries       = obs.Default.Counter("engine.retries")
 	mEvictions     = obs.Default.Counter("engine.cache.evictions")

@@ -17,11 +17,12 @@ import (
 
 // Carrier is one discrete narrowband interferer, e.g. a distant LF/VLF
 // transmitter near the measurement band.
+// The json tags are part of the savat.CampaignSpec wire format.
 type Carrier struct {
-	Freq    float64 // Hz in the receiver's baseband
-	Power   float64 // carrier power in watts at the analyzer input
-	AMDepth float64 // amplitude modulation depth [0,1]
-	AMRate  float64 // modulation rate in Hz
+	Freq    float64 `json:"freq"`     // Hz in the receiver's baseband
+	Power   float64 `json:"power"`    // carrier power in watts at the analyzer input
+	AMDepth float64 `json:"am_depth"` // amplitude modulation depth [0,1]
+	AMRate  float64 `json:"am_rate"`  // modulation rate in Hz
 }
 
 // Validate reports the first problem with the carrier.
@@ -39,19 +40,20 @@ func (c Carrier) Validate() error {
 }
 
 // Environment describes the complete noise environment of one setup.
+// The json tags are part of the savat.CampaignSpec wire format.
 type Environment struct {
 	// ThermalPSD is the receiver's white-noise floor in W/Hz (the paper's
 	// instrument shows ≈ 6×10⁻¹⁸ W/Hz).
-	ThermalPSD float64
+	ThermalPSD float64 `json:"thermal_psd"`
 	// RFBackgroundPSD is the mean diffuse radio background in W/Hz. It is
 	// distance-independent (ambient) and dominates the A/A measurement
 	// floor.
-	RFBackgroundPSD float64
+	RFBackgroundPSD float64 `json:"rf_background_psd"`
 	// RFBackgroundSpread is the fractional campaign-to-campaign variation
 	// of the background level.
-	RFBackgroundSpread float64
+	RFBackgroundSpread float64 `json:"rf_background_spread"`
 	// Carriers are discrete interferers.
-	Carriers []Carrier
+	Carriers []Carrier `json:"carriers,omitempty"`
 }
 
 // Validate reports the first problem with the environment.

@@ -44,6 +44,12 @@ type CampaignOptions struct {
 	// over different event subsets or orders share work, as do repeated
 	// figures in a distance sweep. Nil uses a fresh in-memory cache.
 	Cache *engine.Cache
+	// Flight, when non-nil, deduplicates identical cells in flight
+	// across concurrent campaigns sharing it (and sharing Cache): each
+	// distinct cell is computed once, the others wait for that result.
+	// Used by the campaign service so overlapping submissions never
+	// duplicate work; nil disables it.
+	Flight *engine.Flight
 	// CheckpointPath, when set, persists finished cells there
 	// periodically and when the campaign ends (cancellation included); a
 	// later run with identical campaign parameters resumes from it.
@@ -154,6 +160,7 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 		MaxAttempts:     opts.MaxAttempts,
 		RetryBackoff:    opts.RetryBackoff,
 		Cache:           opts.Cache,
+		Flight:          opts.Flight,
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
 		Monitor:         opts.Monitor,
@@ -220,14 +227,4 @@ func cellSeed(base int64, a, b, rep int) int64 {
 // alternative pipelines and compare them value-for-value.
 func CellSeed(base int64, a, b Event, rep int) int64 {
 	return cellSeed(base, int(a), int(b), rep)
-}
-
-// MeasurePair is a convenience wrapper: one cell, `repeats` repetitions,
-// returning the per-repetition values and their summary.
-//
-// Deprecated: Use NewMeasurer(mc, cfg).MeasurePair(a, b, repeats, seed).
-// This wrapper produces bit-identical values and remains for
-// compatibility.
-func MeasurePair(mc machine.Config, a, b Event, cfg Config, repeats int, seed int64) ([]float64, stats.Summary, error) {
-	return NewMeasurer(mc, cfg).MeasurePair(a, b, repeats, seed)
 }

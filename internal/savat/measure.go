@@ -12,29 +12,32 @@ import (
 )
 
 // Config holds the measurement-setup parameters shared by a campaign.
+// It is part of the CampaignSpec wire format, so every field carries an
+// explicit, stable json tag; renaming a Go field must not change the
+// serialized shape.
 type Config struct {
 	// Distance is the antenna distance in metres (paper: 0.10, 0.50, 1.00).
-	Distance float64
+	Distance float64 `json:"distance"`
 	// Frequency is the intended alternation frequency in Hz (paper: 80 kHz).
-	Frequency float64
+	Frequency float64 `json:"frequency"`
 	// BandHalfWidth is the half-width of the measured band around the
 	// alternation frequency (paper: 1 kHz).
-	BandHalfWidth float64
+	BandHalfWidth float64 `json:"band_half_width"`
 	// SampleRate is the receiver capture rate in Hz; it must exceed twice
 	// the alternation frequency.
-	SampleRate float64
+	SampleRate float64 `json:"sample_rate"`
 	// Duration is the capture length in seconds (paper: ≈1 s for 1 Hz RBW).
-	Duration float64
+	Duration float64 `json:"duration"`
 	// WarmupPeriods alternation periods are simulated and discarded before
 	// the steady-state activity rates are extracted over MeasurePeriods.
-	WarmupPeriods  int
-	MeasurePeriods int
+	WarmupPeriods  int `json:"warmup_periods"`
+	MeasurePeriods int `json:"measure_periods"`
 	// Environment is the noise environment.
-	Environment noise.Environment
+	Environment noise.Environment `json:"environment"`
 	// Analyzer is the spectrum-analyzer setup.
-	Analyzer specan.Config
+	Analyzer specan.Config `json:"analyzer"`
 	// Jitter is the alternation-period instability model.
-	Jitter emsim.Jitter
+	Jitter emsim.Jitter `json:"jitter"`
 }
 
 // DefaultConfig mirrors the paper's setup: 10 cm, 80 kHz, ±1 kHz band,
@@ -108,32 +111,6 @@ type Measurement struct {
 
 // ZJ returns the SAVAT value in zeptojoules (10⁻²¹ J), the paper's unit.
 func (m *Measurement) ZJ() float64 { return m.SAVAT * 1e21 }
-
-// Measure runs the complete pipeline for one event pair on one machine.
-//
-// Deprecated: Use NewMeasurer(mc, cfg).Measure(a, b, rng). This wrapper
-// produces bit-identical Measurements and remains for compatibility.
-func Measure(mc machine.Config, a, b Event, cfg Config, rng *rand.Rand) (*Measurement, error) {
-	return NewMeasurer(mc, cfg).Measure(a, b, rng)
-}
-
-// MeasureKernel measures a prebuilt kernel on a fresh private scratch.
-//
-// Deprecated: Use NewMeasurer(mc, cfg).MeasureKernel(k, rng). This
-// wrapper produces bit-identical Measurements and remains for
-// compatibility.
-func MeasureKernel(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand) (*Measurement, error) {
-	return NewMeasurer(mc, cfg).MeasureKernel(k, rng)
-}
-
-// MeasureKernelReference runs the direct-rendering reference pipeline.
-//
-// Deprecated: Use NewMeasurer(mc, cfg, WithReference()).MeasureKernel(k, rng).
-// This wrapper produces bit-identical Measurements and remains for
-// compatibility.
-func MeasureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand) (*Measurement, error) {
-	return NewMeasurer(mc, cfg, WithReference()).MeasureKernel(k, rng)
-}
 
 // measureKernelReference is the direct-rendering measurement pipeline:
 // every coherence group synthesized in the time domain and analyzed

@@ -49,15 +49,6 @@ const (
 // until the Measurer's next measurement; callers that keep traces use
 // one Measurer per retained trace. A Measurer is NOT safe for
 // concurrent use — the campaign engine gives each worker its own.
-//
-// Every former entry point maps onto a Measurer call:
-//
-//	Measure(mc, a, b, cfg, rng)              → NewMeasurer(mc, cfg).Measure(a, b, rng)
-//	MeasureKernel(mc, k, cfg, rng)           → NewMeasurer(mc, cfg).MeasureKernel(k, rng)
-//	MeasureKernelScratch(mc, k, cfg, rng, s) → NewMeasurer(mc, cfg, WithScratch(s)).MeasureKernel(k, rng)
-//	MeasureKernelBuffered(mc, k, cfg, rng, s)→ NewMeasurer(mc, cfg, WithScratch(s), WithBuffered()).MeasureKernel(k, rng)
-//	MeasureKernelReference(mc, k, cfg, rng)  → NewMeasurer(mc, cfg, WithReference()).MeasureKernel(k, rng)
-//	MeasurePair(mc, a, b, cfg, repeats, seed)→ NewMeasurer(mc, cfg).MeasurePair(a, b, repeats, seed)
 type Measurer struct {
 	mc      machine.Config
 	cfg     Config

@@ -113,7 +113,7 @@ func TestPowerChannelSAVAT(t *testing.T) {
 		c := cfg
 		c.Distance = d
 		rng := rand.New(rand.NewSource(21))
-		m, err := Measure(mc, a, b, c, rng)
+		m, err := NewMeasurer(mc, c).Measure(a, b, rng)
 		if err != nil {
 			t.Fatal(err)
 		}

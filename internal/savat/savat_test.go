@@ -203,7 +203,7 @@ func TestMeasureDeterministic(t *testing.T) {
 	cfg := FastConfig()
 	run := func() float64 {
 		rng := rand.New(rand.NewSource(7))
-		m, err := Measure(mc, ADD, LDM, cfg, rng)
+		m, err := NewMeasurer(mc, cfg).Measure(ADD, LDM, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +212,7 @@ func TestMeasureDeterministic(t *testing.T) {
 	if a, b := run(), run(); a != b {
 		t.Errorf("same seed must reproduce: %v vs %v", a, b)
 	}
-	if _, err := Measure(mc, ADD, LDM, cfg, nil); err == nil {
+	if _, err := NewMeasurer(mc, cfg).Measure(ADD, LDM, nil); err == nil {
 		t.Error("nil rng should fail")
 	}
 }
@@ -225,7 +225,7 @@ func TestMeasureFigure9Shape(t *testing.T) {
 	cfg := FastConfig()
 	get := func(a, b Event) float64 {
 		rng := rand.New(rand.NewSource(11))
-		m, err := Measure(mc, a, b, cfg, rng)
+		m, err := NewMeasurer(mc, cfg).Measure(a, b, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,7 +252,7 @@ func TestMeasureFigure9Shape(t *testing.T) {
 func TestMeasurementAccessors(t *testing.T) {
 	mc := machine.Core2Duo()
 	rng := rand.New(rand.NewSource(3))
-	m, err := Measure(mc, ADD, DIV, FastConfig(), rng)
+	m, err := NewMeasurer(mc, FastConfig()).Measure(ADD, DIV, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,8 +27,8 @@ type altKey struct {
 // path: the shared envelope streams, the noise capture, the spectrum
 // analyzer's working set, the radiator value, and a cache of
 // cycle-accurate alternation results (the simulation is rng-free, so
-// one result serves every repetition of a pair). A warmed scratch makes
-// MeasureKernelScratch allocate no sample-sized buffers at all.
+// one result serves every repetition of a pair). A warmed scratch lets
+// the streaming path allocate no sample-sized buffers at all.
 //
 // A MeasureScratch is NOT safe for concurrent use; the campaign engine
 // gives each worker its own.
@@ -42,8 +42,8 @@ type MeasureScratch struct {
 	hiers  map[memhier.Config]*memhier.Hierarchy
 
 	// Streaming sources, re-initialized per measurement. Only the
-	// buffered path (MeasureKernelBuffered) materializes env and noise
-	// above; the streaming path renders through these instead.
+	// buffered path (WithBuffered) materializes env and noise above;
+	// the streaming path renders through these instead.
 	envStream   emsim.EnvelopeStream
 	noiseStream noise.Stream
 
@@ -176,15 +176,6 @@ func finish(k *Kernel, alt *AlternationResult, cfg Config, tr *specan.Trace) (*M
 	}, nil
 }
 
-// MeasureKernelScratch is MeasureKernel with an explicit scratch.
-//
-// Deprecated: Use NewMeasurer(mc, cfg, WithScratch(s)).MeasureKernel(k, rng).
-// This wrapper produces bit-identical Measurements and remains for
-// compatibility.
-func MeasureKernelScratch(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch) (*Measurement, error) {
-	return NewMeasurer(mc, cfg, WithScratch(s)).MeasureKernel(k, rng)
-}
-
 // measureKernelStream is the streaming fast path behind the default
 // Measurer mode: the same pipeline and the same rng draw sequence as
 // the buffered path, but the per-group time-domain synthesis and
@@ -235,16 +226,6 @@ func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, rng *rand.Ran
 		return nil, err
 	}
 	return finish(k, alt, cfg, tr)
-}
-
-// MeasureKernelBuffered is the capture-at-once form of
-// MeasureKernelScratch.
-//
-// Deprecated: Use NewMeasurer(mc, cfg, WithScratch(s), WithBuffered()).MeasureKernel(k, rng).
-// This wrapper produces bit-identical Measurements and remains for
-// compatibility.
-func MeasureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch) (*Measurement, error) {
-	return NewMeasurer(mc, cfg, WithScratch(s), WithBuffered()).MeasureKernel(k, rng)
 }
 
 // measureKernelBuffered is the capture-at-once form of

@@ -228,9 +228,10 @@ func SequenceAdditivity(mc machine.Config, a, b Sequence, cfg Config, rng *rand.
 		}
 		return NOI
 	}
+	meas := NewMeasurer(mc, cfg)
 	for i := 0; i < n; i++ {
 		ea, eb := at(a, i), at(b, i)
-		m, err := Measure(mc, ea, eb, cfg, rng)
+		m, err := meas.Measure(ea, eb, rng)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -239,7 +240,7 @@ func SequenceAdditivity(mc machine.Config, a, b Sequence, cfg Config, rng *rand.
 		}
 		// Subtract that pair's own measurement floor so the estimate sums
 		// difference signal, not repeated noise floors.
-		fl, err := Measure(mc, ea, ea, cfg, rng)
+		fl, err := meas.Measure(ea, ea, rng)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -84,7 +84,7 @@ func TestSingleEventSequenceMatchesSingle(t *testing.T) {
 		t.Fatal(err)
 	}
 	rngB := rand.New(rand.NewSource(5))
-	single, err := Measure(mc, ADD, LDM, cfg, rngB)
+	single, err := NewMeasurer(mc, cfg).Measure(ADD, LDM, rngB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,12 +140,12 @@ func TestBranchPredictionEvents(t *testing.T) {
 	mc := machine.Core2Duo()
 	cfg := FastConfig()
 	rng := rand.New(rand.NewSource(8))
-	bpmBph, err := Measure(mc, BPM, BPH, cfg, rng)
+	bpmBph, err := NewMeasurer(mc, cfg).Measure(BPM, BPH, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng = rand.New(rand.NewSource(8))
-	floor, err := Measure(mc, BPH, BPH, cfg, rng)
+	floor, err := NewMeasurer(mc, cfg).Measure(BPH, BPH, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,201 @@
+package savat
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+)
+
+// SpecVersion is the wire version of CampaignSpec. It is bumped on any
+// incompatible change to the spec's JSON shape; ParseCampaignSpec and
+// CampaignSpec.Validate reject versions this build does not understand
+// instead of silently misreading them.
+const SpecVersion = 1
+
+// CampaignSpec is the one serializable description of a measurement
+// campaign, shared by every surface that names one: the CLI flag layer
+// (internal/cliconf) parses flags into it, the campaign daemon
+// (internal/service, cmd/savatd) unmarshals it from request bodies,
+// cmd/savat and cmd/reproduce emit and accept it as a file, and its
+// Fingerprint binds checkpoint files and in-flight cell deduplication
+// to exactly the campaign it describes.
+//
+// A spec holds everything that determines the campaign's cell values —
+// machine, measurement configuration, event grid, repeats, seed — and
+// nothing about how the campaign is executed (parallelism, caches,
+// checkpoint paths, monitors stay in CampaignOptions). Two specs with
+// equal fingerprints therefore produce bit-identical matrices on any
+// executor, which is what lets the service deduplicate overlapping
+// submissions cell-by-cell.
+type CampaignSpec struct {
+	// Version is the spec wire version; zero is normalized to
+	// SpecVersion so hand-written specs may omit it.
+	Version int `json:"version"`
+	// Machine names the case-study system (Core2Duo, Pentium3M,
+	// TurionX2), resolved via machine.ConfigByName.
+	Machine string `json:"machine"`
+	// Config is the measurement setup (distance, frequency, band,
+	// capture, environment, analyzer, jitter).
+	Config Config `json:"config"`
+	// Events are the grid's events in matrix order; empty means the
+	// paper's 11 Figure 5 events. Serialized as mnemonics.
+	Events []Event `json:"events,omitempty"`
+	// Repeats is the number of independent measurements per cell.
+	Repeats int `json:"repeats"`
+	// Seed feeds the deterministic per-cell, per-repetition rngs.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultCampaignSpec mirrors the paper's campaign: the Core 2 Duo at
+// 10 cm, the default measurement setup, all 11 events, 10 repetitions.
+func DefaultCampaignSpec() CampaignSpec {
+	return CampaignSpec{
+		Version: SpecVersion,
+		Machine: "Core2Duo",
+		Config:  DefaultConfig(),
+		Repeats: 10,
+		Seed:    1,
+	}
+}
+
+// Normalized returns the spec with defaults filled in: a zero Version
+// becomes SpecVersion, and nil Events stay nil (meaning "all 11").
+func (s CampaignSpec) Normalized() CampaignSpec {
+	if s.Version == 0 {
+		s.Version = SpecVersion
+	}
+	return s
+}
+
+// Validate reports the first problem with the spec as a wrapped
+// sentinel error: version (ErrSpecVersion), machine (ErrUnknownMachine),
+// events, then the shared Validate path over the measurement
+// configuration and campaign options — so a spec rejected here would
+// have been rejected identically by RunCampaignContext, and vice versa.
+func (s CampaignSpec) Validate() error {
+	s = s.Normalized()
+	if s.Version != SpecVersion {
+		return fmt.Errorf("%w: %d (want %d)", ErrSpecVersion, s.Version, SpecVersion)
+	}
+	if _, err := s.MachineConfig(); err != nil {
+		return err
+	}
+	for _, e := range s.Events {
+		if !e.Valid() {
+			return fmt.Errorf("savat: spec event %d invalid", uint8(e))
+		}
+	}
+	return Validate(s.Config, CampaignOptions{Events: s.Events, Repeats: s.Repeats, Seed: s.Seed})
+}
+
+// MachineConfig resolves the spec's machine name.
+func (s CampaignSpec) MachineConfig() (machine.Config, error) {
+	mc, err := machine.ConfigByName(s.Machine)
+	if err != nil {
+		return machine.Config{}, fmt.Errorf("%w: %q (have Core2Duo, Pentium3M, TurionX2)", ErrUnknownMachine, s.Machine)
+	}
+	return mc, nil
+}
+
+// GridEvents returns the spec's events, defaulting to the paper's 11.
+func (s CampaignSpec) GridEvents() []Event {
+	if len(s.Events) == 0 {
+		return Events()
+	}
+	return append([]Event(nil), s.Events...)
+}
+
+// Options merges the spec into rt: the spec supplies everything that
+// determines cell values (events, repeats, seed) and rt supplies the
+// runtime-only knobs (parallelism, cache, checkpointing, monitor,
+// retry policy). Values already present in rt's identity fields are
+// overwritten — the spec is the single source of truth.
+func (s CampaignSpec) Options(rt CampaignOptions) CampaignOptions {
+	rt.Events = s.GridEvents()
+	rt.Repeats = s.Repeats
+	rt.Seed = s.Seed
+	return rt
+}
+
+// Fingerprint canonically identifies the campaign the spec describes —
+// the same value RunSpecContext hands the engine, so checkpoint files
+// and service jobs key on it. Two specs fingerprint equal exactly when
+// they produce bit-identical matrices.
+func (s CampaignSpec) Fingerprint() (string, error) {
+	mc, err := s.MachineConfig()
+	if err != nil {
+		return "", err
+	}
+	return campaignFingerprint(mc, s.Config, s.GridEvents(), s.Seed, s.Repeats), nil
+}
+
+// MarshalIndent serializes the normalized spec as indented JSON with a
+// trailing newline — the canonical file form emitted by -emit-spec.
+func (s CampaignSpec) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(s.Normalized(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseCampaignSpec decodes and validates one JSON spec. Unknown fields
+// are rejected so a typo'd field name fails loudly instead of silently
+// running the default campaign.
+func ParseCampaignSpec(data []byte) (CampaignSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s CampaignSpec
+	if err := dec.Decode(&s); err != nil {
+		return CampaignSpec{}, fmt.Errorf("savat: campaign spec: %w", err)
+	}
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return CampaignSpec{}, err
+	}
+	return s, nil
+}
+
+// LoadCampaignSpec reads and validates a spec file.
+func LoadCampaignSpec(path string) (CampaignSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return CampaignSpec{}, fmt.Errorf("savat: campaign spec: %w", err)
+	}
+	s, err := ParseCampaignSpec(data)
+	if err != nil {
+		return CampaignSpec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// RunSpec is RunSpecContext with a background context.
+func RunSpec(spec CampaignSpec, rt CampaignOptions) (*MatrixStats, error) {
+	return RunSpecContext(context.Background(), spec, rt)
+}
+
+// RunSpecContext measures the campaign a spec describes on the engine,
+// with rt supplying the runtime-only options (see CampaignSpec.Options).
+// It is the spec-shaped face of RunCampaignContext: for equal specs the
+// two produce bit-identical matrices regardless of executor, cache
+// state, or checkpoint history.
+func RunSpecContext(ctx context.Context, spec CampaignSpec, rt CampaignOptions) (*MatrixStats, error) {
+	if err := spec.Validate(); err != nil {
+		if rt.Monitor != nil {
+			close(rt.Monitor)
+		}
+		return nil, err
+	}
+	mc, err := spec.MachineConfig()
+	if err != nil {
+		if rt.Monitor != nil {
+			close(rt.Monitor)
+		}
+		return nil, err
+	}
+	return RunCampaignContext(ctx, mc, spec.Config, spec.Options(rt))
+}

@@ -16,6 +16,12 @@ var (
 	ErrBadFrequency = errors.New("savat: frequency must be positive")
 	// ErrBadRepeats reports a repetition count below one.
 	ErrBadRepeats = errors.New("savat: repeats must be at least 1")
+	// ErrUnknownMachine reports a CampaignSpec machine name that is not a
+	// case-study system.
+	ErrUnknownMachine = errors.New("savat: unknown machine")
+	// ErrSpecVersion reports a CampaignSpec whose version this build does
+	// not understand.
+	ErrSpecVersion = errors.New("savat: unsupported campaign spec version")
 )
 
 // Validate checks a measurement configuration and campaign options

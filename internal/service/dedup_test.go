@@ -1,0 +1,87 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Two identical campaigns submitted simultaneously must cost one
+// campaign's compute between them: the server's shared cache and
+// in-flight deduplication satisfy every overlapping cell from the
+// first computation. Asserted two ways — the jobs' own engine stats,
+// and the process-wide engine.cells.computed counter, which counts
+// actual compute-function runs and so cannot be fooled by
+// double-counting in the per-job accounting. Run under -race in CI.
+func TestConcurrentIdenticalCampaignsDedup(t *testing.T) {
+	obs.Default.SetEnabled(true)
+	t.Cleanup(func() { obs.Default.SetEnabled(false) })
+	before, _ := obs.Default.Snapshot().Counter("engine.cells.computed")
+
+	s := newServer(t, Options{MaxActive: 2})
+	spec := smokeSpec()
+	unique := 2 * 2 * spec.Repeats
+
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	errs := make([]error, 2)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jb, err := s.Submit(spec, SubmitOptions{Tenant: "t"})
+			ids[i], errs[i] = jb.ID, err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	var finals [2]Job
+	for i, id := range ids {
+		finals[i] = awaitDone(t, s, id)
+		if finals[i].State != StateDone {
+			t.Fatalf("job %s: state %s, error %q", id, finals[i].State, finals[i].Error)
+		}
+	}
+
+	after, _ := obs.Default.Snapshot().Counter("engine.cells.computed")
+	if got := after - before; got != uint64(unique) {
+		t.Errorf("compute function ran %d times across both campaigns, want exactly %d (one campaign's unique cells)", got, unique)
+	}
+	stA, stB := finals[0].Stats, finals[1].Stats
+	if stA.Computed+stB.Computed != unique {
+		t.Errorf("computed counts %d+%d should sum to %d", stA.Computed, stB.Computed, unique)
+	}
+	if stA.Done != unique || stB.Done != unique {
+		t.Errorf("done counts %d/%d, want %d each", stA.Done, stB.Done, unique)
+	}
+	if overlap := stA.Cached + stB.Cached + stA.Deduped + stB.Deduped; overlap != unique {
+		t.Errorf("cached+deduped %d, want %d", overlap, unique)
+	}
+
+	// Same spec, same fingerprint, bit-identical matrices.
+	if finals[0].Fingerprint != finals[1].Fingerprint {
+		t.Errorf("fingerprints differ: %s vs %s", finals[0].Fingerprint, finals[1].Fingerprint)
+	}
+	resA, err := s.Result(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := s.Result(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := spec.GridEvents()
+	for i := range ev {
+		for j := range ev {
+			if resA.Mean.Vals[i][j] != resB.Mean.Vals[i][j] {
+				t.Fatalf("matrices diverge at (%d,%d): %v vs %v", i, j, resA.Mean.Vals[i][j], resB.Mean.Vals[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/savat"
+)
+
+func submitBody(t *testing.T, spec savat.CampaignSpec, tenant string) *bytes.Buffer {
+	t.Helper()
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(SubmitRequest{Spec: specJSON, Tenant: tenant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewBuffer(body)
+}
+
+func TestHTTPCampaignLifecycle(t *testing.T) {
+	s := newServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := smokeSpec()
+	total := 2 * 2 * spec.Repeats
+
+	// Submit.
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", submitBody(t, spec, "alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var jb Job
+	if err := json.NewDecoder(resp.Body).Decode(&jb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jb.ID == "" || jb.Tenant != "alice" {
+		t.Fatalf("submit returned %+v", jb)
+	}
+
+	// Stream events as NDJSON until the campaign completes.
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + jb.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type %q", ct)
+	}
+	events := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev engine.ProgressEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events++
+	}
+	resp.Body.Close()
+	if events != total {
+		t.Errorf("streamed %d events, want %d", events, total)
+	}
+
+	// Status.
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + jb.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Job
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.State != StateDone || got.Stats.Done != total {
+		t.Fatalf("status %+v", got)
+	}
+
+	// List.
+	resp, err = http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list listResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Campaigns) != 1 || list.Campaigns[0].ID != jb.ID {
+		t.Fatalf("list %+v", list)
+	}
+
+	// Result: bit-identical to a direct run of the same spec.
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + jb.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res savat.MatrixStats
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	direct, err := savat.RunSpec(spec, savat.CampaignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(res.Cells)
+	b, _ := json.Marshal(direct.Cells)
+	if string(a) != string(b) {
+		t.Errorf("HTTP result diverges from direct run")
+	}
+}
+
+func TestHTTPEventsSSE(t *testing.T) {
+	s := newServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	jb, err := s.Submit(smokeSpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("GET", ts.URL+"/v1/campaigns/"+jb.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("SSE content type %q", ct)
+	}
+	frames := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			t.Fatalf("bad SSE line %q", line)
+		}
+		var ev engine.ProgressEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", line, err)
+		}
+		frames++
+	}
+	if want := 2 * 2 * smokeSpec().Repeats; frames != want {
+		t.Errorf("streamed %d SSE frames, want %d", frames, want)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	s := newServer(t, Options{MaxActive: 1, Parallelism: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the slot with a slow campaign (quarter-second captures,
+	// serial cells), then cancel a still-queued job over HTTP.
+	slow := smokeSpec()
+	slow.Config.Duration = 0.25
+	running, err := s.Submit(slow, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smokeSpec()
+	spec.Seed = 99
+	queued, err := s.Submit(spec, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest("DELETE", ts.URL+"/v1/campaigns/"+queued.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jb Job
+	if err := json.NewDecoder(resp.Body).Decode(&jb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jb.State != StateCancelled {
+		t.Fatalf("cancelled queued job is %s", jb.State)
+	}
+	awaitDone(t, s, running.ID)
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := newServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body missing (%v)", path, err)
+		}
+		return resp.StatusCode
+	}
+	if st := get("/v1/campaigns/c999999"); st != http.StatusNotFound {
+		t.Errorf("unknown id status %d", st)
+	}
+	if st := get("/v1/campaigns/c999999/result"); st != http.StatusNotFound {
+		t.Errorf("unknown result status %d", st)
+	}
+
+	// A running (not done) job's result is a conflict.
+	jb, err := s.Submit(smokeSpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + jb.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jobNow, _ := s.Get(jb.ID); !jobNow.State.Terminal() && resp.StatusCode != http.StatusConflict {
+		t.Errorf("unfinished result status %d", resp.StatusCode)
+	}
+
+	// Bad submissions: invalid JSON, missing spec, unknown field in the
+	// spec, invalid spec values.
+	for name, body := range map[string]string{
+		"invalid-json":  `{`,
+		"missing-spec":  `{}`,
+		"unknown-field": `{"spec": {"machine": "Core2Duo", "sede": 1}}`,
+		"bad-machine":   `{"spec": {"machine": "Cray1"}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	awaitDone(t, s, jb.ID)
+}

@@ -25,17 +25,19 @@ var (
 	mCaptures = obs.Default.Counter("specan.captures")
 )
 
-// Config describes the analyzer settings.
+// Config describes the analyzer settings. The json tags are part of
+// the savat.CampaignSpec wire format.
 type Config struct {
 	// RBW is the requested resolution bandwidth in Hz. The achieved RBW is
 	// ENBW·fs/segment and is reported on the trace; it is never better
 	// than the capture length allows.
-	RBW float64
-	// Window is the RBW filter shape; Hann by default.
-	Window dsp.Window
+	RBW float64 `json:"rbw"`
+	// Window is the RBW filter shape; Hann by default. Serialized by
+	// name ("hann").
+	Window dsp.Window `json:"window"`
 	// FloorPSD is the instrument sensitivity floor in W/Hz; trace values
 	// below it are reported at the floor (≈6×10⁻¹⁸ for the paper's MXA).
-	FloorPSD float64
+	FloorPSD float64 `json:"floor_psd"`
 }
 
 // DefaultConfig mirrors the paper's settings: 1 Hz RBW request, Hann
