@@ -15,7 +15,7 @@ FUZZ_TARGETS := \
 
 # Baseline snapshot cmd/benchguard compares against; re-record with
 # `make bench-json` after intentional performance changes.
-BENCH_BASELINE ?= BENCH_20260806.json
+BENCH_BASELINE ?= BENCH_20260807.json
 
 build:
 	$(GO) build ./...
@@ -48,12 +48,15 @@ lint:
 # Perf contract on the campaign hot path: the streaming measurement with
 # the observability registry disabled must stay within BUDGET of the
 # recorded baseline (NOISE is slack for run/machine variance — CI
-# runners are not the baseline machine).
+# runners are not the baseline machine), and the disabled
+# instrumentation sites themselves must report exactly 0 allocs/op.
 BENCH_GUARD_BUDGET ?= 0.01
 BENCH_GUARD_NOISE ?= 0.25
 bench-guard:
 	$(GO) test -run '^$$' -bench 'BenchmarkMeasureKernelScratch$$' -benchtime 20x . > benchguard.out || (cat benchguard.out; rm -f benchguard.out; exit 1)
+	$(GO) test -run '^$$' -bench 'BenchmarkDisabled' -benchtime 1000x ./internal/obs >> benchguard.out || (cat benchguard.out; rm -f benchguard.out; exit 1)
 	$(GO) run ./cmd/benchguard -baseline $(BENCH_BASELINE) -only 'MeasureKernelScratch$$' \
+		-zeroalloc 'BenchmarkDisabled' \
 		-budget $(BENCH_GUARD_BUDGET) -noise $(BENCH_GUARD_NOISE) < benchguard.out
 	@rm -f benchguard.out
 

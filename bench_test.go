@@ -134,9 +134,14 @@ func benchMeasureKernelScratch(b *testing.B, obsOn bool) {
 		b.Fatal(err)
 	}
 	m := savat.NewMeasurer(mc, cfg)
+	// One advancing rng across iterations: every measurement draws fresh
+	// seeds, so every iteration is a synthesis-cache MISS and the full
+	// synthesize-and-analyze path is what gets timed. (A fixed seed per
+	// iteration would hit the scratch's synthesis-product cache from the
+	// second iteration on — that path is BenchmarkMeasureKernelCached.)
+	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rng := rand.New(rand.NewSource(1))
 		if _, err := m.MeasureKernel(k, rng); err != nil {
 			b.Fatal(err)
 		}
@@ -150,6 +155,32 @@ func BenchmarkMeasureKernelScratch(b *testing.B) { benchMeasureKernelScratch(b, 
 // BenchmarkMeasureKernelScratchObsOn is the same path with metrics
 // recording, bounding what -metrics-addr costs a campaign.
 func BenchmarkMeasureKernelScratchObsOn(b *testing.B) { benchMeasureKernelScratch(b, true) }
+
+// BenchmarkMeasureKernelCached times the synthesis-cache HIT path: the
+// same per-stage seeds every iteration, so after the first call the
+// envelope and noise products come from the scratch's cache and only
+// the per-cell work (alternation lookup, coefficient combine, band
+// power) remains — the cost of a campaign cell whose row-mates already
+// synthesized, i.e. 10 of every 11 Figure 9 cells.
+func BenchmarkMeasureKernelCached(b *testing.B) {
+	mc := machine.Core2Duo()
+	cfg := savat.FastConfig()
+	k, err := savat.BuildKernel(mc, savat.ADD, savat.LDM, cfg.Frequency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := savat.NewMeasurer(mc, cfg)
+	seeds := savat.CampaignSeeds(1, savat.ADD, 0)
+	if _, err := m.MeasureKernelSeeds(k, seeds); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MeasureKernelSeeds(k, seeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // spectrumBench measures one pair and reports the Figure 7/8 observables:
 // peak shift from the intended 80 kHz and the peak-to-floor ratio.

@@ -17,6 +17,14 @@
 // Benchmarks missing from the baseline are reported and skipped; a run
 // in which -only matches nothing fails, so a renamed benchmark cannot
 // silently disarm the guard.
+//
+// -zeroalloc takes a second regexp of benchmarks that must report
+// exactly 0 allocs/op in the current run. Allocation counts are
+// deterministic, so no baseline or slack is involved; a matching
+// benchmark that reports no allocs/op metric at all fails too, so
+// dropping b.ReportAllocs() cannot disarm the assertion. This is how
+// the "disabled observability sites allocate nothing" contract is
+// enforced against harness artifacts as well as real regressions.
 package main
 
 import (
@@ -35,16 +43,17 @@ func main() {
 		baseline = flag.String("baseline", "", "benchjson snapshot to compare against (required)")
 		budget   = flag.Float64("budget", 0.01, "allowed fractional ns/op regression past the baseline")
 		noise    = flag.Float64("noise", 0.25, "extra fractional slack for run and machine variance")
-		only     = flag.String("only", "", "regexp restricting which benchmarks are guarded (default all)")
+		only      = flag.String("only", "", "regexp restricting which benchmarks are guarded (default all)")
+		zeroalloc = flag.String("zeroalloc", "", "regexp of benchmarks that must report 0 allocs/op")
 	)
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *baseline, *budget, *noise, *only); err != nil {
+	if err := run(os.Stdin, os.Stdout, *baseline, *budget, *noise, *only, *zeroalloc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out io.Writer, baseline string, budget, noise float64, only string) error {
+func run(in io.Reader, out io.Writer, baseline string, budget, noise float64, only, zeroalloc string) error {
 	if baseline == "" {
 		return fmt.Errorf("-baseline is required")
 	}
@@ -60,10 +69,15 @@ func run(in io.Reader, out io.Writer, baseline string, budget, noise float64, on
 	if err != nil {
 		return err
 	}
-	var keep *regexp.Regexp
+	var keep, mustZero *regexp.Regexp
 	if only != "" {
 		if keep, err = regexp.Compile(only); err != nil {
 			return fmt.Errorf("-only: %w", err)
+		}
+	}
+	if zeroalloc != "" {
+		if mustZero, err = regexp.Compile(zeroalloc); err != nil {
+			return fmt.Errorf("-zeroalloc: %w", err)
 		}
 	}
 
@@ -71,6 +85,20 @@ func run(in io.Reader, out io.Writer, baseline string, budget, noise float64, on
 	compared, failed := 0, 0
 	fmt.Fprintf(out, "benchguard: baseline %s (%s), limit = baseline × %.3f\n", baseline, base.Date, limitFactor)
 	for _, b := range cur.Benchmarks {
+		if mustZero != nil && mustZero.MatchString(b.Name) {
+			compared++
+			allocs, ok := b.Metrics["allocs/op"]
+			switch {
+			case !ok:
+				failed++
+				fmt.Fprintf(out, "  FAIL %-45s reports no allocs/op (missing b.ReportAllocs?)\n", b.Name)
+			case allocs != 0:
+				failed++
+				fmt.Fprintf(out, "  FAIL %-45s %12.0f allocs/op, want 0\n", b.Name, allocs)
+			default:
+				fmt.Fprintf(out, "  ok   %-45s %12.0f allocs/op\n", b.Name, allocs)
+			}
+		}
 		if keep != nil && !keep.MatchString(b.Name) {
 			continue
 		}

@@ -28,7 +28,7 @@ func writeBaseline(t *testing.T) string {
 func guard(t *testing.T, benchOut, only string, budget, noise float64) (string, error) {
 	t.Helper()
 	var out strings.Builder
-	err := run(strings.NewReader(benchOut), &out, writeBaseline(t), budget, noise, only)
+	err := run(strings.NewReader(benchOut), &out, writeBaseline(t), budget, noise, only, "")
 	return out.String(), err
 }
 
@@ -77,7 +77,39 @@ func TestOnlyFilterAndMissingBaseline(t *testing.T) {
 }
 
 func TestRequiresBaselineFlag(t *testing.T) {
-	if err := run(strings.NewReader(""), &strings.Builder{}, "", 0.01, 0, ""); err == nil {
+	if err := run(strings.NewReader(""), &strings.Builder{}, "", 0.01, 0, "", ""); err == nil {
 		t.Error("missing -baseline accepted")
+	}
+}
+
+func TestZeroAllocAssertion(t *testing.T) {
+	zero := func(benchOut string) (string, error) {
+		var out strings.Builder
+		err := run(strings.NewReader(benchOut), &out, writeBaseline(t), 0.01, 0,
+			"MeasureKernelScratch$", "Disabled")
+		return out.String(), err
+	}
+	pass := "BenchmarkMeasureKernelScratch 20 1000000 ns/op\n" +
+		"BenchmarkDisabledCounter 1000 3 ns/op 0 B/op 0 allocs/op\n"
+	if out, err := zero(pass); err != nil {
+		t.Fatalf("zero-alloc benchmark rejected: %v\n%s", err, out)
+	}
+
+	// A nonzero allocation count fails even though ns/op is fine.
+	leak := "BenchmarkMeasureKernelScratch 20 1000000 ns/op\n" +
+		"BenchmarkDisabledCounter 1 3527 ns/op 464 B/op 7 allocs/op\n"
+	out, err := zero(leak)
+	if err == nil {
+		t.Fatalf("7 allocs/op accepted on a zero-alloc site:\n%s", out)
+	}
+	if !strings.Contains(out, "want 0") {
+		t.Errorf("output:\n%s", out)
+	}
+
+	// Dropping b.ReportAllocs (no allocs/op metric) cannot disarm the guard.
+	silent := "BenchmarkMeasureKernelScratch 20 1000000 ns/op\n" +
+		"BenchmarkDisabledCounter 1000 3 ns/op\n"
+	if out, err := zero(silent); err == nil {
+		t.Fatalf("missing allocs/op metric accepted on a zero-alloc site:\n%s", out)
 	}
 }

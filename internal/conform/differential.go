@@ -196,6 +196,79 @@ func RunStreamingDifferential(specs []DiffSpec) (*Report, error) {
 	return r, nil
 }
 
+// RunCacheDifferential verifies that synthesis-product cache HITS are
+// bit-identical to the computations they replace. For every spec it
+// measures the campaign cell (A, C, rep 0) — C a deterministic second
+// column event, so (A, B) and (A, C) are row-mates sharing A's envelope
+// realization under CampaignSeeds — twice: cold, on a fresh Measurer
+// with a fresh cache, and warm, on a Measurer sharing a cache that a
+// prior (A, B) measurement already populated. The warm run serves both
+// the envelope products and the noise PSD from the cache, and the
+// report demands zero-ULP agreement on the SAVAT value, the band power,
+// and every spectrum bin.
+func RunCacheDifferential(specs []DiffSpec) (*Report, error) {
+	r := &Report{}
+	events := savat.ExtendedEvents()
+	for _, s := range specs {
+		c := events[(int(s.A)+int(s.B)+1)%len(events)]
+		kAB, err := savat.BuildKernel(s.Machine, s.A, s.B, s.Config.Frequency)
+		if err != nil {
+			return nil, fmt.Errorf("conform: %s: build kernel: %w", s.Name, err)
+		}
+		kAC, err := savat.BuildKernel(s.Machine, s.A, c, s.Config.Frequency)
+		if err != nil {
+			return nil, fmt.Errorf("conform: %s: build kernel: %w", s.Name, err)
+		}
+		seeds := savat.CampaignSeeds(s.Seed, s.A, 0)
+
+		cold, err := savat.NewMeasurer(s.Machine, s.Config).MeasureKernelSeeds(kAC, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("conform: %s: cold cell: %w", s.Name, err)
+		}
+		coldSAVAT, coldBand := cold.SAVAT, cold.BandPower
+		coldPSD := append([]float64(nil), cold.Trace.Spectrum.PSD...)
+
+		cache := savat.NewSynthCache(8)
+		if _, err := savat.NewMeasurer(s.Machine, s.Config, savat.WithSynthCache(cache)).
+			MeasureKernelSeeds(kAB, seeds); err != nil {
+			return nil, fmt.Errorf("conform: %s: cache-priming cell: %w", s.Name, err)
+		}
+		warm, err := savat.NewMeasurer(s.Machine, s.Config, savat.WithSynthCache(cache)).
+			MeasureKernelSeeds(kAC, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("conform: %s: warm cell: %w", s.Name, err)
+		}
+
+		name := "cache/" + s.Name
+		r.Add(Check{
+			Name: name + "/savat",
+			Pass: warm.SAVAT == coldSAVAT && warm.BandPower == coldBand,
+			Detail: fmt.Sprintf("warm %.17g zJ vs cold %.17g zJ (band %.17g vs %.17g W)",
+				warm.ZJ(), coldSAVAT*1e21, warm.BandPower, coldBand),
+		})
+		wp := warm.Trace.Spectrum.PSD
+		mismatch, firstBin := 0, -1
+		if len(wp) != len(coldPSD) {
+			mismatch, firstBin = len(wp)+len(coldPSD), 0
+		} else {
+			for i := range wp {
+				if wp[i] != coldPSD[i] {
+					if mismatch == 0 {
+						firstBin = i
+					}
+					mismatch++
+				}
+			}
+		}
+		detail := fmt.Sprintf("%d bins", len(wp))
+		if mismatch > 0 {
+			detail = fmt.Sprintf("%d of %d bins differ, first at %d", mismatch, len(wp), firstBin)
+		}
+		r.Add(Check{Name: name + "/psd", Pass: mismatch == 0, Detail: detail})
+	}
+	return r, nil
+}
+
 // ReferenceMatrix measures the full pairwise matrix for events through
 // the reference pipeline (savat.WithReference) — the readable specification —
 // with the same per-cell seeding as a campaign, so the result is
@@ -208,8 +281,8 @@ func ReferenceMatrix(mc machine.Config, cfg savat.Config, events []savat.Event, 
 			if err != nil {
 				return nil, fmt.Errorf("conform: %v/%v: %w", a, b, err)
 			}
-			rng := rand.New(rand.NewSource(savat.CellSeed(seed, a, b, 0)))
-			meas, err := savat.NewMeasurer(mc, cfg, savat.WithReference()).MeasureKernel(k, rng)
+			meas, err := savat.NewMeasurer(mc, cfg, savat.WithReference()).
+				MeasureKernelSeeds(k, savat.CampaignSeeds(seed, a, 0))
 			if err != nil {
 				return nil, fmt.Errorf("conform: %v/%v: %w", a, b, err)
 			}

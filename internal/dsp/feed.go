@@ -16,6 +16,11 @@ import (
 var (
 	mFFTSegment  = obs.Default.Histogram("dsp.fft.segment")
 	mFFTSegments = obs.Default.Counter("dsp.fft.segments")
+	// Batch metrics: how many pool-refused transforms each stage-outer
+	// batch sweep carried (occupancy 1 means no batching happened) and
+	// how many segments went through batch sweeps in total.
+	mFFTBatchOccupancy = obs.Default.Gauge("dsp.fft.batch_occupancy")
+	mFFTBatched        = obs.Default.Counter("dsp.fft.batched")
 )
 
 // maxFeedSlots bounds how many segment transforms a feed keeps in
@@ -37,26 +42,39 @@ type feedSlot struct {
 // slots are reduced strictly FIFO — so the floating-point accumulation
 // order is identical to the buffered Welch loops no matter how many
 // transforms overlap (including zero, when the pool has no capacity
-// and everything runs inline on the producer).
+// and every transform runs on the producer).
+//
+// Transforms the pool refuses are not run inline immediately; they are
+// parked as pending and executed together in one stage-outer batch
+// sweep (Plan.butterfliesBatch) when a result is actually needed — so
+// on a machine whose pool has no spare capacity the feed still gets the
+// cache locality of batched butterflies: each stage's twiddle table is
+// loaded once per batch instead of once per segment. Per-segment
+// results are bit-identical either way, and the FIFO reduction order
+// never changes.
 type slotRing struct {
 	slots    []feedSlot
 	head     int // oldest undrained slot
 	inFlight int
 	count    int // segments reduced so far
 	pool     *workpool.Pool
+	plan     *Plan
+	pending  []*feedSlot    // scattered slots awaiting a batch sweep
+	batch    [][]complex128 // reused batch argument storage
 }
 
-func (r *slotRing) init(segLen int, pool *workpool.Pool) {
+func (r *slotRing) init(segLen int, plan *Plan, pool *workpool.Pool) {
 	if pool == nil {
 		pool = workpool.Default
 	}
 	r.pool = pool
-	n := 1 + pool.Cap()
-	if n > maxFeedSlots {
-		n = maxFeedSlots
-	}
-	if len(r.slots) != n {
-		r.slots = make([]feedSlot, n)
+	r.plan = plan
+	// The ring always holds maxFeedSlots slots — not 1+pool.Cap() — so
+	// pool-refused transforms can accumulate into a batch even when the
+	// pool has no workers to spare (the common case on a loaded or
+	// single-core machine, which is exactly where batching pays).
+	if len(r.slots) != maxFeedSlots {
+		r.slots = make([]feedSlot, maxFeedSlots)
 	}
 	for i := range r.slots {
 		r.slots[i].fft = buf.Grow(r.slots[i].fft, segLen)
@@ -64,6 +82,8 @@ func (r *slotRing) init(segLen int, pool *workpool.Pool) {
 	r.head = 0
 	r.inFlight = 0
 	r.count = 0
+	r.pending = r.pending[:0]
+	r.batch = r.batch[:0]
 }
 
 // next returns the slot the caller should scatter the next segment
@@ -76,7 +96,7 @@ func (r *slotRing) next(reduce func(f []complex128, first bool)) *feedSlot {
 }
 
 // dispatch hands a scattered slot to the pool for its butterflies,
-// falling back to running them inline when no worker slot is free.
+// parking it for the next batch sweep when no worker slot is free.
 func (r *slotRing) dispatch(sl *feedSlot, plan *Plan) {
 	sl.wg.Add(1)
 	run := func() {
@@ -87,13 +107,38 @@ func (r *slotRing) dispatch(sl *feedSlot, plan *Plan) {
 	}
 	mFFTSegments.Inc()
 	if !r.pool.Go(run) {
-		run()
+		r.pending = append(r.pending, sl)
 	}
 	r.inFlight++
 }
 
+// flush executes every pending transform in one stage-outer batch sweep
+// and releases their WaitGroups.
+func (r *slotRing) flush() {
+	if len(r.pending) == 0 {
+		return
+	}
+	r.batch = r.batch[:0]
+	for _, sl := range r.pending {
+		r.batch = append(r.batch, sl.fft)
+	}
+	sp := mFFTSegment.Start()
+	r.plan.butterfliesBatch(r.batch)
+	sp.End()
+	mFFTBatchOccupancy.Set(int64(len(r.pending)))
+	mFFTBatched.Add(uint64(len(r.pending)))
+	for _, sl := range r.pending {
+		sl.wg.Done()
+	}
+	r.pending = r.pending[:0]
+}
+
 // drainOne waits for the oldest in-flight transform and reduces it.
+// Pending transforms are flushed first: the oldest slot may itself be
+// pending, and once a result is needed there is nothing to gain from
+// waiting for more batch occupancy.
 func (r *slotRing) drainOne(reduce func(f []complex128, first bool)) {
+	r.flush()
 	sl := &r.slots[r.head]
 	sl.wg.Wait()
 	reduce(sl.fft, r.count == 0)
@@ -149,7 +194,7 @@ func (f *PairFeed) Init(s *WelchScratch, pa, pb []float64, cross []complex128, f
 			f.s.accumulatePair(f.pa, f.pb, f.cross, ft, first)
 		}
 	}
-	f.ring.init(s.segLen, pool)
+	f.ring.init(s.segLen, s.plan, pool)
 	return nil
 }
 
@@ -214,7 +259,7 @@ func (f *Feed) Init(s *WelchScratch, dst []float64, fs float64, pool *workpool.P
 			f.s.accumulate(f.dst, ft, first)
 		}
 	}
-	f.ring.init(s.segLen, pool)
+	f.ring.init(s.segLen, s.plan, pool)
 	return nil
 }
 

@@ -114,58 +114,113 @@ func (p *Plan) forward(x []complex128) {
 // per four outputs instead of four, and half the memory traffic of
 // separate radix-2 stages.
 func (p *Plan) butterflies(x []complex128) {
-	n := p.n
 	h := 1
-	if bits.TrailingZeros(uint(n))&1 == 1 {
-		// Odd stage count: one plain radix-2 stage (unit twiddle) first.
-		for i := 0; i+1 < n; i += 2 {
-			a, b := x[i], x[i+1]
-			x[i], x[i+1] = a+b, a-b
+	if bits.TrailingZeros(uint(p.n))&1 == 1 {
+		p.leadRadix2(x)
+		h = 2
+	}
+	for si := 0; 4*h <= p.n; h *= 4 {
+		p.sweepStage(x, p.stages[si], h)
+		si++
+	}
+}
+
+// butterfliesBatch runs the butterfly passes of several independent
+// transforms stage by stage: every array's leading radix-2 pass, then
+// every array's first fused pass, and so on. Per array the operations —
+// and therefore the results — are exactly those of butterflies; the
+// point of the stage-outer order is that one stage's twiddle table is
+// read repeatedly while hot in cache instead of being re-fetched per
+// transform. Arrays must all have the plan's length and already be in
+// bit-reversed order.
+func (p *Plan) butterfliesBatch(xs [][]complex128) {
+	h := 1
+	if bits.TrailingZeros(uint(p.n))&1 == 1 {
+		for _, x := range xs {
+			p.leadRadix2(x)
 		}
 		h = 2
 	}
-	// Stage half=h uses exp(−2πi·j/(2h)); stage half=2h uses
-	// exp(−2πi·j/(4h)), and its upper-half twiddles are −i times its
-	// lower-half ones. Both are read sequentially from the stage table.
-	for si := 0; 4*h <= n; h *= 4 {
+	for si := 0; 4*h <= p.n; h *= 4 {
 		st := p.stages[si]
 		si++
-		for start := 0; start < n; start += 4 * h {
-			q0 := x[start : start+h : start+h]
-			q1 := x[start+h : start+2*h : start+2*h]
-			q2 := x[start+2*h : start+3*h : start+3*h]
-			q3 := x[start+3*h : start+4*h : start+4*h]
-			// j = 0: unit twiddles, so the butterfly needs no multiplies.
-			{
-				a0, a1, a2, a3 := q0[0], q1[0], q2[0], q3[0]
-				t0, t1 := a0+a1, a0-a1
-				t2, t3 := a2+a3, a2-a3
-				u3 := complex(imag(t3), -real(t3)) // t3·(−i)
-				q0[0] = t0 + t2
-				q2[0] = t0 - t2
-				q1[0] = t1 + u3
-				q3[0] = t1 - u3
-			}
-			ti := 0
-			for j := 1; j < h; j++ {
-				wA := st[ti]
-				wB := st[ti+1]
-				ti += 2
-				a0 := q0[j]
-				a1 := q1[j] * wA
-				a2 := q2[j]
-				a3 := q3[j] * wA
-				t0, t1 := a0+a1, a0-a1
-				t2, t3 := a2+a3, a2-a3
-				u2 := t2 * wB
-				u3 := t3 * complex(imag(wB), -real(wB)) // t3·(−i·wB)
-				q0[j] = t0 + u2
-				q2[j] = t0 - u2
-				q1[j] = t1 + u3
-				q3[j] = t1 - u3
+		for _, x := range xs {
+			p.sweepStage(x, st, h)
+		}
+	}
+}
+
+// leadRadix2 is the plain radix-2 stage (unit twiddle) that leads the
+// passes when the stage count is odd.
+func (p *Plan) leadRadix2(x []complex128) {
+	for i := 0; i+1 < p.n; i += 2 {
+		a, b := x[i], x[i+1]
+		x[i], x[i+1] = a+b, a-b
+	}
+}
+
+// sweepStage performs one fused radix-2² pass at half-size h. Stage
+// half=h uses exp(−2πi·j/(2h)); stage half=2h uses exp(−2πi·j/(4h)),
+// and its upper-half twiddles are −i times its lower-half ones. Both
+// are read sequentially from the stage table st.
+func (p *Plan) sweepStage(x []complex128, st []complex128, h int) {
+	n := p.n
+	for start := 0; start < n; start += 4 * h {
+		q0 := x[start : start+h : start+h]
+		q1 := x[start+h : start+2*h : start+2*h]
+		q2 := x[start+2*h : start+3*h : start+3*h]
+		q3 := x[start+3*h : start+4*h : start+4*h]
+		// j = 0: unit twiddles, so the butterfly needs no multiplies.
+		{
+			a0, a1, a2, a3 := q0[0], q1[0], q2[0], q3[0]
+			t0, t1 := a0+a1, a0-a1
+			t2, t3 := a2+a3, a2-a3
+			u3 := complex(imag(t3), -real(t3)) // t3·(−i)
+			q0[0] = t0 + t2
+			q2[0] = t0 - t2
+			q1[0] = t1 + u3
+			q3[0] = t1 - u3
+		}
+		ti := 0
+		for j := 1; j < h; j++ {
+			wA := st[ti]
+			wB := st[ti+1]
+			ti += 2
+			a0 := q0[j]
+			a1 := q1[j] * wA
+			a2 := q2[j]
+			a3 := q3[j] * wA
+			t0, t1 := a0+a1, a0-a1
+			t2, t3 := a2+a3, a2-a3
+			u2 := t2 * wB
+			u3 := t3 * complex(imag(wB), -real(wB)) // t3·(−i·wB)
+			q0[j] = t0 + u2
+			q2[j] = t0 - u2
+			q1[j] = t1 + u3
+			q3[j] = t1 - u3
+		}
+	}
+}
+
+// ForwardBatch computes the in-place forward DFT of every array in xs
+// through one stage-outer sweep (see butterfliesBatch). Each result is
+// bit-identical to Forward on that array alone; every array must have
+// the plan's length.
+func (p *Plan) ForwardBatch(xs [][]complex128) error {
+	for _, x := range xs {
+		if len(x) != p.n {
+			return fmt.Errorf("dsp: plan length %d, input length %d", p.n, len(x))
+		}
+	}
+	for _, x := range xs {
+		for i, pi := range p.perm {
+			if j := int(pi); j > i {
+				x[i], x[j] = x[j], x[i]
 			}
 		}
 	}
+	p.butterfliesBatch(xs)
+	return nil
 }
 
 var planCache sync.Map // int -> *Plan

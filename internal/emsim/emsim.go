@@ -179,6 +179,31 @@ type Alternation struct {
 // Period returns the nominal alternation period in seconds.
 func (a Alternation) Period() float64 { return a.HalfSeconds[0] + a.HalfSeconds[1] }
 
+// Duty returns the fraction of the period spent in the A half.
+func (a Alternation) Duty() float64 { return a.HalfSeconds[0] / a.Period() }
+
+// CanonicalTimeline is the 50/50 alternation timeline at the nominal
+// frequency f0: half a period in each phase, no activity rates. Every
+// pair measured at the same f0 shares this timeline, which is what lets
+// a campaign synthesize one envelope realization per matrix row (the
+// synthesis consumes only HalfSeconds, the sample grid, and the jitter
+// model — see EnvelopeStream) and carry each pair's true duty cycle as
+// the scalar DutyAmplitudeFactor on its phase amplitudes instead.
+func CanonicalTimeline(f0 float64) Alternation {
+	half := 0.5 / f0
+	return Alternation{HalfSeconds: [2]float64{half, half}}
+}
+
+// DutyAmplitudeFactor returns the amplitude of the alternation
+// fundamental of a duty-d square wave relative to the 50/50 wave:
+// sin(π·d) (the Fourier coefficient of a duty-d rectangular envelope at
+// its fundamental is e^{−iπd}·sin(πd)/π, and the global phase cancels
+// in the quadratic band-power combine). Folding this factor into every
+// group's phase amplitudes makes a measurement over the canonical 50/50
+// timeline carry the pair's true duty cycle exactly at the measured
+// fundamental, which is where SAVAT's band power lives.
+func DutyAmplitudeFactor(d float64) float64 { return math.Sin(math.Pi * d) }
+
 // Validate reports structural problems.
 func (a Alternation) Validate() error {
 	if a.HalfSeconds[0] <= 0 || a.HalfSeconds[1] <= 0 {

@@ -351,7 +351,7 @@ func (r *run) cell(ctx context.Context, idx int, state any) error {
 				fl.finish(key, c, v, err)
 			})
 		}
-		v, err := c.wait(ctx)
+		v, err := c.Wait(ctx)
 		if err == nil {
 			mCellsDeduped.Inc()
 			r.record(row, col, rep, v, ProgressEvent{Row: row, Col: col, Rep: rep, Deduped: true})

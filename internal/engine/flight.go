@@ -5,6 +5,71 @@ import (
 	"sync"
 )
 
+// Group is the exactly-once in-flight deduplication pattern, generic
+// over the computed value: callers racing on one key elect a leader,
+// the leader computes, and every concurrent waiter receives the
+// leader's result instead of recomputing it. It is the mechanism
+// behind Flight (per-cell results) and behind savat's synthesis-product
+// cache (per-row envelope spectra), which share the protocol but not
+// the value type.
+//
+// Correctness rests on the caller's key contract: two computations may
+// share a key only when their results are interchangeable by
+// construction. A Group is safe for concurrent use; the zero value is
+// ready.
+type Group[T any] struct {
+	mu    sync.Mutex
+	calls map[string]*Call[T]
+}
+
+// Call is one in-progress computation. done is closed exactly once,
+// after val/err are set.
+type Call[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Lead registers the caller as the computer of key if no computation is
+// in progress, returning (call, true). Otherwise it returns the
+// existing in-progress call and false; the caller should Wait on it.
+func (g *Group[T]) Lead(key string) (*Call[T], bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	if g.calls == nil {
+		g.calls = make(map[string]*Call[T])
+	}
+	c := &Call[T]{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// Finish publishes the leader's result to every waiter and retires the
+// key. Retiring before closing done means a failed computation does not
+// poison the key: the next camper becomes a fresh leader and retries,
+// while current waiters observe the error and re-enter Lead themselves.
+func (g *Group[T]) Finish(key string, c *Call[T], v T, err error) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.val, c.err = v, err
+	close(c.done)
+}
+
+// Wait blocks until the call completes or ctx is cancelled.
+func (c *Call[T]) Wait(ctx context.Context) (T, error) {
+	select {
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	case <-c.done:
+		return c.val, c.err
+	}
+}
+
 // Flight deduplicates identical cells while they are being computed.
 // The result cache already collapses identical cells across time — a
 // cell computed once is never computed again — but two campaigns
@@ -21,56 +86,23 @@ import (
 // matrix. A Flight is safe for concurrent use; the zero value is not —
 // use NewFlight.
 type Flight struct {
-	mu    sync.Mutex
-	calls map[string]*flightCall
+	g Group[float64]
 }
 
-// flightCall is one in-progress computation. done is closed exactly
-// once, after val/err are set.
-type flightCall struct {
-	done chan struct{}
-	val  float64
-	err  error
-}
+// flightCall is one in-progress cell computation (see Call).
+type flightCall = Call[float64]
 
 // NewFlight returns an empty in-flight deduplication table.
 func NewFlight() *Flight {
-	return &Flight{calls: make(map[string]*flightCall)}
+	return &Flight{}
 }
 
-// lead registers the caller as the computer of key if no computation is
-// in progress, returning (call, true). Otherwise it returns the
-// existing in-progress call and false; the caller should wait on
-// call.done.
+// lead registers the caller as the computer of key (see Group.Lead).
 func (f *Flight) lead(key string) (*flightCall, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if c, ok := f.calls[key]; ok {
-		return c, false
-	}
-	c := &flightCall{done: make(chan struct{})}
-	f.calls[key] = c
-	return c, true
+	return f.g.Lead(key)
 }
 
-// finish publishes the leader's result to every waiter and retires the
-// key. Retiring before closing done means a failed computation does not
-// poison the key: the next camper becomes a fresh leader and retries,
-// while current waiters observe the error and re-enter lead themselves.
+// finish publishes the leader's result (see Group.Finish).
 func (f *Flight) finish(key string, c *flightCall, v float64, err error) {
-	f.mu.Lock()
-	delete(f.calls, key)
-	f.mu.Unlock()
-	c.val, c.err = v, err
-	close(c.done)
-}
-
-// wait blocks until the call completes or ctx is cancelled.
-func (c *flightCall) wait(ctx context.Context) (float64, error) {
-	select {
-	case <-ctx.Done():
-		return 0, ctx.Err()
-	case <-c.done:
-		return c.val, c.err
-	}
+	f.g.Finish(key, c, v, err)
 }

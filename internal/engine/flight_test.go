@@ -94,7 +94,7 @@ func TestFlightLeaderFailureDoesNotPoison(t *testing.T) {
 	}
 
 	fl.finish("k", c1, 0, errors.New("boom"))
-	if _, err := c2.wait(context.Background()); err == nil {
+	if _, err := c2.Wait(context.Background()); err == nil {
 		t.Fatal("waiter should see the leader's failure")
 	}
 	// The key retired with the failure, so the waiter can retry as leader.
@@ -103,7 +103,7 @@ func TestFlightLeaderFailureDoesNotPoison(t *testing.T) {
 		t.Fatal("key should be free after a failed leader")
 	}
 	fl.finish("k", c3, 42, nil)
-	if v, err := c3.wait(context.Background()); err != nil || v != 42 {
+	if v, err := c3.Wait(context.Background()); err != nil || v != 42 {
 		t.Fatalf("got (%v, %v), want (42, nil)", v, err)
 	}
 }
@@ -121,7 +121,7 @@ func TestFlightWaitHonorsContext(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := c.wait(ctx); !errors.Is(err, context.Canceled) {
+	if _, err := c.Wait(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }

@@ -257,6 +257,9 @@ func TestWriteSummary(t *testing.T) {
 	r := NewRegistry()
 	r.SetEnabled(true)
 	r.Counter("engine.cells.computed").Add(12)
+	r.Counter("savat.synthcache.hits").Add(110)
+	r.Counter("savat.synthcache.misses").Add(11)
+	r.Counter("idle.cache.hits") // zero traffic: no hitrate line
 	h := r.Histogram("savat.measure")
 	for i := 0; i < 4; i++ {
 		h.Observe(10 * time.Millisecond)
@@ -267,10 +270,14 @@ func TestWriteSummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"savat.measure", "engine.cells.computed", "p99"} {
+	for _, want := range []string{"savat.measure", "engine.cells.computed", "p99",
+		"savat.synthcache.hitrate", "90.9%"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q:\n%s", want, out)
 		}
+	}
+	if strings.Contains(out, "idle.cache.hitrate") {
+		t.Errorf("summary derives a hit rate for a traffic-less cache:\n%s", out)
 	}
 	if strings.Contains(out, "empty.stage") {
 		t.Errorf("summary includes empty histogram:\n%s", out)

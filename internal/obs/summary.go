@@ -3,13 +3,17 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
 // WriteSummary renders the snapshot as the end-of-run summary table:
 // histograms first (stage timings are what the table is for), then
 // counters and gauges, skipping empty metrics so a short run prints a
-// short table. It returns the first write error.
+// short table. Every `X.hits`/`X.misses` counter pair with traffic
+// additionally gets a derived `X.hitrate` percentage line — how the
+// synthesis-product and alternation cache effectiveness shows up after
+// a campaign. It returns the first write error.
 func WriteSummary(w io.Writer, s Snapshot) error {
 	if _, err := fmt.Fprintf(w, "── observability summary ──\n"); err != nil {
 		return err
@@ -44,6 +48,21 @@ func WriteSummary(w io.Writer, s Snapshot) error {
 		}
 		wroteAny = true
 		if _, err := fmt.Fprintf(w, "%-28s %10d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Counters {
+		prefix, ok := strings.CutSuffix(c.Name, ".hits")
+		if !ok {
+			continue
+		}
+		misses, _ := s.Counter(prefix + ".misses")
+		if c.Value+misses == 0 {
+			continue
+		}
+		wroteAny = true
+		rate := 100 * float64(c.Value) / float64(c.Value+misses)
+		if _, err := fmt.Fprintf(w, "%-28s %9.1f%%\n", prefix+".hitrate", rate); err != nil {
 			return err
 		}
 	}

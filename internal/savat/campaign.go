@@ -3,7 +3,6 @@ package savat
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +29,14 @@ type CampaignOptions struct {
 	// (nil = the process-default pool, shared with the engine's own
 	// workers so campaigns never oversubscribe the machine).
 	AnalyzerPool *workpool.Pool
+	// SynthCache, when non-nil, is the shared synthesis-product cache
+	// the campaign workers read envelope and noise spectral products
+	// through; sharing one across campaigns (e.g. a distance sweep over
+	// one seed) extends the reuse across runs. Nil uses a fresh cache
+	// sized to the campaign's repetition working set. Cache hits are
+	// bit-identical to the computation they replace, so cell values
+	// never depend on this option.
+	SynthCache *SynthCache
 
 	// Monitor, when non-nil, receives one engine.ProgressEvent per
 	// finished (pair, repetition) cell — checkpoint-restored and
@@ -114,6 +121,15 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 	}
 	n := len(events)
 
+	// The campaign's shared synthesis-product cache. The engine
+	// enumerates repetitions innermost, so the live working set is one
+	// envelope-product entry plus one noise entry per repetition; the
+	// default capacity covers it with headroom for scheduling skew.
+	cache := opts.SynthCache
+	if cache == nil {
+		cache = NewSynthCache(2*opts.Repeats + 2)
+	}
+
 	// One kernel per pair, built lazily on first need and shared across
 	// repetitions and retries.
 	kernels := make([]*Kernel, n*n)
@@ -135,19 +151,21 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 		},
 		// Each engine worker owns one Measurer (and through it one
 		// MeasureScratch), so steady-state cells reuse sample buffers, FFT
-		// plans, and per-pair alternation results without locking. The
-		// scratch never influences values: cells remain exactly equal to
-		// Measurer.MeasurePair for the same seed.
+		// plans, and per-pair alternation results without locking, while
+		// all workers share the campaign synthesis-product cache: a
+		// matrix row's envelope products and a repetition's noise PSD are
+		// computed once and reused by every row- and repetition-mate.
+		// Neither scratch nor cache ever influences values: cells remain
+		// exactly equal to Measurer.MeasurePair for the same seed.
 		NewWorkerState: func() any {
-			return NewMeasurer(mc, cfg, WithPool(opts.AnalyzerPool))
+			return NewMeasurer(mc, cfg, WithPool(opts.AnalyzerPool), WithSynthCache(cache))
 		},
 		ComputeState: func(_ context.Context, state any, i, j, r int) (float64, error) {
 			k, err := kernelFor(i, j)
 			if err != nil {
 				return 0, fmt.Errorf("savat: cell %v/%v: %w", events[i], events[j], err)
 			}
-			rng := rand.New(rand.NewSource(cellSeed(opts.Seed, int(events[i]), int(events[j]), r)))
-			m, err := state.(*Measurer).MeasureKernel(k, rng)
+			m, err := state.(*Measurer).MeasureKernelSeeds(k, CampaignSeeds(opts.Seed, events[i], r))
 			if err != nil {
 				return 0, fmt.Errorf("savat: cell %v/%v rep %d: %w", events[i], events[j], r, err)
 			}
@@ -193,7 +211,7 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 // checkpoint files to exactly one campaign.
 func campaignFingerprint(mc machine.Config, cfg Config, events []Event, seed int64, repeats int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "savat-campaign/v1|machine=%+v|measure=%+v|seed=%d|repeats=%d|events=",
+	fmt.Fprintf(&b, "savat-campaign/v2|machine=%+v|measure=%+v|seed=%d|repeats=%d|events=",
 		mc, cfg, seed, repeats)
 	for _, e := range events {
 		b.WriteString(e.String())
@@ -205,26 +223,10 @@ func campaignFingerprint(mc machine.Config, cfg Config, events []Event, seed int
 // cellKeyMaterial identifies one cell's result for the engine cache:
 // the full machine and measurement configurations, the event pair (by
 // identity, so matrix position and campaign composition don't matter),
-// the base seed, and the repetition index.
+// the base seed, and the repetition index. v2: cells are seeded per
+// stage through CampaignSeeds (canonical-timeline synthesis model), so
+// v1 checkpoint and cache entries no longer describe the same values.
 func cellKeyMaterial(mc machine.Config, cfg Config, a, b Event, seed int64, rep int) string {
-	return fmt.Sprintf("savat-cell/v1|machine=%+v|measure=%+v|pair=%v/%v|seed=%d|rep=%d",
+	return fmt.Sprintf("savat-cell/v2|machine=%+v|measure=%+v|pair=%v/%v|seed=%d|rep=%d",
 		mc, cfg, a, b, seed, rep)
-}
-
-// cellSeed derives a deterministic seed for one (pair, repetition) from
-// the event identities, making campaign cells independent of matrix
-// position and identical to MeasurePair's.
-func cellSeed(base int64, a, b, rep int) int64 {
-	h := uint64(base)*0x9E3779B97F4A7C15 + uint64(a)*0xBF58476D1CE4E5B9 +
-		uint64(b)*0x94D049BB133111EB + uint64(rep)*0xD6E8FEB86659FD93
-	h ^= h >> 31
-	return int64(h&0x7FFFFFFFFFFFFFFF) + 1
-}
-
-// CellSeed returns the deterministic rng seed a campaign uses for one
-// (pair, repetition) cell. Exported so verification harnesses (e.g.
-// internal/conform) can reproduce individual campaign cells through
-// alternative pipelines and compare them value-for-value.
-func CellSeed(base int64, a, b Event, rep int) int64 {
-	return cellSeed(base, int(a), int(b), rep)
 }

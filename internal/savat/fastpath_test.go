@@ -36,7 +36,7 @@ func TestFastPathMatchesReferenceFigure9(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v/%v: %v", a, b, err)
 			}
-			seed := cellSeed(1, int(a), int(b), 0)
+			seed := mixSeed(1, uint64(a), uint64(b))
 			fast, err := NewMeasurer(mc, cfg, WithScratch(scratch)).MeasureKernel(k, rand.New(rand.NewSource(seed)))
 			if err != nil {
 				t.Fatalf("%v/%v fast: %v", a, b, err)
@@ -102,7 +102,7 @@ func TestFastPathMatchesReferenceRandomized(t *testing.T) {
 			t.Fatalf("%s: %v", v.name, err)
 		}
 		for rep := 0; rep < 2; rep++ {
-			seed := cellSeed(int64(100+vi), int(a), int(b), rep)
+			seed := mixSeed(uint64(100+vi), uint64(a), uint64(b), uint64(rep))
 			fast, err := NewMeasurer(v.mc, cfg, WithScratch(scratch)).MeasureKernel(k, rand.New(rand.NewSource(seed)))
 			if err != nil {
 				t.Fatalf("%s fast: %v", v.name, err)

@@ -113,17 +113,16 @@ type Measurement struct {
 func (m *Measurement) ZJ() float64 { return m.SAVAT * 1e21 }
 
 // measureKernelReference is the direct-rendering measurement pipeline:
-// every coherence group synthesized in the time domain and analyzed
-// with its own Welch pass. It consumes the same rng draws and computes
-// the same quantity as the fast path — equivalence tests hold the two
-// within 1e-9 relative — and remains the readable specification of the
-// pipeline as well as the ablations' entry point.
-func measureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, mo *measureObs) (*Measurement, error) {
+// every coherence group rendered in the time domain from the canonical
+// 50/50 envelope pair with its duty-scaled phase amplitudes, and every
+// stream analyzed with its own Welch pass. It consumes the same
+// per-stage seeds and computes the same quantity as the fast path —
+// equivalence tests hold the two within 1e-9 relative — and remains
+// the readable specification of the pipeline as well as the ablations'
+// entry point.
+func measureKernelReference(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, mo *measureObs) (*Measurement, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
-	}
-	if rng == nil {
-		return nil, fmt.Errorf("savat: nil rng")
 	}
 
 	// 1. Cycle-accurate steady-state activity of the alternation loop.
@@ -134,15 +133,21 @@ func measureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.
 		return nil, err
 	}
 
-	// 2. Radiate: per-component coupling at the measurement distance with
-	// campaign-specific spatial phases, synthesized over the capture.
+	// 2. Radiate: per-component coupling at the measurement distance
+	// with repetition-specific spatial phases (the Cal seed — one
+	// antenna placement per campaign repetition). The pair's achieved
+	// alternation sets the phase amplitudes (droop compensation
+	// included) and its duty cycle d scales them by sin(πd), restoring
+	// the duty-d fundamental on the canonical 50/50 timeline — see
+	// MeasureScratch.prepare, whose coefficient computation this
+	// mirrors.
 	radSp := mo.radiate.Start()
-	rad, err := emsim.NewRadiator(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, rng)
+	rad, err := emsim.NewRadiator(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, rand.New(rand.NewSource(seeds.Cal)))
 	radSp.End()
 	if err != nil {
 		return nil, err
 	}
-	spec := emsim.Alternation{
+	actual := emsim.Alternation{
 		Rates:       [2]activity.Vector{alt.PhaseStats[0].MeanRates, alt.PhaseStats[1].MeanRates},
 		HalfSeconds: alt.HalfSeconds,
 	}
@@ -151,19 +156,49 @@ func measureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.
 	if jit.AmpNoiseStd == 0 {
 		jit.AmpNoiseStd = mc.AmplitudeNoiseStd
 	}
-	synSp := mo.synthesize.Start()
-	groups, err := rad.SynthesizeGroups(spec, cfg.SampleRate, n, jit, rng)
+	amps, err := rad.PhaseAmplitudes(actual, cfg.SampleRate)
 	if err != nil {
 		return nil, err
 	}
+	duty := complex(emsim.DutyAmplitudeFactor(actual.Duty()), 0)
+	active := 0
+	for g := 0; g < emsim.NumGroups; g++ {
+		if amps[g][0] != 0 || amps[g][1] != 0 {
+			active++
+		}
+	}
 
-	// 3. Environment noise, as one more incoherent contribution.
+	// 3. Synthesis: the canonical envelope pair (Env seed), rendered
+	// into one time-domain stream per active group, then the
+	// environment noise (Noise seed) as one more incoherent
+	// contribution. A fully silent kernel renders no envelopes at all.
+	synSp := mo.synthesize.Start()
+	streams := make([][]complex128, 0, active+1)
+	if active > 0 {
+		envs, err := emsim.SynthesizeEnvelopes(emsim.CanonicalTimeline(cfg.Frequency),
+			cfg.SampleRate, n, jit, rand.New(rand.NewSource(seeds.Env)), nil)
+		if err != nil {
+			return nil, err
+		}
+		for g := 0; g < emsim.NumGroups; g++ {
+			if amps[g][0] == 0 && amps[g][1] == 0 {
+				continue
+			}
+			a0, b0 := amps[g][0]*duty, amps[g][1]*duty
+			stream := make([]complex128, n)
+			for i := range stream {
+				stream[i] = a0*complex(envs.A[i], 0) + b0*complex(envs.B[i], 0)
+			}
+			streams = append(streams, stream)
+		}
+	}
 	noiseStream := make([]complex128, n)
-	err = cfg.Environment.Apply(noiseStream, cfg.SampleRate, rng)
+	err = cfg.Environment.Apply(noiseStream, cfg.SampleRate, rand.New(rand.NewSource(seeds.Noise)))
 	synSp.End()
 	if err != nil {
 		return nil, err
 	}
+	streams = append(streams, noiseStream)
 
 	// 4. Spectrum analysis and band power around the intended frequency.
 	// Group signals and noise are mutually incoherent: powers add.
@@ -171,7 +206,6 @@ func measureKernelReference(mc machine.Config, k *Kernel, cfg Config, rng *rand.
 	if err != nil {
 		return nil, err
 	}
-	streams := append(groups[:], noiseStream)
 	tr, err := an.AnalyzeIncoherent(streams, cfg.SampleRate)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package savat
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -38,11 +39,12 @@ const (
 //
 // Options:
 //
-//	WithScratch(s)   reuse the caller's MeasureScratch across Measurers
-//	WithBuffered()   capture-at-once path (bit-identical, O(capture) memory)
-//	WithReference()  direct-rendering reference pipeline
-//	WithPool(p)      explicit analyzer worker pool
-//	WithObs(r)       stage metrics on a private obs.Registry
+//	WithScratch(s)     reuse the caller's MeasureScratch across Measurers
+//	WithBuffered()     capture-at-once path (bit-identical, O(capture) memory)
+//	WithReference()    direct-rendering reference pipeline
+//	WithPool(p)        explicit analyzer worker pool
+//	WithSynthCache(c)  shared synthesis-product cache (campaign row reuse)
+//	WithObs(r)         stage metrics on a private obs.Registry
 //
 // A Measurer reuses one scratch across its measurements, so the
 // returned Measurement's Trace aliases that scratch and is valid only
@@ -56,6 +58,13 @@ type Measurer struct {
 	scratch *MeasureScratch
 	pool    *workpool.Pool
 	mobs    *measureObs
+	cache   *SynthCache
+
+	// Synthesis-product cache key prefixes: every key parameter except
+	// the stage seed is fixed by (mc, cfg), so the prefixes are built
+	// once and per-measurement keys cost one small append each.
+	envKeyPrefix, noiseKeyPrefix string
+	keyBuf                       []byte
 }
 
 // MeasureOption configures a Measurer at construction.
@@ -94,10 +103,24 @@ func WithPool(p *workpool.Pool) MeasureOption {
 	return func(m *Measurer) { m.pool = p }
 }
 
+// WithSynthCache makes the Measurer read envelope and noise spectral
+// products through c — a concurrency-safe cache from NewSynthCache,
+// typically shared by many Measurers — instead of the scratch's private
+// single-owner cache. Campaign workers share one cache this way so an
+// entire matrix row reuses its row event's envelope products (see
+// CampaignSeeds). A nil cache is equivalent to omitting the option.
+// The cache never influences values: hits are bit-identical to the
+// computation they replace.
+func WithSynthCache(c *SynthCache) MeasureOption {
+	return func(m *Measurer) { m.cache = c }
+}
+
 // WithObs records the Measurer's stage metrics (savat.measure,
 // savat.stage.*, savat.altcache.*) on r instead of the process
-// registry obs.Default. A nil registry is equivalent to omitting the
-// option.
+// registry obs.Default. The synthesis-product cache counters
+// (savat.synthcache.*) always stay on the process registry — the cache
+// is shared across Measurers, so per-Measurer attribution would be
+// arbitrary. A nil registry is equivalent to omitting the option.
 func WithObs(r *obs.Registry) MeasureOption {
 	return func(m *Measurer) {
 		if r != nil {
@@ -120,6 +143,9 @@ func NewMeasurer(mc machine.Config, cfg Config, opts ...MeasureOption) *Measurer
 	if m.scratch != nil && m.pool != nil {
 		m.scratch.SetAnalyzerPool(m.pool)
 	}
+	if m.scratch != nil && m.cache != nil {
+		m.scratch.cache = m.cache
+	}
 	return m
 }
 
@@ -136,18 +162,61 @@ func (m *Measurer) Measure(a, b Event, rng *rand.Rand) (*Measurement, error) {
 }
 
 // MeasureKernel measures a prebuilt kernel, avoiding re-calibration
-// across repetitions. The selected pipeline implementation runs inside
-// the savat.measure span.
+// across repetitions. The per-stage seeds are drawn from rng, so a
+// fixed rng state reproduces the measurement exactly — and every
+// pipeline implementation derives the identical seeds from the
+// identical rng, which is what the conformance differentials rely on.
 func (m *Measurer) MeasureKernel(k *Kernel, rng *rand.Rand) (*Measurement, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("savat: nil rng")
+	}
+	return m.MeasureKernelSeeds(k, seedsFromRNG(rng))
+}
+
+// productKeys derives the synthesis-product cache keys for one
+// measurement: the (mc, cfg)-fixed prefix — built once per Measurer —
+// plus the stage seed. Two measurements share a key exactly when their
+// products are bit-identical by construction: same seed, same
+// synthesis parameters (nominal frequency, sample rate, capture
+// length, resolved jitter, noise environment) and same segmentation
+// parameters (RBW request, window). The instrument floor and the group
+// coefficients are excluded — products are computed upstream of both.
+func (m *Measurer) productKeys(seeds SynthSeeds) (envKey, noiseKey string) {
+	if m.envKeyPrefix == "" {
+		jit := m.cfg.Jitter
+		if jit.AmpNoiseStd == 0 {
+			jit.AmpNoiseStd = m.mc.AmplitudeNoiseStd
+		}
+		n := int(m.cfg.Duration * m.cfg.SampleRate)
+		m.envKeyPrefix = fmt.Sprintf("env|f0=%g|fs=%g|n=%d|jit=%+v|rbw=%g|win=%v|seed=",
+			m.cfg.Frequency, m.cfg.SampleRate, n, jit, m.cfg.Analyzer.RBW, m.cfg.Analyzer.Window)
+		m.noiseKeyPrefix = fmt.Sprintf("noise|env=%+v|fs=%g|n=%d|rbw=%g|win=%v|seed=",
+			m.cfg.Environment, m.cfg.SampleRate, n, m.cfg.Analyzer.RBW, m.cfg.Analyzer.Window)
+	}
+	m.keyBuf = strconv.AppendInt(append(m.keyBuf[:0], m.envKeyPrefix...), seeds.Env, 10)
+	envKey = string(m.keyBuf)
+	m.keyBuf = strconv.AppendInt(append(m.keyBuf[:0], m.noiseKeyPrefix...), seeds.Noise, 10)
+	noiseKey = string(m.keyBuf)
+	return envKey, noiseKey
+}
+
+// MeasureKernelSeeds measures a prebuilt kernel from explicit per-stage
+// seeds — the campaign entry point, where CampaignSeeds' scoping makes
+// row-mates share envelope products and repetition-mates share noise
+// products through the synthesis cache. The selected pipeline
+// implementation runs inside the savat.measure span.
+func (m *Measurer) MeasureKernelSeeds(k *Kernel, seeds SynthSeeds) (*Measurement, error) {
 	sp := m.mobs.measure.Start()
 	defer sp.End()
 	switch m.mode {
 	case modeBuffered:
-		return measureKernelBuffered(m.mc, k, m.cfg, rng, m.scratch, m.mobs)
+		envKey, noiseKey := m.productKeys(seeds)
+		return measureKernelBuffered(m.mc, k, m.cfg, seeds, envKey, noiseKey, m.scratch, m.mobs)
 	case modeReference:
-		return measureKernelReference(m.mc, k, m.cfg, rng, m.mobs)
+		return measureKernelReference(m.mc, k, m.cfg, seeds, m.mobs)
 	default:
-		return measureKernelStream(m.mc, k, m.cfg, rng, m.scratch, m.mobs)
+		envKey, noiseKey := m.productKeys(seeds)
+		return measureKernelStream(m.mc, k, m.cfg, seeds, envKey, noiseKey, m.scratch, m.mobs)
 	}
 }
 
@@ -165,8 +234,7 @@ func (m *Measurer) MeasurePair(a, b Event, repeats int, seed int64) ([]float64, 
 	}
 	vals := make([]float64, repeats)
 	for r := range vals {
-		rng := rand.New(rand.NewSource(cellSeed(seed, int(a), int(b), r)))
-		meas, err := m.MeasureKernel(k, rng)
+		meas, err := m.MeasureKernelSeeds(k, CampaignSeeds(seed, a, r))
 		if err != nil {
 			return nil, stats.Summary{}, err
 		}

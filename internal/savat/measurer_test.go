@@ -152,8 +152,7 @@ func TestMeasurePairMatchesCellSeeding(t *testing.T) {
 			t.Fatal(err)
 		}
 		for r := range vals {
-			rng := rand.New(rand.NewSource(CellSeed(s.seed, s.a, s.b, r)))
-			m, err := NewMeasurer(s.mc, cfg).MeasureKernel(k, rng)
+			m, err := NewMeasurer(s.mc, cfg).MeasureKernelSeeds(k, CampaignSeeds(s.seed, s.a, r))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -270,7 +270,7 @@ func NaiveMeasure(mc machine.Config, a, b Event, distance float64, sc ScopeConfi
 
 	res := &NaiveResult{A: a, B: b, TrueDiff: trueDiff}
 	for r := 0; r < repeats; r++ {
-		rng := rand.New(rand.NewSource(cellSeed(seed, int(a), int(b), r)))
+		rng := rand.New(rand.NewSource(mixSeed(uint64(seed), uint64(a), uint64(b), uint64(r))))
 		rad, err := emsim.NewRadiator(mc.Sources, distance, mc.AsymmetrySourceAmp, rng)
 		if err != nil {
 			return nil, err

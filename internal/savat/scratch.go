@@ -1,7 +1,6 @@
 package savat
 
 import (
-	"fmt"
 	"math/rand"
 
 	"repro/internal/activity"
@@ -23,15 +22,37 @@ type altKey struct {
 	warm, meas int
 }
 
+// seededRand is a reseedable rng: one source allocated on first use,
+// re-seeded per measurement stage so the steady-state path allocates no
+// rng state.
+type seededRand struct {
+	src rand.Source
+	rng *rand.Rand
+}
+
+func (s *seededRand) at(seed int64) *rand.Rand {
+	if s.rng == nil {
+		s.src = rand.NewSource(seed)
+		s.rng = rand.New(s.src)
+	} else {
+		s.src.Seed(seed)
+	}
+	return s.rng
+}
+
 // MeasureScratch holds every reusable buffer of the measurement fast
 // path: the shared envelope streams, the noise capture, the spectrum
-// analyzer's working set, the radiator value, and a cache of
-// cycle-accurate alternation results (the simulation is rng-free, so
-// one result serves every repetition of a pair). A warmed scratch lets
-// the streaming path allocate no sample-sized buffers at all.
+// analyzer's working set, the radiator value, the per-stage rngs, a
+// cache of cycle-accurate alternation results (the simulation is
+// rng-free, so one result serves every repetition of a pair), and the
+// synthesis-product cache that lets cells sharing a stochastic
+// realization skip synthesis and Welch analysis entirely. A warmed
+// scratch lets the streaming path allocate no sample-sized buffers at
+// all.
 //
 // A MeasureScratch is NOT safe for concurrent use; the campaign engine
-// gives each worker its own.
+// gives each worker its own (the workers' scratches then share one
+// concurrency-safe SynthCache — see CampaignOptions.SynthCache).
 type MeasureScratch struct {
 	env    emsim.Envelopes
 	noise  []complex128
@@ -40,6 +61,10 @@ type MeasureScratch struct {
 	specan *specan.Scratch
 	alts   map[altKey]*AlternationResult
 	hiers  map[memhier.Config]*memhier.Hierarchy
+	cache  *SynthCache
+
+	// Per-stage rngs, reseeded from the measurement's SynthSeeds.
+	calRng, envRng, noiseRng seededRand
 
 	// Streaming sources, re-initialized per measurement. Only the
 	// buffered path (WithBuffered) materializes env and noise above;
@@ -70,6 +95,16 @@ func NewMeasureScratch() *MeasureScratch {
 // bit-identical either way: segment PSDs are reduced in capture order.
 func (s *MeasureScratch) SetAnalyzerPool(p *workpool.Pool) { s.specan.Pool = p }
 
+// synthCache returns the scratch's product cache, defaulting to a
+// private single-owner one. Campaigns and WithSynthCache install a
+// shared concurrency-safe cache instead.
+func (s *MeasureScratch) synthCache() *SynthCache {
+	if s.cache == nil {
+		s.cache = newPrivateSynthCache()
+	}
+	return s.cache
+}
+
 // alternation returns the cached steady-state alternation of (k, mc),
 // simulating it on first need. Alternation is deterministic — it
 // consumes no rng — so caching cannot change any measured value.
@@ -97,16 +132,23 @@ func (s *MeasureScratch) alternation(mc machine.Config, k *Kernel, cfg Config, m
 }
 
 // prepare runs the shared front half of a measurement — validation,
-// the cached cycle-accurate alternation, radiator initialization, and
-// the group-coefficient filter (left in s.coeffs) — and caches the
-// analyzer. Both the streaming and buffered paths start here, so they
-// consume identical rng draws up to synthesis.
-func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, mo *measureObs) (alt *AlternationResult, spec emsim.Alternation, n int, jit emsim.Jitter, err error) {
+// the cached cycle-accurate alternation, radiator calibration (on the
+// Cal seed), and the duty-scaled group-coefficient filter (left in
+// s.coeffs) — and caches the analyzer. Both the streaming and buffered
+// paths start here.
+//
+// The returned canon timeline is the canonical 50/50 alternation at the
+// nominal frequency — the one every cell of a campaign row synthesizes
+// its envelopes on. The pair's actual duty cycle d is restored in the
+// coefficients: a duty-d alternation's fundamental is sin(πd)/sin(π/2)
+// times the 50/50 one's, so both phase amplitudes of every group are
+// scaled by emsim.DutyAmplitudeFactor(d), which preserves the measured
+// fundamental-band power while keeping the envelope realization — and
+// therefore its cached spectral products — pair-independent. Droop
+// compensation stays on the pair's achieved period via PhaseAmplitudes.
+func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, mo *measureObs) (alt *AlternationResult, canon emsim.Alternation, n int, jit emsim.Jitter, err error) {
 	if err = cfg.Validate(); err != nil {
-		return nil, spec, 0, jit, err
-	}
-	if rng == nil {
-		return nil, spec, 0, jit, fmt.Errorf("savat: nil rng")
+		return nil, canon, 0, jit, err
 	}
 
 	// 1. Cycle-accurate steady-state activity of the alternation loop.
@@ -114,19 +156,20 @@ func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, rng *
 	alt, err = s.alternation(mc, k, cfg, mo)
 	altSp.End()
 	if err != nil {
-		return nil, spec, 0, jit, err
+		return nil, canon, 0, jit, err
 	}
 
 	// 2. Radiate: per-component coupling at the measurement distance with
-	// campaign-specific spatial phases. Only the two shared envelope
-	// streams are rendered; each group is carried as its pair of complex
-	// phase amplitudes.
+	// repetition-specific spatial phases (one antenna placement per
+	// campaign repetition). Only the two shared envelope streams are ever
+	// rendered; each group is carried as its pair of complex phase
+	// amplitudes.
 	radSp := mo.radiate.Start()
 	defer radSp.End()
-	if err = s.rad.Init(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, rng); err != nil {
-		return nil, spec, 0, jit, err
+	if err = s.rad.Init(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, s.calRng.at(seeds.Cal)); err != nil {
+		return nil, canon, 0, jit, err
 	}
-	spec = emsim.Alternation{
+	actual := emsim.Alternation{
 		Rates:       [2]activity.Vector{alt.PhaseStats[0].MeanRates, alt.PhaseStats[1].MeanRates},
 		HalfSeconds: alt.HalfSeconds,
 	}
@@ -135,26 +178,28 @@ func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, rng *
 	if jit.AmpNoiseStd == 0 {
 		jit.AmpNoiseStd = mc.AmplitudeNoiseStd
 	}
-	amps, err := s.rad.PhaseAmplitudes(spec, cfg.SampleRate)
+	amps, err := s.rad.PhaseAmplitudes(actual, cfg.SampleRate)
 	if err != nil {
-		return nil, spec, 0, jit, err
+		return nil, canon, 0, jit, err
 	}
+	duty := complex(emsim.DutyAmplitudeFactor(actual.Duty()), 0)
 	coeffs := s.coeffs[:0]
 	for g := 0; g < emsim.NumGroups; g++ {
 		if amps[g][0] != 0 || amps[g][1] != 0 {
-			coeffs = append(coeffs, amps[g])
+			coeffs = append(coeffs, [2]complex128{amps[g][0] * duty, amps[g][1] * duty})
 		}
 	}
 	s.coeffs = coeffs
+	canon = emsim.CanonicalTimeline(cfg.Frequency)
 
 	if s.analyzer == nil || s.analyzerCfg != cfg.Analyzer {
 		var an *specan.Analyzer
 		if an, err = specan.New(cfg.Analyzer); err != nil {
-			return nil, spec, 0, jit, err
+			return nil, canon, 0, jit, err
 		}
 		s.analyzer, s.analyzerCfg = an, cfg.Analyzer
 	}
-	return alt, spec, n, jit, nil
+	return alt, canon, n, jit, nil
 }
 
 // finish turns a recorded trace into the Measurement: band power
@@ -177,51 +222,64 @@ func finish(k *Kernel, alt *AlternationResult, cfg Config, tr *specan.Trace) (*M
 }
 
 // measureKernelStream is the streaming fast path behind the default
-// Measurer mode: the same pipeline and the same rng draw sequence as
-// the buffered path, but the per-group time-domain synthesis and
-// per-stream Welch passes are replaced by the shared-envelope streaming
-// fast path (emsim.EnvelopeStream + noise.Stream +
-// specan.AnalyzeEnvelopesStream), so the working set is O(segment)
-// instead of O(capture) and no sample-sized buffer is ever
-// materialized. Values are bit-identical to measureKernelBuffered (the
-// renderers are the same code, consumed in the same order) and match
-// the reference pipeline within rounding (the equivalence tests bound
-// the relative difference by 1e-9).
+// Measurer mode: the envelope and noise spectral products are read
+// through the synthesis-product cache — computed, on a miss, by the
+// O(segment) streaming renderers (emsim.EnvelopeStream + noise.Stream
+// feeding specan's product walks) into cache-owned buffers; skipped
+// entirely on a hit — and the cell's trace is assembled by the FFT-free
+// specan.Render. Values are bit-identical to measureKernelBuffered
+// (the per-segment primitives are shared and the reduction order is
+// fixed) and match the reference pipeline within rounding (the
+// equivalence tests bound the relative difference by 1e-9).
 //
 // The returned Measurement's Trace aliases the scratch and is valid
 // until the scratch's next measurement; callers that keep traces must
 // use distinct scratches. A nil scratch is allowed; a fresh one is
 // used.
-func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
+func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, envKey, noiseKey string, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
 	if s == nil {
 		s = NewMeasureScratch()
 	}
-	alt, spec, n, jit, err := s.prepare(mc, k, cfg, rng, mo)
+	alt, canon, n, jit, err := s.prepare(mc, k, cfg, seeds, mo)
+	if err != nil {
+		return nil, err
+	}
+	cache := s.synthCache()
+
+	// 3+4. Synthesis and per-segment Welch analysis, fused and cached:
+	// a miss streams the envelope pair (guarded exactly like
+	// SynthesizeGroups' active check, so a fully silent kernel renders
+	// no envelopes) and then the noise stream through the segment walks;
+	// a hit reuses the published products untouched. Group signals and
+	// noise are mutually incoherent: powers add, which is exactly what
+	// the frequency-domain combination in Render computes.
+	var env *specan.PairPSD
+	if len(s.coeffs) > 0 {
+		env, err = cache.envProducts(envKey, func(dst *specan.PairPSD) (*specan.PairPSD, error) {
+			sp := mo.synthesize.Start()
+			defer sp.End()
+			if err := s.envStream.Init(canon, cfg.SampleRate, n, jit, s.envRng.at(seeds.Env)); err != nil {
+				return nil, err
+			}
+			return s.analyzer.EnvelopeProductsStream(n, &s.envStream, cfg.SampleRate, s.specan, dst)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	noisePSD, err := cache.noiseProducts(noiseKey, func(dst []float64) ([]float64, error) {
+		sp := mo.synthesize.Start()
+		defer sp.End()
+		if err := s.noiseStream.Init(cfg.Environment, cfg.SampleRate, n, s.noiseRng.at(seeds.Noise)); err != nil {
+			return nil, err
+		}
+		return s.analyzer.NoiseProductsStream(n, &s.noiseStream, cfg.SampleRate, s.specan, dst)
+	})
 	if err != nil {
 		return nil, err
 	}
 
-	// 3. Synthesis by streaming sources: the envelope stream draws its
-	// leading state here (guarded exactly like SynthesizeGroups' active
-	// check, so a fully silent kernel consumes no timeline draws), then
-	// the analyzer pulls envelope and noise segments on demand — the
-	// envelope source is fully drained before the noise stream's first
-	// draw, preserving the buffered pipeline's rng order. Group signals
-	// and noise are mutually incoherent: powers add, which is exactly
-	// what the frequency-domain group combination computes.
-	var envSrc specan.PairSource
-	if len(s.coeffs) > 0 {
-		if err := s.envStream.Init(spec, cfg.SampleRate, n, jit, rng); err != nil {
-			return nil, err
-		}
-		envSrc = &s.envStream
-	}
-	if err := s.noiseStream.Init(cfg.Environment, cfg.SampleRate, n, rng); err != nil {
-		return nil, err
-	}
-
-	// 4. Segment-fused spectrum analysis.
-	tr, err := s.analyzer.AnalyzeEnvelopesStream(n, envSrc, s.coeffs, &s.noiseStream, cfg.SampleRate, s.specan)
+	tr, err := s.analyzer.Render(n, s.coeffs, env, noisePSD, cfg.SampleRate, s.specan)
 	if err != nil {
 		return nil, err
 	}
@@ -229,43 +287,60 @@ func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, rng *rand.Ran
 }
 
 // measureKernelBuffered is the capture-at-once form of
-// measureKernelStream: it materializes the full envelope and noise
-// captures in the scratch and analyzes them with the buffered
-// shared-envelope path (emsim.SynthesizeEnvelopes +
-// specan.AnalyzeEnvelopes). It produces bit-identical Measurements to
-// measureKernelStream — the conformance suite asserts this — at
-// O(capture) memory; it exists as the plain-shaped oracle for the
-// streaming path and for callers that want the rendered captures.
-func measureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, rng *rand.Rand, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
+// measureKernelStream: it always materializes the full envelope and
+// noise captures in the scratch (callers that want the rendered
+// captures get them even on a cache hit) and reads the spectral
+// products through the same cache — computed, on a miss, by the
+// buffered Welch passes over those captures. It produces bit-identical
+// Measurements to measureKernelStream — the conformance suite asserts
+// this — at O(capture) memory; it exists as the plain-shaped oracle for
+// the streaming path and for callers that want the captures.
+func measureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, envKey, noiseKey string, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
 	if s == nil {
 		s = NewMeasureScratch()
 	}
-	alt, spec, n, jit, err := s.prepare(mc, k, cfg, rng, mo)
+	alt, canon, n, jit, err := s.prepare(mc, k, cfg, seeds, mo)
 	if err != nil {
 		return nil, err
 	}
+	cache := s.synthCache()
 
 	// 3. Full-capture synthesis: both shared envelope streams, then the
 	// environment noise as one more incoherent contribution. Render
-	// overwrites the buffer, so the previous cell's capture needs no
+	// overwrites the buffers, so the previous cell's capture needs no
 	// clear.
 	synSp := mo.synthesize.Start()
-	var envA, envB []float64
+	var env *specan.PairPSD
 	if len(s.coeffs) > 0 {
-		if _, err := emsim.SynthesizeEnvelopes(spec, cfg.SampleRate, n, jit, rng, &s.env); err != nil {
+		if _, err := emsim.SynthesizeEnvelopes(canon, cfg.SampleRate, n, jit, s.envRng.at(seeds.Env), &s.env); err != nil {
+			synSp.End()
 			return nil, err
 		}
-		envA, envB = s.env.A, s.env.B
 	}
 	s.noise = buf.Grow(s.noise, n)
-	err = cfg.Environment.Render(s.noise, cfg.SampleRate, rng)
+	err = cfg.Environment.Render(s.noise, cfg.SampleRate, s.noiseRng.at(seeds.Noise))
 	synSp.End()
 	if err != nil {
 		return nil, err
 	}
 
-	// 4. Buffered spectrum analysis.
-	tr, err := s.analyzer.AnalyzeEnvelopes(envA, envB, s.coeffs, s.noise, cfg.SampleRate, s.specan)
+	// 4. Buffered spectrum analysis, products read through the cache.
+	if len(s.coeffs) > 0 {
+		env, err = cache.envProducts(envKey, func(dst *specan.PairPSD) (*specan.PairPSD, error) {
+			return s.analyzer.EnvelopeProducts(s.env.A, s.env.B, cfg.SampleRate, s.specan, dst)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	noisePSD, err := cache.noiseProducts(noiseKey, func(dst []float64) ([]float64, error) {
+		return s.analyzer.NoiseProducts(s.noise, cfg.SampleRate, s.specan, dst)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tr, err := s.analyzer.Render(n, s.coeffs, env, noisePSD, cfg.SampleRate, s.specan)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/savat"
@@ -170,10 +171,13 @@ func TestHTTPCancel(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	// Occupy the slot with a slow campaign (quarter-second captures,
-	// serial cells), then cancel a still-queued job over HTTP.
+	// Occupy the slot with a slow campaign, then cancel a still-queued
+	// job over HTTP. Quarter-second captures and many repetitions keep
+	// the blocker busy: every repetition draws fresh per-stage seeds, so
+	// the synthesis-product cache cannot collapse the work.
 	slow := smokeSpec()
 	slow.Config.Duration = 0.25
+	slow.Repeats = 8
 	running, err := s.Submit(slow, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -183,6 +187,31 @@ func TestHTTPCancel(t *testing.T) {
 	queued, err := s.Submit(spec, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// Issue the cancel only once the blocker is observed mid-run with
+	// the victim still queued, so the DELETE races only the blocker's
+	// remaining cells (hundreds of milliseconds), not its startup.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		rj, err := s.Get(running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qj, err := s.Get(queued.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rj.State == StateRunning && qj.State == StateQueued {
+			break
+		}
+		if rj.State != StateQueued && rj.State != StateRunning {
+			t.Fatalf("blocker finished (%s) before the queued job could be cancelled", rj.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never reached running+queued (blocker %s, victim %s)", rj.State, qj.State)
+		}
+		time.Sleep(time.Millisecond)
 	}
 
 	req, err := http.NewRequest("DELETE", ts.URL+"/v1/campaigns/"+queued.ID, nil)

@@ -17,9 +17,10 @@ import (
 	"repro/internal/workpool"
 )
 
-// Analyzer-stage metrics: one span per recorded spectrum, covering the
-// whole Welch walk (streaming or buffered). No-ops until the registry
-// is enabled.
+// Analyzer-stage metrics: one span per analysis stage (an envelope or
+// noise product computation, or a render), so a capture that computes
+// both products records three spans. The captures counter counts
+// rendered traces. No-ops until the registry is enabled.
 var (
 	mAnalyze  = obs.Default.Histogram("specan.analyze")
 	mCaptures = obs.Default.Counter("specan.captures")
@@ -198,11 +199,33 @@ func (a *Analyzer) AnalyzeIncoherent(xs [][]complex128, fs float64) (*Trace, err
 	return tr, nil
 }
 
-// Scratch holds the reusable working set of AnalyzeEnvelopes — the
-// Welch scratch and the per-bin accumulators — so steady-state
-// measurement cells allocate no sample-sized buffers. A Scratch adapts
-// itself to whatever segment length and window a call needs (rebuilding
-// is the only allocating path) and is NOT safe for concurrent use.
+// PairPSD holds the pair-Welch products of a two-envelope linear
+// family: the two envelope PSDs and their cross-spectrum, all at the
+// analysis segment length. They are independent of the family's group
+// coefficients and of the instrument floor — every stream
+// a·envA + b·envB has per-bin Welch PSD |a|²·PA + |b|²·PB +
+// 2·Re(a·conj(b)·Cross) — which is what makes them reusable: one
+// PairPSD computed from one envelope realization serves every
+// measurement cell that shares the realization, whatever its
+// coefficients (see savat's synthesis-product cache). A published
+// PairPSD is read-only and safe to share across goroutines.
+type PairPSD struct {
+	PA, PB []float64
+	Cross  []complex128
+}
+
+func (p *PairPSD) grow(seg int) {
+	p.PA = buf.Grow(p.PA, seg)
+	p.PB = buf.Grow(p.PB, seg)
+	p.Cross = buf.Grow(p.Cross, seg)
+}
+
+// Scratch holds the reusable working set of the envelope analysis — the
+// Welch scratch, the scratch-owned products, and the display
+// accumulator — so steady-state measurement cells allocate no
+// sample-sized buffers. A Scratch adapts itself to whatever segment
+// length and window a call needs (rebuilding is the only allocating
+// path) and is NOT safe for concurrent use.
 type Scratch struct {
 	// Pool, when non-nil, is the worker pool the streaming analysis
 	// fans its per-segment transforms out on; nil means
@@ -210,8 +233,7 @@ type Scratch struct {
 	Pool *workpool.Pool
 
 	welch    *dsp.WelchScratch
-	pa, pb   []float64
-	cross    []complex128
+	prod     PairPSD
 	noisePSD []float64
 	sum      []float64
 	trace    Trace
@@ -229,6 +251,7 @@ type Scratch struct {
 // NewScratch returns an empty scratch; buffers are sized on first use.
 func NewScratch() *Scratch { return &Scratch{} }
 
+// prepare readies the Welch scratch for the segment length and window.
 func (s *Scratch) prepare(seg int, win dsp.Window) error {
 	if s.welch == nil || s.welch.SegLen() != seg || s.welch.Window() != win {
 		ws, err := dsp.NewWelchScratch(seg, win)
@@ -237,19 +260,33 @@ func (s *Scratch) prepare(seg int, win dsp.Window) error {
 		}
 		s.welch = ws
 	}
-	s.pa = buf.Grow(s.pa, seg)
-	s.pb = buf.Grow(s.pb, seg)
-	s.cross = buf.Grow(s.cross, seg)
-	s.noisePSD = buf.Grow(s.noisePSD, seg)
-	s.sum = buf.Grow(s.sum, seg)
 	return nil
 }
 
-// combineEnvelopes folds the pair-Welch results into the summed display
-// using the group coefficients: by Welch linearity the per-bin
+// setup validates the capture parameters, picks the segmentation, and
+// readies the Welch scratch — the shared front of every product and
+// render entry point, so hits and misses of a product cache see the
+// exact same segmentation decision.
+func (a *Analyzer) setup(n int, fs float64, s *Scratch) (seg int, enbw float64, err error) {
+	if fs <= 0 {
+		return 0, 0, fmt.Errorf("specan: sample rate %g", fs)
+	}
+	if n < 2 {
+		return 0, 0, fmt.Errorf("specan: capture of %d samples too short", n)
+	}
+	seg, enbw, err = a.segmentFor(n, fs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return seg, enbw, s.prepare(seg, a.cfg.Window)
+}
+
+// combineEnvelopes folds the pair-Welch products into the summed
+// display using the group coefficients: by Welch linearity the per-bin
 // group-sum PSD is CA·|WA|² + CB·|WB|² + 2·Re(CX·WA·conj(WB)) with
-// CA = Σ|a_g|², CB = Σ|b_g|², CX = Σ a_g·conj(b_g).
-func (s *Scratch) combineEnvelopes(coeffs [][2]complex128) {
+// CA = Σ|a_g|², CB = Σ|b_g|², CX = Σ a_g·conj(b_g). The products are
+// only read — they may be shared, cached state.
+func (s *Scratch) combineEnvelopes(coeffs [][2]complex128, p *PairPSD) {
 	var ca, cb float64
 	var cx complex128
 	for _, c := range coeffs {
@@ -258,9 +295,10 @@ func (s *Scratch) combineEnvelopes(coeffs [][2]complex128) {
 		cb += real(b0)*real(b0) + imag(b0)*imag(b0)
 		cx += a0 * complex(real(b0), -imag(b0))
 	}
+	pa, pb, cross := p.PA, p.PB, p.Cross
 	for k := range s.sum {
-		x := s.cross[k]
-		s.sum[k] = ca*s.pa[k] + cb*s.pb[k] +
+		x := cross[k]
+		s.sum[k] = ca*pa[k] + cb*pb[k] +
 			2*(real(cx)*real(x)-imag(cx)*imag(x))
 	}
 }
@@ -271,13 +309,14 @@ func (s *Scratch) zeroSum() {
 	}
 }
 
-// finishDisplay folds the noise PSD (when haveNoise) into the sum and
+// finishDisplay folds the noise PSD (when non-nil) into the sum and
 // applies the sensitivity floor — the floor applies to the summed
 // display, so it rides the final accumulation pass instead of a sweep
-// of its own.
-func (s *Scratch) finishDisplay(floor float64, haveNoise bool) {
-	if haveNoise {
-		for k, v := range s.noisePSD {
+// of its own. The noise PSD is only read — it may be shared, cached
+// state.
+func (s *Scratch) finishDisplay(floor float64, noisePSD []float64) {
+	if noisePSD != nil {
+		for k, v := range noisePSD {
 			t := s.sum[k] + v
 			if t < floor {
 				t = floor
@@ -304,6 +343,106 @@ func (s *Scratch) traceFor(fs float64, seg int, enbw, floor float64) *Trace {
 	return &s.trace
 }
 
+// EnvelopeProducts computes the pair-Welch products of the envelope
+// pair at the segmentation an n = len(envA) capture gets, into dst
+// (grown as needed; nil allocates a fresh PairPSD) and returns it. The
+// products depend only on the envelopes, the sample rate, and the
+// analyzer's RBW/window — not on group coefficients or the floor — so
+// callers may cache and share them across every measurement rendered
+// from the same envelope realization.
+func (a *Analyzer) EnvelopeProducts(envA, envB []float64, fs float64, s *Scratch, dst *PairPSD) (*PairPSD, error) {
+	sp := mAnalyze.Start()
+	defer sp.End()
+	if len(envA) != len(envB) {
+		return nil, fmt.Errorf("specan: envelope length mismatch %d vs %d", len(envA), len(envB))
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	seg, _, err := a.setup(len(envA), fs, s)
+	if err != nil {
+		return nil, err
+	}
+	if dst == nil {
+		dst = &PairPSD{}
+	}
+	dst.grow(seg)
+	if err := s.welch.WelchPairInto(dst.PA, dst.PB, dst.Cross, envA, envB, fs); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// NoiseProducts computes the Welch PSD of the complex capture x at the
+// segmentation an n = len(x) capture gets, into dst (grown as needed;
+// nil allocates) and returns it. Like EnvelopeProducts, the result is
+// coefficient- and floor-independent and may be cached and shared.
+func (a *Analyzer) NoiseProducts(x []complex128, fs float64, s *Scratch, dst []float64) ([]float64, error) {
+	sp := mAnalyze.Start()
+	defer sp.End()
+	if s == nil {
+		s = NewScratch()
+	}
+	seg, _, err := a.setup(len(x), fs, s)
+	if err != nil {
+		return nil, err
+	}
+	dst = buf.Grow(dst, seg)
+	if err := s.welch.WelchInto(dst, x, fs); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Render combines precomputed products into the displayed trace for an
+// n-sample capture: the group-coefficient fold of the envelope products
+// (skipped when coeffs is empty; env may then be nil), the noise PSD
+// (nil to omit), and the sensitivity floor. It performs no FFT work at
+// all — a measurement whose products come from a cache pays only the
+// O(segment) combine — and n must be the original capture length so the
+// segmentation (and achieved RBW) match the product computation.
+//
+// The returned Trace aliases the scratch's buffers: it is valid until
+// the scratch's next analysis call. Pass a nil scratch to allocate a
+// private one (and a fresh, unaliased Trace).
+func (a *Analyzer) Render(n int, coeffs [][2]complex128, env *PairPSD, noisePSD []float64, fs float64, s *Scratch) (*Trace, error) {
+	sp := mAnalyze.Start()
+	defer sp.End()
+	mCaptures.Inc()
+	if fs <= 0 {
+		return nil, fmt.Errorf("specan: sample rate %g", fs)
+	}
+	if len(coeffs) == 0 && noisePSD == nil {
+		return nil, ErrNoCaptures
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("specan: capture of %d samples too short", n)
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	seg, enbw, err := a.segmentFor(n, fs)
+	if err != nil {
+		return nil, err
+	}
+	if len(coeffs) > 0 {
+		if env == nil || len(env.PA) != seg || len(env.PB) != seg || len(env.Cross) != seg {
+			return nil, fmt.Errorf("specan: envelope products missing or not at segment length %d", seg)
+		}
+	}
+	if noisePSD != nil && len(noisePSD) != seg {
+		return nil, fmt.Errorf("specan: noise PSD length %d, segment length %d", len(noisePSD), seg)
+	}
+	s.sum = buf.Grow(s.sum, seg)
+	if len(coeffs) > 0 {
+		s.combineEnvelopes(coeffs, env)
+	} else {
+		s.zeroSum()
+	}
+	s.finishDisplay(a.cfg.FloorPSD, noisePSD)
+	return s.traceFor(fs, seg, enbw, a.cfg.FloorPSD), nil
+}
+
 // AnalyzeEnvelopes records the summed incoherent spectrum of a family
 // of streams that are all linear combinations of the same two REAL
 // envelope streams — stream g is coeffs[g][0]·envA + coeffs[g][1]·envB
@@ -318,13 +457,13 @@ func (s *Scratch) traceFor(fs float64, seg int, enbw, floor float64) *Trace {
 // of one full Welch pass per stream. The result equals
 // AnalyzeIncoherent over the rendered streams up to rounding.
 //
+// It is exactly EnvelopeProducts + NoiseProducts + Render on the
+// scratch-owned product buffers.
+//
 // The returned Trace aliases the scratch's buffers: it is valid until
 // the scratch's next Analyze call. Pass a nil scratch to allocate a
 // private one (and a fresh, unaliased Trace).
 func (a *Analyzer) AnalyzeEnvelopes(envA, envB []float64, coeffs [][2]complex128, extra []complex128, fs float64, s *Scratch) (*Trace, error) {
-	sp := mAnalyze.Start()
-	defer sp.End()
-	mCaptures.Inc()
 	if fs <= 0 {
 		return nil, fmt.Errorf("specan: sample rate %g", fs)
 	}
@@ -344,35 +483,25 @@ func (a *Analyzer) AnalyzeEnvelopes(envA, envB []float64, coeffs [][2]complex128
 	if n < 0 {
 		return nil, ErrNoCaptures
 	}
-	if n < 2 {
-		return nil, fmt.Errorf("specan: capture of %d samples too short", n)
-	}
 	if s == nil {
 		s = NewScratch()
 	}
-	seg, enbw, err := a.segmentFor(n, fs)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.prepare(seg, a.cfg.Window); err != nil {
-		return nil, err
-	}
-
+	var env *PairPSD
 	if len(coeffs) > 0 {
-		if err := s.welch.WelchPairInto(s.pa, s.pb, s.cross, envA, envB, fs); err != nil {
+		var err error
+		if env, err = a.EnvelopeProducts(envA, envB, fs, s, &s.prod); err != nil {
 			return nil, err
 		}
-		s.combineEnvelopes(coeffs)
-	} else {
-		s.zeroSum()
 	}
+	var noisePSD []float64
 	if extra != nil {
-		if err := s.welch.WelchInto(s.noisePSD, extra, fs); err != nil {
+		var err error
+		if noisePSD, err = a.NoiseProducts(extra, fs, s, s.noisePSD); err != nil {
 			return nil, err
 		}
+		s.noisePSD = noisePSD
 	}
-	s.finishDisplay(a.cfg.FloorPSD, extra != nil)
-	return s.traceFor(fs, seg, enbw, a.cfg.FloorPSD), nil
+	return a.Render(n, coeffs, env, noisePSD, fs, s)
 }
 
 // BandPower integrates the displayed PSD over center ± halfSpan Hz and

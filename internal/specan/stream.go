@@ -79,6 +79,116 @@ func drain(src SampleSource, dst []complex128) error {
 	}
 }
 
+// EnvelopeProductsStream is EnvelopeProducts over a source instead of
+// buffers: it consumes the n-sample envelope pair from src segment by
+// segment (working set O(segment)) and accumulates the pair-Welch
+// products into dst (grown as needed; nil allocates). The source is
+// fully drained — the Welch walk ignores any tail shorter than half a
+// segment, but the source's rng draws must still happen so streaming
+// and buffered pipelines consume identical randomness. Per-segment
+// transforms fan out on the scratch's Pool (workpool.Default when nil);
+// reduction order is fixed, so results do not depend on the pool.
+func (a *Analyzer) EnvelopeProductsStream(n int, src PairSource, fs float64, s *Scratch, dst *PairPSD) (*PairPSD, error) {
+	sp := mAnalyze.Start()
+	defer sp.End()
+	if src == nil {
+		return nil, fmt.Errorf("specan: nil envelope source")
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	seg, _, err := a.setup(n, fs, s)
+	if err != nil {
+		return nil, err
+	}
+	if dst == nil {
+		dst = &PairPSD{}
+	}
+	dst.grow(seg)
+	half := seg / 2
+	s.wa = buf.Grow(s.wa, seg)
+	s.wb = buf.Grow(s.wb, seg)
+	if err := s.pairFeed.Init(s.welch, dst.PA, dst.PB, dst.Cross, fs, s.Pool); err != nil {
+		return nil, err
+	}
+	// First full segment, then slide by half: the second half of the
+	// window becomes the first half of the next segment, so each
+	// subsequent segment costs one half-window read.
+	if err := fillPair(src, s.wa, s.wb); err != nil {
+		return nil, err
+	}
+	if err := s.pairFeed.Feed(s.wa, s.wb); err != nil {
+		return nil, err
+	}
+	for read := seg; read+half <= n; read += half {
+		copy(s.wa[:half], s.wa[half:])
+		copy(s.wb[:half], s.wb[half:])
+		if err := fillPair(src, s.wa[half:], s.wb[half:]); err != nil {
+			return nil, err
+		}
+		if err := s.pairFeed.Feed(s.wa, s.wb); err != nil {
+			return nil, err
+		}
+	}
+	// The window contents are already consumed (Feed scatters before
+	// returning), so the tail can be discarded into the windows.
+	if err := drainPair(src, s.wa, s.wb); err != nil {
+		return nil, err
+	}
+	if err := s.pairFeed.Finish(); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// NoiseProductsStream is NoiseProducts over a source: the n-sample
+// complex stream is consumed segment by segment and its Welch PSD
+// accumulated into dst (grown as needed; nil allocates). The source is
+// fully drained, with the same pool and ordering guarantees as
+// EnvelopeProductsStream.
+func (a *Analyzer) NoiseProductsStream(n int, src SampleSource, fs float64, s *Scratch, dst []float64) ([]float64, error) {
+	sp := mAnalyze.Start()
+	defer sp.End()
+	if src == nil {
+		return nil, fmt.Errorf("specan: nil sample source")
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	seg, _, err := a.setup(n, fs, s)
+	if err != nil {
+		return nil, err
+	}
+	dst = buf.Grow(dst, seg)
+	half := seg / 2
+	s.wn = buf.Grow(s.wn, seg)
+	if err := s.noiseFeed.Init(s.welch, dst, fs, s.Pool); err != nil {
+		return nil, err
+	}
+	if err := fill(src, s.wn); err != nil {
+		return nil, err
+	}
+	if err := s.noiseFeed.Feed(s.wn); err != nil {
+		return nil, err
+	}
+	for read := seg; read+half <= n; read += half {
+		copy(s.wn[:half], s.wn[half:])
+		if err := fill(src, s.wn[half:]); err != nil {
+			return nil, err
+		}
+		if err := s.noiseFeed.Feed(s.wn); err != nil {
+			return nil, err
+		}
+	}
+	if err := drain(src, s.wn); err != nil {
+		return nil, err
+	}
+	if err := s.noiseFeed.Finish(); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
 // AnalyzeEnvelopesStream is AnalyzeEnvelopes over sources instead of
 // buffers: the same summed incoherent spectrum of a two-envelope
 // linear family plus one optional extra complex capture, computed
@@ -88,16 +198,12 @@ func drain(src SampleSource, dst []complex128) error {
 // The envelope source is fully consumed (rendered and drained) before
 // the extra source's first Next — matching the buffered pipeline's rng
 // draw order, so a measurement built on one shared rng is bit-identical
-// either way. Per-segment transforms fan out on the scratch's Pool
-// (workpool.Default when nil); reduction order is fixed, so results do
-// not depend on the pool.
+// either way. It is exactly EnvelopeProductsStream +
+// NoiseProductsStream + Render on the scratch-owned product buffers.
 //
 // The returned Trace aliases the scratch's buffers, like
 // AnalyzeEnvelopes. Pass a nil scratch to allocate a private one.
 func (a *Analyzer) AnalyzeEnvelopesStream(n int, envs PairSource, coeffs [][2]complex128, extra SampleSource, fs float64, s *Scratch) (*Trace, error) {
-	sp := mAnalyze.Start()
-	defer sp.End()
-	mCaptures.Inc()
 	if fs <= 0 {
 		return nil, fmt.Errorf("specan: sample rate %g", fs)
 	}
@@ -107,86 +213,23 @@ func (a *Analyzer) AnalyzeEnvelopesStream(n int, envs PairSource, coeffs [][2]co
 	if len(coeffs) == 0 && extra == nil {
 		return nil, ErrNoCaptures
 	}
-	if n < 2 {
-		return nil, fmt.Errorf("specan: capture of %d samples too short", n)
-	}
 	if s == nil {
 		s = NewScratch()
 	}
-	seg, enbw, err := a.segmentFor(n, fs)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.prepare(seg, a.cfg.Window); err != nil {
-		return nil, err
-	}
-	half := seg / 2
-
+	var env *PairPSD
 	if len(coeffs) > 0 {
-		s.wa = buf.Grow(s.wa, seg)
-		s.wb = buf.Grow(s.wb, seg)
-		if err := s.pairFeed.Init(s.welch, s.pa, s.pb, s.cross, fs, s.Pool); err != nil {
+		var err error
+		if env, err = a.EnvelopeProductsStream(n, envs, fs, s, &s.prod); err != nil {
 			return nil, err
 		}
-		// First full segment, then slide by half: the second half of the
-		// window becomes the first half of the next segment, so each
-		// subsequent segment costs one half-window read.
-		if err := fillPair(envs, s.wa, s.wb); err != nil {
-			return nil, err
-		}
-		if err := s.pairFeed.Feed(s.wa, s.wb); err != nil {
-			return nil, err
-		}
-		for read := seg; read+half <= n; read += half {
-			copy(s.wa[:half], s.wa[half:])
-			copy(s.wb[:half], s.wb[half:])
-			if err := fillPair(envs, s.wa[half:], s.wb[half:]); err != nil {
-				return nil, err
-			}
-			if err := s.pairFeed.Feed(s.wa, s.wb); err != nil {
-				return nil, err
-			}
-		}
-		// The window contents are already consumed (Feed scatters before
-		// returning), so the tail can be discarded into the windows.
-		if err := drainPair(envs, s.wa, s.wb); err != nil {
-			return nil, err
-		}
-		if err := s.pairFeed.Finish(); err != nil {
-			return nil, err
-		}
-		s.combineEnvelopes(coeffs)
-	} else {
-		s.zeroSum()
 	}
-
+	var noisePSD []float64
 	if extra != nil {
-		s.wn = buf.Grow(s.wn, seg)
-		if err := s.noiseFeed.Init(s.welch, s.noisePSD, fs, s.Pool); err != nil {
+		var err error
+		if noisePSD, err = a.NoiseProductsStream(n, extra, fs, s, s.noisePSD); err != nil {
 			return nil, err
 		}
-		if err := fill(extra, s.wn); err != nil {
-			return nil, err
-		}
-		if err := s.noiseFeed.Feed(s.wn); err != nil {
-			return nil, err
-		}
-		for read := seg; read+half <= n; read += half {
-			copy(s.wn[:half], s.wn[half:])
-			if err := fill(extra, s.wn[half:]); err != nil {
-				return nil, err
-			}
-			if err := s.noiseFeed.Feed(s.wn); err != nil {
-				return nil, err
-			}
-		}
-		if err := drain(extra, s.wn); err != nil {
-			return nil, err
-		}
-		if err := s.noiseFeed.Finish(); err != nil {
-			return nil, err
-		}
+		s.noisePSD = noisePSD
 	}
-	s.finishDisplay(a.cfg.FloorPSD, extra != nil)
-	return s.traceFor(fs, seg, enbw, a.cfg.FloorPSD), nil
+	return a.Render(n, coeffs, env, noisePSD, fs, s)
 }

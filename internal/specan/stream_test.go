@@ -199,7 +199,7 @@ func TestStreamFootprint(t *testing.T) {
 		cap  int
 	}{
 		{"wa", cap(s.wa)}, {"wb", cap(s.wb)}, {"wn", cap(s.wn)},
-		{"pa", cap(s.pa)}, {"pb", cap(s.pb)}, {"cross", cap(s.cross)},
+		{"pa", cap(s.prod.PA)}, {"pb", cap(s.prod.PB)}, {"cross", cap(s.prod.Cross)},
 		{"noisePSD", cap(s.noisePSD)}, {"sum", cap(s.sum)},
 	} {
 		if b.cap > seg {
