@@ -9,7 +9,9 @@ FUZZ_TARGETS := \
 	./internal/isa:FuzzDecodeEncodeRoundTrip \
 	./internal/isa:FuzzEncodeDecodeInstruction \
 	./internal/engine:FuzzLoadCheckpoint \
-	./internal/engine:FuzzCacheDiskEntry
+	./internal/engine:FuzzCacheDiskEntry \
+	./internal/store:FuzzStoreRecord \
+	./internal/store:FuzzStoreHeader
 
 .PHONY: build test bench bench-json bench-guard lint verify fuzz-smoke daemon-smoke
 
@@ -70,8 +72,10 @@ verify:
 
 # End-to-end smoke of the campaign daemon: builds savatd, starts it on
 # a random port, submits a 3×3 campaign over HTTP, cancels it mid-run,
-# resubmits to resume from the checkpoint, streams the events, and
-# diffs the served matrix bit-for-bit against a direct in-process run.
+# resubmits to resume from the checkpoint, streams the events, diffs
+# the served matrix bit-for-bit against a direct in-process run, then
+# SIGKILLs the daemon mid-campaign and proves the restart resumes from
+# the durable cell store.
 daemon-smoke:
 	$(GO) run ./cmd/daemonsmoke
 

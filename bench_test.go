@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/activity"
 	"repro/internal/cluster"
 	"repro/internal/emsim"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/noise"
 	"repro/internal/obs"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/savat"
 	"repro/internal/specan"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // benchRepeats keeps the matrix benchmarks tractable; cmd/reproduce runs
@@ -596,5 +599,132 @@ func BenchmarkAnalyticCrossCheck(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(m.SAVAT/want, "measured-over-analytic")
+	}
+}
+
+// --- Durable cell store (internal/store) -----------------------------
+//
+// The store benchmarks quantify the claims behind adopting the
+// append-only segment log as the default cache backend: write-behind
+// batching amortizes the disk to a fraction of a syscall per Put where
+// the legacy JSON-dir layer pays at least four (create, write, close,
+// rename) for every cell, and a 10⁵-record log reopens (replay +
+// index rebuild) in well under a second.
+
+// BenchmarkStorePut measures the store's Put throughput including the
+// final Sync, reporting observed write-path syscalls per record.
+func BenchmarkStorePut(b *testing.B) {
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	val := store.EncodeFloat64(42.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Put(engine.Key(fmt.Sprintf("bench-cell-%d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	stats := st.Stats()
+	b.ReportMetric(float64(stats.Syscalls)/float64(b.N), "syscalls/op")
+	b.ReportMetric(float64(stats.BatchedRecords)/float64(stats.Batches), "records/batch")
+}
+
+// BenchmarkJSONCachePut is the legacy baseline: one atomically-renamed
+// JSON file per Put (≥ 4 write-path syscalls each, by construction).
+func BenchmarkJSONCachePut(b *testing.B) {
+	cache, err := engine.NewCache(64, b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cache.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Put(engine.Key(fmt.Sprintf("bench-cell-%d", i)), 42.5)
+	}
+	b.StopTimer()
+	b.ReportMetric(4, "syscalls/op")
+}
+
+// benchCampaignWithCache runs the small benchmark campaign against a
+// cold cache and reports cells per second.
+func benchCampaignWithCache(b *testing.B, cache *engine.Cache) {
+	b.Helper()
+	mc := machine.Core2Duo()
+	cfg := savat.FastConfig()
+	cfg.Duration = 1.0 / 32
+	opts := savat.CampaignOptions{
+		Events:  []savat.Event{savat.ADD, savat.LDM, savat.DIV, savat.NOI},
+		Repeats: 2, Seed: 3,
+		Cache: cache,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := savat.RunCampaign(mc, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Engine.CellsPerSecond(), "cells/s")
+		}
+	}
+}
+
+// BenchmarkCampaignStoreBacked runs a campaign whose cells persist
+// through the store-backed cache (the savatd / -cache-backend=store
+// write path).
+func BenchmarkCampaignStoreBacked(b *testing.B) {
+	cache, err := engine.NewStoreCache(engine.DefaultCacheCapacity, b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cache.Close()
+	benchCampaignWithCache(b, cache)
+}
+
+// BenchmarkCampaignJSONCache is the same campaign over the legacy
+// one-file-per-cell layer.
+func BenchmarkCampaignJSONCache(b *testing.B) {
+	cache, err := engine.NewCache(engine.DefaultCacheCapacity, b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cache.Close()
+	benchCampaignWithCache(b, cache)
+}
+
+// BenchmarkStoreReopen100k measures cold-open replay of a 10⁵-record
+// log — the acceptance bound is well under a second.
+func BenchmarkStoreReopen100k(b *testing.B) {
+	dir := b.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := store.EncodeFloat64(1.5)
+	for i := 0; i < 100_000; i++ {
+		if err := st.Put(engine.Key(fmt.Sprintf("reopen-cell-%d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Len() != 100_000 {
+			b.Fatalf("reopened %d records", st.Len())
+		}
+		b.StopTimer()
+		st.Close()
+		b.StartTimer()
 	}
 }

@@ -8,7 +8,13 @@
 //     checkpoint (cached cells > 0),
 //  3. stream the progress events (NDJSON),
 //  4. fetch the finished matrix and diff it bit-for-bit against a
-//     direct in-process savat.RunSpec of the same spec.
+//     direct in-process savat.RunSpec of the same spec,
+//  5. SIGKILL the daemon mid-campaign, restart it on the same state
+//     directory, and watch the resubmitted campaign resume from the
+//     durable cell store (the campaign is shorter than the periodic
+//     checkpoint interval and a SIGKILL skips the final checkpoint, so
+//     every resumed cell must have come through the store's
+//     write-behind flusher), finishing bit-identical to a direct run.
 //
 // Any divergence, HTTP error, or timeout exits non-zero.
 package main
@@ -68,29 +74,15 @@ func run() error {
 		return fmt.Errorf("building savatd: %w", err)
 	}
 
-	daemon := exec.Command(bin,
-		"-addr", "127.0.0.1:0",
-		"-state-dir", filepath.Join(tmp, "state"),
-		"-max-active", "1",
-		"-parallelism", "1",
-	)
-	stdout, err := daemon.StdoutPipe()
+	stateDir := filepath.Join(tmp, "state")
+	daemon, base, err := startDaemon(bin, stateDir)
 	if err != nil {
 		return err
-	}
-	daemon.Stderr = os.Stderr
-	if err := daemon.Start(); err != nil {
-		return fmt.Errorf("starting savatd: %w", err)
 	}
 	defer func() {
 		daemon.Process.Signal(syscall.SIGTERM)
 		daemon.Wait()
 	}()
-
-	base, err := listenAddr(stdout)
-	if err != nil {
-		return err
-	}
 	fmt.Println("daemon-smoke: daemon at", base)
 
 	spec := smokeSpec()
@@ -160,7 +152,98 @@ func run() error {
 		return fmt.Errorf("daemon result diverges from direct run:\n%s\nvs\n%s", a, b)
 	}
 	fmt.Println("daemon-smoke: matrix bit-identical to direct run")
+
+	// Phase 5: SIGKILL mid-campaign. A fresh spec (different seed) avoids
+	// the cells already persisted above; the campaign is far shorter than
+	// the 64-cell periodic checkpoint interval and the kill skips the
+	// final one, so the restarted daemon can only resume from cells the
+	// durable store flushed before the kill.
+	spec2 := smokeSpec()
+	spec2.Seed = 23
+	killed, err := submit(base, spec2)
+	if err != nil {
+		return err
+	}
+	fmt.Println("daemon-smoke: submitted", killed.ID, "(kill phase)")
+	if err := streamEvents(base, killed.ID, 3); err != nil {
+		return err
+	}
+	// Give the store's write-behind flusher (25 ms cadence) time to make
+	// the streamed cells durable, then kill without any shutdown path.
+	time.Sleep(150 * time.Millisecond)
+	if err := daemon.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	daemon.Wait()
+	fmt.Println("daemon-smoke: daemon SIGKILLed mid-campaign")
+
+	daemon, base, err = startDaemon(bin, stateDir)
+	if err != nil {
+		return fmt.Errorf("restarting after SIGKILL: %w", err)
+	}
+	fmt.Println("daemon-smoke: restarted at", base)
+
+	resumed, err := submit(base, spec2)
+	if err != nil {
+		return err
+	}
+	if resumed.Fingerprint != killed.Fingerprint {
+		return fmt.Errorf("same spec, different fingerprints: %s vs %s", resumed.Fingerprint, killed.Fingerprint)
+	}
+	final, err = awaitTerminal(base, resumed.ID)
+	if err != nil {
+		return err
+	}
+	if final.State != service.StateDone {
+		return fmt.Errorf("post-kill job %s: state %s, error %q", resumed.ID, final.State, final.Error)
+	}
+	if final.Stats.Cached == 0 {
+		return fmt.Errorf("post-kill job %s recomputed everything; the store recovered nothing", resumed.ID)
+	}
+	fmt.Printf("daemon-smoke: resumed %s after SIGKILL (%d cells from the store, %d computed)\n",
+		resumed.ID, final.Stats.Cached, final.Stats.Computed)
+
+	var served2 savat.MatrixStats
+	if err := getJSON(base+"/v1/campaigns/"+resumed.ID+"/result", &served2); err != nil {
+		return err
+	}
+	direct2, err := savat.RunSpec(spec2, savat.CampaignOptions{})
+	if err != nil {
+		return err
+	}
+	a, _ = json.Marshal(served2.Cells)
+	b, _ = json.Marshal(direct2.Cells)
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("post-kill result diverges from direct run:\n%s\nvs\n%s", a, b)
+	}
+	fmt.Println("daemon-smoke: post-kill matrix bit-identical to direct run")
 	return nil
+}
+
+// startDaemon launches the built savatd on a random port over stateDir
+// and returns the process and its base URL.
+func startDaemon(bin, stateDir string) (*exec.Cmd, string, error) {
+	daemon := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-state-dir", stateDir,
+		"-max-active", "1",
+		"-parallelism", "1",
+	)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return nil, "", fmt.Errorf("starting savatd: %w", err)
+	}
+	base, err := listenAddr(stdout)
+	if err != nil {
+		daemon.Process.Kill()
+		daemon.Wait()
+		return nil, "", err
+	}
+	return daemon, base, nil
 }
 
 // listenAddr reads the daemon's startup line ("savatd: listening on

@@ -72,9 +72,8 @@ func main() {
 
 func run() error {
 	var (
-		cf       = cliconf.Register(flag.CommandLine, cliconf.Repeats|cliconf.Seed|cliconf.Fast|cliconf.Profile|cliconf.Metrics|cliconf.Spec)
-		section  = flag.String("section", "all", "which experiment to regenerate")
-		cacheDir = flag.String("cache-dir", "", "persist per-cell results here and reuse them across runs")
+		cf      = cliconf.Register(flag.CommandLine, cliconf.Repeats|cliconf.Seed|cliconf.Fast|cliconf.Profile|cliconf.Metrics|cliconf.Spec|cliconf.CacheDir)
+		section = flag.String("section", "all", "which experiment to regenerate")
 	)
 	flag.Parse()
 
@@ -97,10 +96,13 @@ func run() error {
 		return err
 	}
 	cfg := baseSpec.Config
-	cache, err := engine.NewCache(0, *cacheDir)
+	// The closer flushes a store-backed cache's write-behind buffer on
+	// exit, Ctrl-C included.
+	cache, closeCache, err := cf.OpenCache()
 	if err != nil {
 		return err
 	}
+	defer closeCache()
 	// Ctrl-C cancels the running campaign; with -cache-dir the cells
 	// measured so far are already persisted, so a rerun resumes there.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -48,12 +48,11 @@ func main() {
 
 func run() error {
 	var (
-		cf         = cliconf.Register(flag.CommandLine, cliconf.All|cliconf.Spec)
+		cf         = cliconf.Register(flag.CommandLine, cliconf.All|cliconf.Spec|cliconf.CacheDir)
 		pair       = flag.String("pair", "", "single pair to measure, e.g. ADD/LDM")
 		matrix     = flag.Bool("matrix", false, "measure the full 11×11 matrix")
 		format     = flag.String("format", "table", "matrix output: table, heatmap, csv, bars, stats")
 		dumpKernel = flag.Bool("kernel", false, "with -pair: print the generated alternation kernel instead of measuring")
-		cacheDir   = flag.String("cache-dir", "", "persist per-cell results here and reuse them across runs")
 		checkpoint = flag.String("checkpoint", "", "with -matrix: checkpoint file for resumable campaigns")
 	)
 	flag.Parse()
@@ -138,13 +137,14 @@ func run() error {
 
 		var opts savat.CampaignOptions
 		opts.CheckpointPath = *checkpoint
-		if *cacheDir != "" {
-			cache, err := engine.NewCache(0, *cacheDir)
-			if err != nil {
-				return err
-			}
-			opts.Cache = cache
+		// The closer flushes a store-backed cache's write-behind buffer,
+		// so even a Ctrl-C'd campaign keeps every measured cell.
+		cache, closeCache, err := cf.OpenCache()
+		if err != nil {
+			return err
 		}
+		defer closeCache()
+		opts.Cache = cache
 		ch := make(chan engine.ProgressEvent, 64)
 		opts.Monitor = ch
 		var last engine.Stats

@@ -8,6 +8,7 @@
 package cliconf
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/savat"
@@ -33,6 +35,9 @@ var (
 	ErrBadFrequency = savat.ErrBadFrequency
 	// ErrBadRepeats reports a -repeats below one.
 	ErrBadRepeats = savat.ErrBadRepeats
+	// ErrBadCacheBackend reports a -cache-backend that is neither
+	// "store" nor "json".
+	ErrBadCacheBackend = errors.New("cliconf: -cache-backend must be \"store\" or \"json\"")
 )
 
 // Set selects which of the shared flags a command registers.
@@ -59,8 +64,13 @@ const (
 	// overriding the setup flags) and -emit-spec (write the resolved
 	// campaign spec instead of running it).
 	Spec
-	// All registers every shared measurement-setup flag. Spec is opted
-	// into separately by the commands whose unit of work is a campaign.
+	// CacheDir registers -cache-dir (persistent per-cell result cache)
+	// and -cache-backend (its durable layer: the batched segment-log
+	// store, or the legacy one-JSON-file-per-cell layout).
+	CacheDir
+	// All registers every shared measurement-setup flag. Spec and
+	// CacheDir are opted into separately by the commands whose unit of
+	// work is a campaign.
 	All = Machine | Distance | Frequency | Repeats | Seed | Fast | Profile | Metrics
 )
 
@@ -79,6 +89,8 @@ type Flags struct {
 	MetricsAddr string
 	SpecPath    string
 	EmitSpec    string
+	CacheDir    string
+	CacheBack   string
 
 	set Set
 }
@@ -124,7 +136,48 @@ func Register(fs *flag.FlagSet, which Set) *Flags {
 		fs.StringVar(&f.SpecPath, "spec", "", "run the campaign this JSON spec file describes (overrides the setup flags)")
 		fs.StringVar(&f.EmitSpec, "emit-spec", "", "write the resolved campaign spec as JSON to this file ('-' = stdout) and exit")
 	}
+	if which&CacheDir != 0 {
+		fs.StringVar(&f.CacheDir, "cache-dir", "", "persist per-cell results here and reuse them across runs")
+		fs.StringVar(&f.CacheBack, "cache-backend", "store", "durable cache layer: store (batched segment log) or json (legacy one file per cell)")
+	}
 	return f
+}
+
+// OpenCache opens the per-cell result cache the registered cache flags
+// describe and returns it with a closer that flushes and releases its
+// durable layer; defer the closer so interrupted runs still persist
+// their buffered cells. Without -cache-dir (or without the CacheDir
+// flag set) the cache is in-memory only and the closer is a no-op.
+//
+// With -cache-dir, the default "store" backend keeps the cells in the
+// append-only segment log of internal/store — a directory still in the
+// legacy JSON layout is migrated on first open — while
+// -cache-backend json forces the old one-file-per-cell layer.
+func (f *Flags) OpenCache() (*engine.Cache, func(), error) {
+	if f.set&CacheDir == 0 || f.CacheDir == "" {
+		cache, _ := engine.NewCache(0, "") // memory-only: cannot fail
+		return cache, func() {}, nil
+	}
+	switch f.CacheBack {
+	case "store":
+		cache, err := engine.NewStoreCache(0, f.CacheDir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cliconf: -cache-dir: %w", err)
+		}
+		return cache, func() {
+			if err := cache.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cliconf: closing cache:", err)
+			}
+		}, nil
+	case "json":
+		cache, err := engine.NewCache(0, f.CacheDir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cliconf: -cache-dir: %w", err)
+		}
+		return cache, func() {}, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: %q", ErrBadCacheBackend, f.CacheBack)
+	}
 }
 
 // StartProfiles starts the profiling the -cpuprofile and -memprofile

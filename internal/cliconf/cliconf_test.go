@@ -4,6 +4,7 @@ import (
 	"errors"
 	"flag"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/obs"
@@ -234,5 +235,60 @@ func TestStartProfiles(t *testing.T) {
 	f = parse(t, Profile, "-cpuprofile", dir+"/no/such/dir/x.pprof")
 	if _, err := f.StartProfiles(); err == nil {
 		t.Error("unwritable -cpuprofile accepted")
+	}
+}
+
+func TestOpenCacheBackends(t *testing.T) {
+	// Without -cache-dir: memory-only cache, no-op closer.
+	f := parse(t, All|CacheDir)
+	cache, closeCache, err := f.OpenCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put("k", 1)
+	closeCache()
+
+	// The default backend persists through the segment log: a second
+	// open over the same directory sees the first one's cells.
+	dir := t.TempDir()
+	f = parse(t, All|CacheDir, "-cache-dir", dir)
+	if f.CacheBack != "store" {
+		t.Fatalf("default -cache-backend = %q, want store", f.CacheBack)
+	}
+	cache, closeCache, err = f.OpenCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put("cell", 42.5)
+	closeCache()
+	if seg, err := os.Stat(filepath.Join(dir, "000001.seg")); err != nil || seg.Size() == 0 {
+		t.Fatalf("store backend wrote no segment: %v", err)
+	}
+	cache, closeCache, err = f.OpenCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := cache.Get("cell"); !ok || v != 42.5 {
+		t.Fatalf("reopened store cache: (%v, %v)", v, ok)
+	}
+	closeCache()
+
+	// The json backend keeps the legacy one-file-per-cell layout.
+	jdir := t.TempDir()
+	f = parse(t, All|CacheDir, "-cache-dir", jdir, "-cache-backend", "json")
+	cache, closeCache, err = f.OpenCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put("cell", 1.5)
+	closeCache()
+	if _, err := os.Stat(filepath.Join(jdir, "cell.json")); err != nil {
+		t.Fatalf("json backend wrote no cell file: %v", err)
+	}
+
+	// Unknown backends fail with the sentinel.
+	f = parse(t, All|CacheDir, "-cache-dir", t.TempDir(), "-cache-backend", "bolt")
+	if _, _, err := f.OpenCache(); !errors.Is(err, ErrBadCacheBackend) {
+		t.Fatalf("unknown backend: %v, want ErrBadCacheBackend", err)
 	}
 }

@@ -136,3 +136,94 @@ func TestCampaignCancelResumeStress(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignCancelResumeStoreBacked is the durable-store variant of
+// the cancel/resume stress: instead of a checkpoint file, the campaign
+// persists cells through a store-backed cache (the append-only segment
+// log of internal/store). The campaign is cancelled mid-flight, the
+// cache is closed (flushing the write-behind buffer), a fresh cache is
+// reopened over the same directory, and the rerun must restore cells
+// from the log and produce a matrix cell-for-cell identical to an
+// uninterrupted run.
+func TestCampaignCancelResumeStoreBacked(t *testing.T) {
+	mc := machine.Core2Duo()
+	cfg := savat.FastConfig()
+	cfg.Duration = 1.0 / 32
+	events := []savat.Event{savat.LDM, savat.STM, savat.NOI, savat.ADD}
+	opts := func(cache *engine.Cache) savat.CampaignOptions {
+		return savat.CampaignOptions{
+			Events: events, Repeats: 3, Seed: 9,
+			Parallelism: 4,
+			Cache:       cache,
+		}
+	}
+
+	clean, err := savat.RunCampaign(mc, cfg, opts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "cells")
+	total := len(events) * len(events) * 3
+
+	cache, err := engine.NewStoreCache(engine.DefaultCacheCapacity, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	monitor := make(chan engine.ProgressEvent, total)
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range monitor {
+			n++
+			if n == total/3 {
+				cancel()
+			}
+		}
+		done <- n
+	}()
+	o := opts(cache)
+	o.Monitor = monitor
+	_, err = savat.RunCampaignContext(ctx, mc, cfg, o)
+	seen := <-done
+	cancel()
+	if err == nil {
+		t.Logf("campaign outran cancellation (%d cells seen)", seen)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v", err)
+	}
+	// Close drains the store's write-behind buffer: every finished cell
+	// is durable even though the campaign never reached a checkpoint.
+	if err := cache.Close(); err != nil {
+		t.Fatalf("closing cancelled campaign's cache: %v", err)
+	}
+
+	resumed, err := engine.NewStoreCache(engine.DefaultCacheCapacity, dir)
+	if err != nil {
+		t.Fatalf("reopening cache dir: %v", err)
+	}
+	defer resumed.Close()
+	res, err := savat.RunCampaign(mc, cfg, opts(resumed))
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if res.Engine.Cached == 0 && seen < total {
+		t.Errorf("store restored no cells (cancelled run finished %d)", seen)
+	}
+	if cs := resumed.Stats(); cs.DiskHits == 0 && seen < total {
+		t.Errorf("no disk hits on resume: %+v", cs)
+	}
+
+	for i := range events {
+		for j := range events {
+			if clean.Mean.Vals[i][j] != res.Mean.Vals[i][j] {
+				t.Errorf("%v/%v: clean %g vs store-resumed %g",
+					events[i], events[j], clean.Mean.Vals[i][j], res.Mean.Vals[i][j])
+			}
+			if clean.Cells[i][j].StdDev != res.Cells[i][j].StdDev {
+				t.Errorf("%v/%v: per-cell stats diverge across store resume", events[i], events[j])
+			}
+		}
+	}
+}

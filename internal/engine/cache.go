@@ -25,19 +25,39 @@ func Key(material string) string {
 	return hex.EncodeToString(h[:])
 }
 
+// Backing is the durable layer behind a Cache: the read-through /
+// write-behind seam the in-memory LRU falls back to. Implementations
+// must be safe for concurrent use. Load and Store follow the cache's
+// accelerator contract — a backing that cannot serve a key reports a
+// miss, and a backing that cannot persist a value drops it silently
+// rather than failing the campaign; persistent failures surface on
+// Sync and Close.
+type Backing interface {
+	// Load returns the durable value for key, if present.
+	Load(key string) (float64, bool)
+	// Store persists the value for key (possibly asynchronously).
+	Store(key string, v float64)
+	// Sync blocks until every Store accepted so far is durable.
+	Sync() error
+	// Close flushes and releases the backing.
+	Close() error
+}
+
 // Cache memoizes per-cell results under content-addressed keys. It has
-// an in-memory LRU layer and, when created with a directory, a
-// JSON-on-disk layer: every Put is persisted as <dir>/<key>.json, and a
-// Get that misses in memory falls back to disk (promoting the value
-// back into the LRU). The disk layer is what lets interrupted or
-// repeated campaigns skip finished cells across processes. All methods
-// are safe for concurrent use.
+// an in-memory LRU layer and, optionally, a durable Backing: every Put
+// is handed to the backing, and a Get that misses in memory falls back
+// to it (promoting the value back into the LRU). The backing is what
+// lets interrupted or repeated campaigns skip finished cells across
+// processes. Two backings exist: the legacy one-JSON-file-per-cell
+// directory (NewCache with a dir) and the batched append-only segment
+// log of internal/store (NewStoreCache), which is the default for new
+// cache directories. All methods are safe for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
-	dir      string
+	back     Backing
 
 	hits, misses, diskHits uint64
 }
@@ -47,61 +67,79 @@ type cacheEntry struct {
 	val float64
 }
 
-// diskCell is the on-disk JSON schema for one cached cell.
-type diskCell struct {
-	Value float64 `json:"value"`
-}
-
 // NewCache returns a cache holding up to capacity entries in memory
-// (capacity <= 0 uses DefaultCacheCapacity). A non-empty dir enables the
-// JSON-on-disk layer; the directory is created if needed.
+// (capacity <= 0 uses DefaultCacheCapacity). A non-empty dir enables
+// the legacy JSON-on-disk layer — one <key>.json file per cell; the
+// directory is created if needed. New code that wants a disk layer
+// should prefer NewStoreCache.
 func NewCache(capacity int, dir string) (*Cache, error) {
-	if capacity <= 0 {
-		capacity = DefaultCacheCapacity
-	}
+	var back Backing
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("engine: cache dir: %w", err)
 		}
+		back = jsonDirBacking{dir: dir}
+	}
+	return NewCacheWith(capacity, back), nil
+}
+
+// NewCacheWith returns a cache over an explicit backing (nil =
+// memory-only).
+func NewCacheWith(capacity int, back Backing) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
 	}
 	return &Cache{
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
-		dir:      dir,
-	}, nil
+		back:     back,
+	}
 }
 
 // Get returns the cached value for key, consulting memory first and
-// then the disk layer.
+// then the backing. The backing read happens outside the cache lock, so
+// a slow disk miss never stalls concurrent in-memory hits.
 func (c *Cache) Get(key string) (float64, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		return el.Value.(*cacheEntry).val, true
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, true
 	}
-	if c.dir != "" {
-		data, err := os.ReadFile(c.path(key))
-		if err == nil {
-			var cell diskCell
-			if json.Unmarshal(data, &cell) == nil {
-				c.insertLocked(key, cell.Value)
-				c.hits++
-				c.diskHits++
-				return cell.Value, true
+	back := c.back
+	c.mu.Unlock()
+
+	if back != nil {
+		if v, ok := back.Load(key); ok {
+			c.mu.Lock()
+			if el, raced := c.items[key]; raced {
+				// Another goroutine promoted (or Put) the key while we
+				// were reading; keep its entry.
+				c.ll.MoveToFront(el)
+				v = el.Value.(*cacheEntry).val
+			} else {
+				c.insertLocked(key, v)
 			}
+			c.hits++
+			c.diskHits++
+			c.mu.Unlock()
+			return v, true
 		}
 	}
+	c.mu.Lock()
 	c.misses++
+	c.mu.Unlock()
 	return 0, false
 }
 
-// Put stores the value for key in memory and, when the disk layer is
-// enabled, on disk. Disk write failures are deliberately swallowed: the
-// cache is an accelerator, and a full or read-only disk must not fail
-// the campaign.
+// Put stores the value for key in memory and hands it to the backing
+// when one is present. Backing write failures are deliberately
+// swallowed: the cache is an accelerator, and a full or read-only disk
+// must not fail the campaign (a store-backed cache reports persistent
+// failures on Sync/Close).
 func (c *Cache) Put(key string, v float64) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
@@ -110,12 +148,10 @@ func (c *Cache) Put(key string, v float64) {
 	} else {
 		c.insertLocked(key, v)
 	}
-	dir := c.dir
+	back := c.back
 	c.mu.Unlock()
-	if dir != "" {
-		if data, err := json.Marshal(diskCell{Value: v}); err == nil {
-			writeFileAtomic(c.path(key), data)
-		}
+	if back != nil {
+		back.Store(key, v)
 	}
 }
 
@@ -130,6 +166,24 @@ func (c *Cache) insertLocked(key string, v float64) {
 	}
 }
 
+// Sync blocks until every Put accepted so far is durable in the
+// backing. Memory-only caches return nil immediately.
+func (c *Cache) Sync() error {
+	if c.back == nil {
+		return nil
+	}
+	return c.back.Sync()
+}
+
+// Close flushes and releases the backing. Memory-only caches return nil
+// immediately; the cache must not be used after Close.
+func (c *Cache) Close() error {
+	if c.back == nil {
+		return nil
+	}
+	return c.back.Close()
+}
+
 // Len returns the number of entries resident in memory.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -141,7 +195,7 @@ func (c *Cache) Len() int {
 type CacheStats struct {
 	Hits     uint64 // Get calls served (DiskHits included)
 	Misses   uint64 // Get calls not served by either layer
-	DiskHits uint64 // hits that needed the disk layer
+	DiskHits uint64 // hits that needed the backing
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -151,8 +205,44 @@ func (c *Cache) Stats() CacheStats {
 	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits}
 }
 
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key+".json")
+// jsonDirBacking is the legacy disk layer: one <key>.json file per
+// cell, written atomically. It remains for existing directories and the
+// "json" cache backend flag; NewStoreCache supersedes it.
+type jsonDirBacking struct {
+	dir string
+}
+
+// diskCell is the on-disk JSON schema for one cached cell.
+type diskCell struct {
+	Value float64 `json:"value"`
+}
+
+func (b jsonDirBacking) Load(key string) (float64, bool) {
+	data, err := os.ReadFile(b.path(key))
+	if err != nil {
+		return 0, false
+	}
+	var cell diskCell
+	if json.Unmarshal(data, &cell) != nil {
+		return 0, false
+	}
+	return cell.Value, true
+}
+
+func (b jsonDirBacking) Store(key string, v float64) {
+	if data, err := json.Marshal(diskCell{Value: v}); err == nil {
+		writeFileAtomic(b.path(key), data)
+	}
+}
+
+// Sync is a no-op: every Store is already durable when it returns.
+func (b jsonDirBacking) Sync() error { return nil }
+
+// Close is a no-op: the backing holds no resources.
+func (b jsonDirBacking) Close() error { return nil }
+
+func (b jsonDirBacking) path(key string) string {
+	return filepath.Join(b.dir, key+".json")
 }
 
 // writeFileAtomic writes data via a temp file and rename so readers

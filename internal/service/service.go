@@ -139,7 +139,10 @@ type Server struct {
 }
 
 // New builds a Server. With a StateDir, the shared result cache gets
-// its disk layer under StateDir/cache.
+// its durable layer under StateDir/cache: the append-only segment log
+// of internal/store, batching cell writes off the campaign workers'
+// path. A StateDir written by an older build (one JSON file per cell)
+// is migrated into the log on first open. Close flushes it.
 func New(opts Options) (*Server, error) {
 	if opts.MaxActive <= 0 {
 		opts.MaxActive = 2
@@ -147,16 +150,18 @@ func New(opts Options) (*Server, error) {
 	if opts.CacheCapacity <= 0 {
 		opts.CacheCapacity = engine.DefaultCacheCapacity
 	}
-	cacheDir := ""
+	var cache *engine.Cache
 	if opts.StateDir != "" {
-		cacheDir = filepath.Join(opts.StateDir, "cache")
 		if err := os.MkdirAll(filepath.Join(opts.StateDir, "checkpoints"), 0o755); err != nil {
 			return nil, fmt.Errorf("service: %w", err)
 		}
-	}
-	cache, err := engine.NewCache(opts.CacheCapacity, cacheDir)
-	if err != nil {
-		return nil, fmt.Errorf("service: %w", err)
+		var err error
+		cache, err = engine.NewStoreCache(opts.CacheCapacity, filepath.Join(opts.StateDir, "cache"))
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	} else {
+		cache, _ = engine.NewCache(opts.CacheCapacity, "") // memory-only: cannot fail
 	}
 	return &Server{
 		opts:   opts,
@@ -318,8 +323,9 @@ func (s *Server) Subscribe(id string) (<-chan engine.ProgressEvent, func(), erro
 }
 
 // Close stops the server: no new submissions, queued jobs are
-// cancelled, running campaigns are cancelled (and checkpointed), and
-// Close blocks until they have wound down.
+// cancelled, running campaigns are cancelled (and checkpointed), Close
+// blocks until they have wound down, and the shared result cache's
+// durable layer is flushed and released.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -333,6 +339,7 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.cache.Close()
 }
 
 // checkpointPath returns the job's checkpoint file ("" without a

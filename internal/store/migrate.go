@@ -1,0 +1,95 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// legacyCell is the on-disk JSON schema of the engine cache's original
+// one-file-per-cell disk layer (<key>.json holding {"value": v}).
+type legacyCell struct {
+	Value float64 `json:"value"`
+}
+
+// migrateJSONDir performs the one-shot import of a legacy cache
+// directory: every <key>.json cell file is appended to a fresh segment
+// as an EncodeFloat64 record and the JSON files are deleted once the
+// segment is durable. Files that do not decode are skipped — the old
+// cache treated them as misses, and so does the migrated store.
+// Runs before replay, so the imported segment is indexed by the normal
+// open path.
+func (s *Store) migrateJSONDir() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var cells []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			cells = append(cells, e.Name())
+		}
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+
+	// Normally the directory is pre-store and the import lands in
+	// segment 1; if segment files coexist with JSON cells (an old
+	// binary wrote cells after the store was introduced), the import
+	// lands in a fresh highest-numbered segment so the JSON values —
+	// necessarily the newer writes — supersede on replay.
+	ids, err := segmentIDs(s.dir)
+	if err != nil {
+		return err
+	}
+	id := 1
+	if len(ids) > 0 {
+		id = ids[len(ids)-1] + 1
+	}
+
+	buf := encodeHeader()
+	imported := 0
+	for _, name := range cells {
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		var cell legacyCell
+		if json.Unmarshal(data, &cell) != nil {
+			continue
+		}
+		buf = AppendRecord(buf, strings.TrimSuffix(name, ".json"), EncodeFloat64(cell.Value))
+		imported++
+	}
+
+	f, err := os.OpenFile(s.segPath(id), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	f.Close()
+	s.sys(4)
+	s.syncDir()
+
+	// The segment is durable; the JSON files are now redundant. A crash
+	// mid-removal re-runs the import idempotently (same keys, same
+	// values, into a further segment).
+	for _, name := range cells {
+		os.Remove(filepath.Join(s.dir, name))
+		s.sys(1)
+	}
+	s.syncDir()
+	s.migrated = imported
+	mMigrated.Add(uint64(imported))
+	return nil
+}

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeLegacyCell(t *testing.T, dir, key string, v float64) {
+	t.Helper()
+	data, err := json.Marshal(legacyCell{Value: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateJSONDir(t *testing.T) {
+	dir := t.TempDir()
+	want := map[string]float64{
+		"aaaa": 1.25,
+		"bbbb": -3.75e-21,
+		"cccc": 0,
+		"dddd": math.MaxFloat64,
+	}
+	for k, v := range want {
+		writeLegacyCell(t, dir, k, v)
+	}
+	// An undecodable straggler: skipped, exactly as the old cache
+	// treated it (a miss), and removed with the rest.
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openT(t, dir, fastOpts())
+	if got := s.Stats().MigratedCells; got != len(want) {
+		t.Fatalf("migrated %d cells, want %d", got, len(want))
+	}
+	for k, v := range want {
+		b, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("cell %q missing after migration", k)
+		}
+		got, ok := DecodeFloat64(b)
+		if !ok || math.Float64bits(got) != math.Float64bits(v) {
+			t.Fatalf("cell %q: %v → %v (bits must match)", k, v, got)
+		}
+	}
+	// The JSON files are gone — the import is one-shot.
+	left, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("JSON cells survived migration: %v", left)
+	}
+	s.Close()
+
+	// Reopen is stable and migrates nothing further.
+	s2 := openT(t, dir, fastOpts())
+	defer s2.Close()
+	if got := s2.Stats().MigratedCells; got != 0 {
+		t.Fatalf("second open migrated %d cells, want 0", got)
+	}
+	for k, v := range want {
+		b, ok := s2.Get(k)
+		if !ok {
+			t.Fatalf("cell %q lost across reopen", k)
+		}
+		if got, _ := DecodeFloat64(b); math.Float64bits(got) != math.Float64bits(v) {
+			t.Fatalf("cell %q changed across reopen", k)
+		}
+	}
+}
+
+// TestMigrateJSONSupersedesSegments covers the mixed-state directory: an
+// old binary wrote JSON cells next to existing segment files. The JSON
+// values are necessarily the newer writes, so they must win.
+func TestMigrateJSONSupersedesSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, fastOpts())
+	put(t, s, "cell", string(EncodeFloat64(1.0)))
+	put(t, s, "only-in-log", string(EncodeFloat64(7.0)))
+	s.Close()
+
+	writeLegacyCell(t, dir, "cell", 2.0) // newer write by an old binary
+
+	s2 := openT(t, dir, fastOpts())
+	defer s2.Close()
+	b, ok := s2.Get("cell")
+	if !ok {
+		t.Fatal("cell missing")
+	}
+	if got, _ := DecodeFloat64(b); got != 2.0 {
+		t.Fatalf("cell = %v, want the JSON value 2.0 to supersede the log's 1.0", got)
+	}
+	b, ok = s2.Get("only-in-log")
+	if !ok {
+		t.Fatal("only-in-log missing")
+	}
+	if got, _ := DecodeFloat64(b); got != 7.0 {
+		t.Fatalf("only-in-log = %v, want 7.0", got)
+	}
+}
+
+func TestMigrateEmptyAndAbsentDir(t *testing.T) {
+	// Absent directory: created, no migration.
+	dir := filepath.Join(t.TempDir(), "fresh")
+	s := openT(t, dir, fastOpts())
+	if s.Stats().MigratedCells != 0 {
+		t.Fatal("fresh dir migrated cells")
+	}
+	s.Close()
+}
+
+func TestMigrateManyCells(t *testing.T) {
+	dir := t.TempDir()
+	const n = 500
+	for i := 0; i < n; i++ {
+		writeLegacyCell(t, dir, fmt.Sprintf("cell-%04d", i), float64(i)*1.5)
+	}
+	s := openT(t, dir, fastOpts())
+	defer s.Close()
+	if got := s.Stats().MigratedCells; got != n {
+		t.Fatalf("migrated %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		b, ok := s.Get(fmt.Sprintf("cell-%04d", i))
+		if !ok {
+			t.Fatalf("cell %d missing", i)
+		}
+		if v, _ := DecodeFloat64(b); v != float64(i)*1.5 {
+			t.Fatalf("cell %d = %v", i, v)
+		}
+	}
+}
