@@ -5,6 +5,7 @@ FUZZTIME ?= 30s
 # -fuzz invocation must match exactly one target.
 FUZZ_TARGETS := \
 	./internal/dsp:FuzzPlanForwardVsNaiveDFT \
+	./internal/dsp:FuzzForwardAsmVsPure \
 	./internal/dsp:FuzzWelchPairVsSingle \
 	./internal/isa:FuzzDecodeEncodeRoundTrip \
 	./internal/isa:FuzzEncodeDecodeInstruction \
@@ -17,7 +18,7 @@ FUZZ_TARGETS := \
 
 # Baseline snapshot cmd/benchguard compares against; re-record with
 # `make bench-json` after intentional performance changes.
-BENCH_BASELINE ?= BENCH_20260807.json
+BENCH_BASELINE ?= BENCH_20260808.json
 
 build:
 	$(GO) build ./...
@@ -30,10 +31,15 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig(09|12|14)Matrix' -benchtime=1x .
 
 # Machine-readable benchmark snapshot: compile and run EVERY benchmark
-# in the tree once and write ns/op plus all reported metrics to
-# BENCH_<YYYYMMDD>.json (for tracking perf trajectories across commits).
+# in the tree — multiple iterations per run and multiple runs per
+# benchmark, so each recorded metric is a cross-run mean with a
+# variance field instead of a single noisy sample — and write the
+# aggregate to BENCH_<YYYYMMDD>.json (for tracking perf trajectories
+# across commits).
+BENCH_JSON_TIME ?= 2x
+BENCH_JSON_COUNT ?= 3
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime=1x ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) test -run '^$$' -bench . -benchtime=$(BENCH_JSON_TIME) -count=$(BENCH_JSON_COUNT) ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	$(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y%m%d).json < bench.out
 	@rm -f bench.out
 
@@ -50,7 +56,8 @@ lint:
 # Perf contract on the campaign hot path: the streaming measurement with
 # the observability registry disabled must stay within BUDGET of the
 # recorded baseline (NOISE is slack for run/machine variance — CI
-# runners are not the baseline machine), and the disabled
+# runners are not the baseline machine), the arena-backed steady state
+# must perform zero heap allocations per cell, and the disabled
 # instrumentation sites themselves must report exactly 0 allocs/op.
 BENCH_GUARD_BUDGET ?= 0.01
 BENCH_GUARD_NOISE ?= 0.25
@@ -58,7 +65,7 @@ bench-guard:
 	$(GO) test -run '^$$' -bench 'BenchmarkMeasureKernelScratch$$' -benchtime 20x . > benchguard.out || (cat benchguard.out; rm -f benchguard.out; exit 1)
 	$(GO) test -run '^$$' -bench 'BenchmarkDisabled' -benchtime 1000x ./internal/obs >> benchguard.out || (cat benchguard.out; rm -f benchguard.out; exit 1)
 	$(GO) run ./cmd/benchguard -baseline $(BENCH_BASELINE) -only 'MeasureKernelScratch$$' \
-		-zeroalloc 'BenchmarkDisabled' \
+		-zeroalloc 'BenchmarkMeasureKernelScratch$$|BenchmarkDisabled' \
 		-budget $(BENCH_GUARD_BUDGET) -noise $(BENCH_GUARD_NOISE) < benchguard.out
 	@rm -f benchguard.out
 

@@ -40,9 +40,9 @@ import (
 
 func main() {
 	var (
-		baseline = flag.String("baseline", "", "benchjson snapshot to compare against (required)")
-		budget   = flag.Float64("budget", 0.01, "allowed fractional ns/op regression past the baseline")
-		noise    = flag.Float64("noise", 0.25, "extra fractional slack for run and machine variance")
+		baseline  = flag.String("baseline", "", "benchjson snapshot to compare against (required)")
+		budget    = flag.Float64("budget", 0.01, "allowed fractional ns/op regression past the baseline")
+		noise     = flag.Float64("noise", 0.25, "extra fractional slack for run and machine variance")
 		only      = flag.String("only", "", "regexp restricting which benchmarks are guarded (default all)")
 		zeroalloc = flag.String("zeroalloc", "", "regexp of benchmarks that must report 0 allocs/op")
 	)
@@ -69,6 +69,9 @@ func run(in io.Reader, out io.Writer, baseline string, budget, noise float64, on
 	if err != nil {
 		return err
 	}
+	// A -count run yields one line per repetition; guard the mean, like
+	// the baselines record it.
+	cur.Aggregate()
 	var keep, mustZero *regexp.Regexp
 	if only != "" {
 		if keep, err = regexp.Compile(only); err != nil {

@@ -3,14 +3,17 @@
 // tracked across commits with ordinary tooling instead of eyeballing
 // test output.
 //
-//	go test -run '^$' -bench . -benchtime=1x ./... > bench.out
+//	go test -run '^$' -bench . -benchtime=2x -count=3 ./... > bench.out
 //	benchjson -out BENCH_20260806.json < bench.out
 //
 // Every reported metric is captured — ns/op, B/op, allocs/op, and the
 // custom b.ReportMetric units the figure benchmarks emit (cell-ratio,
-// spearman, diag-violations, ...). `make bench-json` wraps the whole
-// flow and names the file BENCH_<YYYYMMDD>.json. The snapshots feed
-// cmd/benchguard, which fails a run that regresses past a baseline.
+// spearman, diag-violations, ...). Result lines are aggregated per
+// benchmark: with -count > 1 each metric is recorded as its cross-run
+// mean plus an unbiased sample variance, so a snapshot says how noisy
+// its numbers are. `make bench-json` wraps the whole flow and names
+// the file BENCH_<YYYYMMDD>.json. The snapshots feed cmd/benchguard,
+// which fails a run that regresses past a baseline.
 package main
 
 import (
@@ -41,6 +44,10 @@ func run(out, date string) error {
 	if len(f.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
 	}
+	// -count runs produce one line per run; record each benchmark once,
+	// as its mean plus cross-run variance, so the snapshot carries noise
+	// information instead of a single arbitrary sample.
+	f.Aggregate()
 	f.Date = date
 	if out == "" {
 		out = "BENCH_" + date + ".json"

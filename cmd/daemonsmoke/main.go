@@ -46,14 +46,16 @@ func main() {
 }
 
 // smokeSpec is the campaign the smoke run submits: a 3×3 grid with
-// quarter-second captures, slow enough (run with -parallelism 1) that
-// the mid-run DELETE below always lands before the campaign finishes.
+// one-second captures and three repetitions, enough work (run with
+// -parallelism 1) that the mid-run DELETE below lands with over twenty
+// cells still outstanding — a margin that has to absorb the simulator
+// getting faster release over release, so err well on the slow side.
 func smokeSpec() savat.CampaignSpec {
 	spec := savat.DefaultCampaignSpec()
 	spec.Config = savat.FastConfig()
-	spec.Config.Duration = 0.25
+	spec.Config.Duration = 1.0
 	spec.Events = []savat.Event{savat.ADD, savat.LDM, savat.DIV}
-	spec.Repeats = 2
+	spec.Repeats = 3
 	spec.Seed = 11
 	return spec
 }

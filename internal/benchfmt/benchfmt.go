@@ -12,12 +12,22 @@ import (
 	"strings"
 )
 
-// Bench is one benchmark result line.
+// Bench is one benchmark result: a single `go test -bench` output line,
+// or — after Aggregate — the summary of every line one benchmark
+// produced across `-count` runs.
 type Bench struct {
 	Name       string             `json:"name"`
 	Package    string             `json:"package,omitempty"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Iterations int64              `json:"iterations"` // total b.N across samples
+	Metrics    map[string]float64 `json:"metrics"`    // per-metric mean across samples
+
+	// Samples is how many result lines were aggregated into this entry
+	// (1 before Aggregate, or for a benchmark run once). Variance holds
+	// the per-metric unbiased sample variance across those lines —
+	// present only when Samples > 1, so a snapshot records how noisy
+	// each number is instead of pretending a single sample is exact.
+	Samples  int                `json:"samples,omitempty"`
+	Variance map[string]float64 `json:"variance,omitempty"`
 }
 
 // File is the snapshot written to (and read back from) disk.
@@ -27,6 +37,68 @@ type File struct {
 	GOARCH     string  `json:"goarch,omitempty"`
 	CPU        string  `json:"cpu,omitempty"`
 	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Aggregate merges result lines that share a (package, name) — the
+// shape `go test -bench -count=N` produces — into one Bench per
+// benchmark: Metrics become per-metric means, Variance the unbiased
+// sample variances (when more than one sample exists), Iterations the
+// total b.N, and Samples the line count. First-seen order is kept, and
+// means survive re-aggregation unchanged.
+func (f *File) Aggregate() {
+	type group struct {
+		bench   Bench
+		sums    map[string]float64 // Σv per metric
+		sumsq   map[string]float64 // Σv² per metric
+		counts  map[string]int     // lines carrying the metric
+		samples int
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, b := range f.Benchmarks {
+		id := b.Package + "\x00" + b.Name
+		g, ok := groups[id]
+		if !ok {
+			g = &group{
+				bench: Bench{Name: b.Name, Package: b.Package},
+				sums:  map[string]float64{}, sumsq: map[string]float64{}, counts: map[string]int{},
+			}
+			groups[id] = g
+			order = append(order, id)
+		}
+		g.bench.Iterations += b.Iterations
+		g.samples++
+		for unit, v := range b.Metrics {
+			g.sums[unit] += v
+			g.sumsq[unit] += v * v
+			g.counts[unit]++
+		}
+	}
+	agg := make([]Bench, 0, len(order))
+	for _, id := range order {
+		g := groups[id]
+		g.bench.Samples = g.samples
+		g.bench.Metrics = make(map[string]float64, len(g.sums))
+		for unit, sum := range g.sums {
+			n := float64(g.counts[unit])
+			mean := sum / n
+			g.bench.Metrics[unit] = mean
+			if g.counts[unit] > 1 {
+				// Unbiased sample variance; clamp the tiny negative values
+				// the Σv²−n·mean² form produces for identical samples.
+				v := (g.sumsq[unit] - n*mean*mean) / (n - 1)
+				if v < 0 {
+					v = 0
+				}
+				if g.bench.Variance == nil {
+					g.bench.Variance = map[string]float64{}
+				}
+				g.bench.Variance[unit] = v
+			}
+		}
+		agg = append(agg, g.bench)
+	}
+	f.Benchmarks = agg
 }
 
 // Find returns the first benchmark whose name equals name.

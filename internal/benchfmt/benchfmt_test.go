@@ -1,6 +1,7 @@
 package benchfmt
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -51,6 +52,61 @@ func TestParse(t *testing.T) {
 	}
 	if _, ok := f.Find("BenchmarkNope"); ok {
 		t.Error("Find invented BenchmarkNope")
+	}
+}
+
+// Aggregate must fold -count repetitions of one benchmark into a
+// single entry carrying the cross-run mean and sample variance, keep
+// same-named benchmarks from different packages apart, and leave
+// single-sample files unchanged (no variance field).
+func TestAggregate(t *testing.T) {
+	const counted = `pkg: repro
+BenchmarkHot 	       2	 100 ns/op	       0 allocs/op
+BenchmarkHot 	       2	 140 ns/op	       0 allocs/op
+BenchmarkHot 	       2	 120 ns/op	       0 allocs/op
+BenchmarkCold 	       1	 7 ns/op
+pkg: repro/internal/dsp
+BenchmarkHot 	       4	 50 ns/op
+`
+	f, err := Parse(strings.NewReader(counted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Aggregate()
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("aggregated to %d entries, want 3: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	hot := f.Benchmarks[0]
+	if hot.Name != "BenchmarkHot" || hot.Package != "repro" {
+		t.Fatalf("first entry = %+v", hot)
+	}
+	if hot.Samples != 3 || hot.Iterations != 6 {
+		t.Errorf("hot samples/iterations = %d/%d, want 3/6", hot.Samples, hot.Iterations)
+	}
+	if got := hot.Metrics["ns/op"]; got != 120 {
+		t.Errorf("hot mean ns/op = %g, want 120", got)
+	}
+	if got := hot.Variance["ns/op"]; got != 400 { // ((20²+0²+20²)/2)
+		t.Errorf("hot ns/op variance = %g, want 400", got)
+	}
+	if got := hot.Variance["allocs/op"]; got != 0 {
+		t.Errorf("hot allocs/op variance = %g, want 0", got)
+	}
+	cold := f.Benchmarks[1]
+	if cold.Samples != 1 || cold.Variance != nil {
+		t.Errorf("cold = %+v: single sample must carry no variance", cold)
+	}
+	if dspHot := f.Benchmarks[2]; dspHot.Package != "repro/internal/dsp" || dspHot.Metrics["ns/op"] != 50 {
+		t.Errorf("per-package split lost: %+v", dspHot)
+	}
+
+	// Idempotent: aggregating the aggregate changes nothing.
+	before := fmt.Sprintf("%+v", f.Benchmarks)
+	f.Aggregate()
+	// Samples stays, variance is dropped (one sample per entry now), but
+	// means and order must hold.
+	if len(f.Benchmarks) != 3 || f.Benchmarks[0].Metrics["ns/op"] != 120 {
+		t.Errorf("re-aggregation changed results:\nbefore %s\nafter  %+v", before, f.Benchmarks)
 	}
 }
 

@@ -42,14 +42,6 @@ func (c Config) Validate() error {
 // Sets returns the number of sets implied by the configuration.
 func (c Config) Sets() int { return c.SizeBytes / (c.Assoc * c.LineBytes) }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	epoch uint32 // line is live only when this matches the cache epoch
-	lru   uint64 // larger = more recently used
-}
-
 // Stats counts cache activity since construction or Reset.
 type Stats struct {
 	Reads       uint64
@@ -83,16 +75,33 @@ type Result struct {
 	WriteBackAddr uint64 // line-aligned address of the written-back victim
 }
 
-// Cache is one set-associative cache level. Lines live in one flat
-// backing array (set-major) so construction is a single allocation and
-// the per-access set lookup is pure index arithmetic.
+// vtagValid marks a resident way in the packed tag array. A tag is
+// addr >> (lineShift + log2(sets)), so for any address below 2⁶³ the
+// tag cannot carry bit 63 itself and the packed word is unambiguous; a
+// zero word means "invalid way". (Only the degenerate 1-set,
+// 1-byte-line configuration could see bit-63 tags, and only from
+// addresses at the very top of the 64-bit space.)
+const vtagValid = uint64(1) << 63
+
+// Cache is one set-associative cache level.
+//
+// Way state is kept structure-of-arrays: the packed valid|tag words of a
+// set are adjacent in one flat uint64 array, so the per-access walk — the
+// hottest loop in the whole simulator — is a run of single-word compares
+// over one or two host cache lines, with LRU stamps and dirty bits in
+// side arrays touched only on a hit or fill. Construction is a handful
+// of flat allocations and the per-access set lookup is pure index
+// arithmetic.
 type Cache struct {
 	cfg       Config
-	lines     []line // nsets × assoc, set-major
+	vtags     []uint64 // nsets × assoc, set-major; tag|vtagValid, or 0 when invalid
+	lru       []uint64 // larger = more recently used
+	dirty     []bool
+	setEpoch  []uint32 // per-set epoch; stale sets are cleared lazily on first touch
 	assoc     int
 	setsMask  uint64
 	lineShift uint
-	tagShift  uint // lineShift + log2(sets)
+	tagShift  uint // log2(sets)
 	stamp     uint64
 	epoch     uint32
 	stats     Stats
@@ -106,7 +115,10 @@ func New(cfg Config) (*Cache, error) {
 	nsets := cfg.Sets()
 	c := &Cache{
 		cfg:      cfg,
-		lines:    make([]line, nsets*cfg.Assoc),
+		vtags:    make([]uint64, nsets*cfg.Assoc),
+		lru:      make([]uint64, nsets*cfg.Assoc),
+		dirty:    make([]bool, nsets*cfg.Assoc),
+		setEpoch: make([]uint32, nsets),
 		assoc:    cfg.Assoc,
 		setsMask: uint64(nsets - 1),
 	}
@@ -133,15 +145,18 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() Stats { return c.stats }
 
 // Reset invalidates all lines and zeroes the statistics. Invalidation
-// is by epoch bump: a line is live only while its epoch matches the
-// cache's, so Reset is O(1) instead of a multi-megabyte clear of the
-// line array (an L2 model is reset before every simulated run).
+// is by epoch bump: a set's ways are cleared lazily on its first touch
+// in the new epoch, so Reset is O(1) instead of a multi-megabyte clear
+// of the way arrays (an L2 model is reset before every simulated run).
 func (c *Cache) Reset() {
 	if c.epoch == ^uint32(0) {
-		// Epoch wrap: clear for real so stale lines from epoch 0 cannot
+		// Epoch wrap: clear for real so stale sets from epoch 0 cannot
 		// resurface. Once per 2³² resets.
-		for i := range c.lines {
-			c.lines[i] = line{}
+		for i := range c.vtags {
+			c.vtags[i] = 0
+		}
+		for i := range c.setEpoch {
+			c.setEpoch[i] = 0
 		}
 		c.epoch = 0
 	} else {
@@ -149,11 +164,6 @@ func (c *Cache) Reset() {
 	}
 	c.stats = Stats{}
 	c.stamp = 0
-}
-
-// live reports whether w holds a line of the current epoch.
-func (c *Cache) live(w *line) bool {
-	return w.valid && w.epoch == c.epoch
 }
 
 // LineAddr returns the line-aligned address containing addr.
@@ -166,10 +176,18 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	return l & c.setsMask, l >> c.tagShift
 }
 
-// set returns the ways of one set as a slice into the flat line array.
-func (c *Cache) set(set uint64) []line {
+// ways returns the packed valid|tag words of one set, clearing them
+// first if the set has not been touched since the last Reset.
+func (c *Cache) ways(set uint64) []uint64 {
 	base := int(set) * c.assoc
-	return c.lines[base : base+c.assoc]
+	vt := c.vtags[base : base+c.assoc]
+	if c.setEpoch[set] != c.epoch {
+		for i := range vt {
+			vt[i] = 0
+		}
+		c.setEpoch[set] = c.epoch
+	}
+	return vt
 }
 
 func popcount(m uint64) int {
@@ -185,7 +203,8 @@ func popcount(m uint64) int {
 // line is allocated (write-allocate); writes mark the line dirty.
 func (c *Cache) Access(addr uint64, write bool) Result {
 	set, tag := c.index(addr)
-	ways := c.set(set)
+	vt := c.ways(set)
+	base := int(set) * c.assoc
 	c.stamp++
 	if write {
 		c.stats.Writes++
@@ -193,11 +212,12 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 		c.stats.Reads++
 	}
 
-	for wi := range ways {
-		if c.live(&ways[wi]) && ways[wi].tag == tag {
-			ways[wi].lru = c.stamp
+	want := tag | vtagValid
+	for wi, v := range vt {
+		if v == want {
+			c.lru[base+wi] = c.stamp
 			if write {
-				ways[wi].dirty = true
+				c.dirty[base+wi] = true
 				c.stats.WriteHits++
 			} else {
 				c.stats.ReadHits++
@@ -208,26 +228,28 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 
 	// Miss: pick the LRU victim (preferring invalid ways).
 	victim := 0
-	for wi := range ways {
-		if !c.live(&ways[wi]) {
+	for wi, v := range vt {
+		if v == 0 {
 			victim = wi
 			break
 		}
-		if ways[wi].lru < ways[victim].lru {
+		if c.lru[base+wi] < c.lru[base+victim] {
 			victim = wi
 		}
 	}
 	res := Result{Fill: true}
-	if c.live(&ways[victim]) {
-		if ways[victim].dirty {
+	if vt[victim] != 0 {
+		if c.dirty[base+victim] {
 			res.WriteBack = true
-			res.WriteBackAddr = c.reconstruct(set, ways[victim].tag)
+			res.WriteBackAddr = c.reconstruct(set, vt[victim]&^vtagValid)
 			c.stats.WriteBacks++
 		} else {
 			c.stats.CleanEvicts++
 		}
 	}
-	ways[victim] = line{tag: tag, valid: true, dirty: write, epoch: c.epoch, lru: c.stamp}
+	vt[victim] = want
+	c.lru[base+victim] = c.stamp
+	c.dirty[base+victim] = write
 	c.stats.Fills++
 	return res
 }
@@ -241,15 +263,16 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 // in one set walk instead of a Contains probe followed by a full Access.
 func (c *Cache) AccessHit(addr uint64, write bool) bool {
 	set, tag := c.index(addr)
-	ways := c.set(set)
-	for wi := range ways {
-		if c.live(&ways[wi]) && ways[wi].tag == tag {
+	vt := c.ways(set)
+	want := tag | vtagValid
+	for wi, v := range vt {
+		if v == want {
 			c.stamp++
-			ways[wi].lru = c.stamp
+			c.lru[int(set)*c.assoc+wi] = c.stamp
 			if write {
 				c.stats.Writes++
 				c.stats.WriteHits++
-				ways[wi].dirty = true
+				c.dirty[int(set)*c.assoc+wi] = true
 			} else {
 				c.stats.Reads++
 				c.stats.ReadHits++
@@ -266,11 +289,13 @@ func (c *Cache) reconstruct(set, tag uint64) uint64 {
 }
 
 // Contains reports whether the line holding addr is currently resident
-// (without touching LRU state); used by tests and invariant checks.
+// (without touching LRU state); used by the streaming-store path in
+// memhier and by tests and invariant checks.
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, w := range c.set(set) {
-		if c.live(&w) && w.tag == tag {
+	want := tag | vtagValid
+	for _, v := range c.ways(set) {
+		if v == want {
 			return true
 		}
 	}
@@ -280,9 +305,10 @@ func (c *Cache) Contains(addr uint64) bool {
 // Dirty reports whether the line holding addr is resident and dirty.
 func (c *Cache) Dirty(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, w := range c.set(set) {
-		if c.live(&w) && w.tag == tag {
-			return w.dirty
+	want := tag | vtagValid
+	for wi, v := range c.ways(set) {
+		if v == want {
+			return c.dirty[int(set)*c.assoc+wi]
 		}
 	}
 	return false
@@ -291,9 +317,15 @@ func (c *Cache) Dirty(addr uint64) bool {
 // ResidentLines returns the number of valid lines (for occupancy checks).
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for _, w := range c.lines {
-		if c.live(&w) {
-			n++
+	for set := range c.setEpoch {
+		if c.setEpoch[set] != c.epoch {
+			continue // untouched since the last Reset: nothing live
+		}
+		base := set * c.assoc
+		for _, v := range c.vtags[base : base+c.assoc] {
+			if v != 0 {
+				n++
+			}
 		}
 	}
 	return n

@@ -133,6 +133,34 @@ func RunDifferential(specs []DiffSpec, relTol float64) ([]DiffResult, *Report, e
 	return out, r, nil
 }
 
+// RunDifferentialKernels repeats the fast-vs-reference differential
+// once per available butterfly kernel (dsp.AvailableKernels: the
+// dispatched assembly and the pure-Go fallback on amd64, just "go"
+// elsewhere or under the purego tag), forcing each for the whole run so
+// an accuracy regression names the offending kernel path instead of
+// hiding behind whatever the dispatcher picked. Check names are
+// prefixed "kernel/<name>/". The previously active kernel is restored
+// on return.
+func RunDifferentialKernels(specs []DiffSpec, relTol float64) (*Report, error) {
+	r := &Report{}
+	prev := dsp.ActiveKernel()
+	defer dsp.SetKernel(prev)
+	for _, kernel := range dsp.AvailableKernels() {
+		if err := dsp.SetKernel(kernel); err != nil {
+			return nil, fmt.Errorf("conform: select kernel %s: %w", kernel, err)
+		}
+		_, kr, err := RunDifferential(specs, relTol)
+		if err != nil {
+			return nil, fmt.Errorf("conform: kernel %s: %w", kernel, err)
+		}
+		for _, c := range kr.Checks {
+			c.Name = "kernel/" + kernel + "/" + c.Name
+			r.Add(c)
+		}
+	}
+	return r, nil
+}
+
 // RunStreamingDifferential drives every spec through the streaming
 // measurement path (the default Measurer mode) and the buffered
 // oracle (savat.WithBuffered) with identical rng streams and

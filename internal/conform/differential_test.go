@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/dsp"
 	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/savat"
@@ -33,6 +34,32 @@ func TestDifferentialSweep(t *testing.T) {
 		}
 	}
 	t.Logf("%d specs, worst relative difference %.3g", len(results), worst)
+	if err := r.Err(); err != nil {
+		t.Logf("\n%s", r)
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialSweepKernelPaths forces every available butterfly
+// kernel — the dispatched AVX2 assembly and the pure-Go fallback on
+// amd64; only "go" under the purego tag or on other architectures —
+// through a randomized fast-vs-reference sweep, so a kernel-specific
+// accuracy regression fails with the kernel's name in the check instead
+// of depending on which path the dispatcher happened to pick.
+func TestDifferentialSweepKernelPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-kernel differential sweep in -short mode")
+	}
+	kernels := dsp.AvailableKernels()
+	specs := GenDiffSpecs(2, 10)
+	r, err := RunDifferentialKernels(specs, DiffRelTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(kernels) * len(specs); len(r.Checks) < want {
+		t.Fatalf("%d checks for %d kernels × %d specs, want ≥ %d", len(r.Checks), len(kernels), len(specs), want)
+	}
+	t.Logf("kernels %v: %d checks", kernels, len(r.Checks))
 	if err := r.Err(); err != nil {
 		t.Logf("\n%s", r)
 		t.Fatal(err)

@@ -184,24 +184,35 @@ func (c *CPU) RunToMarker(lookup []int32, maxCycles, maxSteps uint64) (uint64, e
 	}
 	cfg := &c.cfg
 	prog := c.prog
+	regs := &c.regs
+	mem := c.mem
+	hier := c.hier
+	act := &c.act
 	pc := c.pc
 	cycle := c.cycle
 	aluLat := uint64(cfg.ALUCycles)
 	mulLat := uint64(cfg.MulCycles)
 	divLat := uint64(cfg.DivCycles)
+	branchLat := uint64(cfg.BranchCycles)
+	mispredictLat := uint64(cfg.MispredictCycles)
+	// A zero maxCycles means "no limit"; the sentinel keeps the loop head
+	// to a single compare instead of a flag test plus a compare.
+	cycleLimit := maxCycles
+	if cycleLimit == 0 {
+		cycleLimit = ^uint64(0)
+	}
 	var steps, fetchN, aluN, mulN, divN, branchN, mispredicts uint64
 	halted := false
 	var err error
 
-	for steps < maxSteps {
-		if maxCycles > 0 && cycle >= maxCycles {
-			break
-		}
-		if steps > 0 && pc >= 0 && pc < len(lookup) && lookup[pc] >= 0 {
-			break
-		}
-		if pc < 0 || pc >= len(prog) {
+	for steps < maxSteps && cycle < cycleLimit {
+		// The uint cast folds the two PC range tests into one compare; a
+		// negative pc wraps far above any program length.
+		if uint(pc) >= uint(len(prog)) {
 			err = fmt.Errorf("cpu: pc %d outside program of %d words", pc, len(prog))
+			break
+		}
+		if steps != 0 && pc < len(lookup) && lookup[pc] >= 0 {
 			break
 		}
 		in := &prog[pc]
@@ -215,90 +226,90 @@ func (c *CPU) RunToMarker(lookup []int32, maxCycles, maxSteps uint64) (uint64, e
 		case isa.HALT:
 			halted = true
 		case isa.MOVI:
-			c.regs[in.Rd] = uint32(in.Imm)
+			regs[in.Rd] = uint32(in.Imm)
 			aluN++
 		case isa.LUI:
-			c.regs[in.Rd] = c.regs[in.Rd]&0xFFFF | uint32(in.Imm)<<16
+			regs[in.Rd] = regs[in.Rd]&0xFFFF | uint32(in.Imm)<<16
 			aluN++
 		case isa.ADDI:
-			c.regs[in.Rd] = c.regs[in.Rs1] + uint32(in.Imm)
+			regs[in.Rd] = regs[in.Rs1] + uint32(in.Imm)
 			aluN++
 		case isa.ADDR:
-			c.regs[in.Rd] = c.regs[in.Rs1] + c.regs[in.Rs2]
+			regs[in.Rd] = regs[in.Rs1] + regs[in.Rs2]
 			aluN++
 		case isa.SUBI:
-			c.regs[in.Rd] = c.regs[in.Rs1] - uint32(in.Imm)
+			regs[in.Rd] = regs[in.Rs1] - uint32(in.Imm)
 			aluN++
 		case isa.SUBR:
-			c.regs[in.Rd] = c.regs[in.Rs1] - c.regs[in.Rs2]
+			regs[in.Rd] = regs[in.Rs1] - regs[in.Rs2]
 			aluN++
 		case isa.ANDI:
-			c.regs[in.Rd] = c.regs[in.Rs1] & uint32(in.Imm)
+			regs[in.Rd] = regs[in.Rs1] & uint32(in.Imm)
 			aluN++
 		case isa.ANDR:
-			c.regs[in.Rd] = c.regs[in.Rs1] & c.regs[in.Rs2]
+			regs[in.Rd] = regs[in.Rs1] & regs[in.Rs2]
 			aluN++
 		case isa.ORI:
-			c.regs[in.Rd] = c.regs[in.Rs1] | uint32(in.Imm)
+			regs[in.Rd] = regs[in.Rs1] | uint32(in.Imm)
 			aluN++
 		case isa.ORR:
-			c.regs[in.Rd] = c.regs[in.Rs1] | c.regs[in.Rs2]
+			regs[in.Rd] = regs[in.Rs1] | regs[in.Rs2]
 			aluN++
 		case isa.XORI:
-			c.regs[in.Rd] = c.regs[in.Rs1] ^ uint32(in.Imm)
+			regs[in.Rd] = regs[in.Rs1] ^ uint32(in.Imm)
 			aluN++
 		case isa.XORR:
-			c.regs[in.Rd] = c.regs[in.Rs1] ^ c.regs[in.Rs2]
+			regs[in.Rd] = regs[in.Rs1] ^ regs[in.Rs2]
 			aluN++
 		case isa.SHLI:
-			c.regs[in.Rd] = c.regs[in.Rs1] << uint(in.Imm)
+			regs[in.Rd] = regs[in.Rs1] << uint(in.Imm)
 			aluN++
 		case isa.SHRI:
-			c.regs[in.Rd] = c.regs[in.Rs1] >> uint(in.Imm)
+			regs[in.Rd] = regs[in.Rs1] >> uint(in.Imm)
 			aluN++
 		case isa.MULI:
-			c.regs[in.Rd] = uint32(int32(c.regs[in.Rs1]) * in.Imm)
+			regs[in.Rd] = uint32(int32(regs[in.Rs1]) * in.Imm)
 			mulN++
 			lat = mulLat
 		case isa.MULR:
-			c.regs[in.Rd] = uint32(int32(c.regs[in.Rs1]) * int32(c.regs[in.Rs2]))
+			regs[in.Rd] = uint32(int32(regs[in.Rs1]) * int32(regs[in.Rs2]))
 			mulN++
 			lat = mulLat
 		case isa.DIVI:
-			c.regs[in.Rd] = uint32(divide(int32(c.regs[in.Rs1]), in.Imm))
+			regs[in.Rd] = uint32(divide(int32(regs[in.Rs1]), in.Imm))
 			divN++
 			lat = divLat
 		case isa.DIVR:
-			c.regs[in.Rd] = uint32(divide(int32(c.regs[in.Rs1]), int32(c.regs[in.Rs2])))
+			regs[in.Rd] = uint32(divide(int32(regs[in.Rs1]), int32(regs[in.Rs2])))
 			divN++
 			lat = divLat
 		case isa.LD:
-			addr := uint64(c.regs[in.Rs1] + uint32(in.Imm))
-			c.regs[in.Rd] = c.mem.Load32(addr)
+			addr := uint64(regs[in.Rs1] + uint32(in.Imm))
+			regs[in.Rd] = mem.Load32(addr)
 			var l int
-			_, l = c.hier.AccessInto(addr, false, &c.act)
+			_, l = hier.AccessInto(addr, false, act)
 			lat = uint64(l)
 		case isa.ST:
-			addr := uint64(c.regs[in.Rs1] + uint32(in.Imm))
-			c.mem.Store32(addr, c.regs[in.Rd])
+			addr := uint64(regs[in.Rs1] + uint32(in.Imm))
+			mem.Store32(addr, regs[in.Rd])
 			var l int
-			_, l = c.hier.AccessInto(addr, true, &c.act)
+			_, l = hier.AccessInto(addr, true, act)
 			lat = uint64(l)
 		case isa.BEQ, isa.BNE, isa.JMP:
 			taken := true
 			switch in.Op {
 			case isa.BEQ:
-				taken = c.regs[in.Rd] == c.regs[in.Rs1]
+				taken = regs[in.Rd] == regs[in.Rs1]
 			case isa.BNE:
-				taken = c.regs[in.Rd] != c.regs[in.Rs1]
+				taken = regs[in.Rd] != regs[in.Rs1]
 			}
 			branchN++
-			lat = uint64(cfg.BranchCycles)
+			lat = branchLat
 			// Static prediction: backward taken, forward not-taken; JMP always
 			// predicted taken.
 			predictTaken := in.Imm < 0 || in.Op == isa.JMP
 			if taken != predictTaken {
-				lat += uint64(cfg.MispredictCycles)
+				lat += mispredictLat
 				mispredicts++
 			}
 			if taken {

@@ -8,11 +8,15 @@ import "encoding/binary"
 // real values.
 type Memory struct {
 	pages map[uint64]*[pageBytes]byte
-	// One-entry lookup cache: kernel workloads stride through a small
+	// Two-entry lookup cache: kernel workloads stride through a small
 	// buffer, so consecutive accesses almost always land on the same page
-	// and skip the map.
+	// and skip the map; the second (victim) entry keeps loop kernels that
+	// alternate between a sweep buffer and their counters map-free even
+	// when the two live on different pages.
 	lastPN   uint64
 	lastPage *[pageBytes]byte
+	prevPN   uint64
+	prevPage *[pageBytes]byte
 }
 
 const pageBytes = 4096
@@ -27,12 +31,17 @@ func (m *Memory) page(addr uint64, create bool) *[pageBytes]byte {
 	if m.lastPage != nil && pn == m.lastPN {
 		return m.lastPage
 	}
+	if m.prevPage != nil && pn == m.prevPN {
+		m.lastPN, m.lastPage, m.prevPN, m.prevPage = pn, m.prevPage, m.lastPN, m.lastPage
+		return m.lastPage
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new([pageBytes]byte)
 		m.pages[pn] = p
 	}
 	if p != nil {
+		m.prevPN, m.prevPage = m.lastPN, m.lastPage
 		m.lastPN, m.lastPage = pn, p
 	}
 	return p

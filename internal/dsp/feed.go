@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/arena"
 	"repro/internal/buf"
 	"repro/internal/obs"
 	"repro/internal/workpool"
@@ -30,10 +31,14 @@ const maxFeedSlots = 4
 
 // feedSlot is one in-flight segment: a transform buffer plus a
 // WaitGroup the producer waits on before reducing the slot. The
-// WaitGroup is reusable, so steady-state feeding allocates nothing.
+// WaitGroup and the dispatch closure are both reusable — run is built
+// once per slot, reading the ring's current plan and the slot's
+// current buffer at call time — so steady-state feeding allocates
+// nothing.
 type feedSlot struct {
 	fft []complex128
 	wg  sync.WaitGroup
+	run func()
 }
 
 // slotRing is the ordered dispatch machinery shared by PairFeed and
@@ -61,9 +66,15 @@ type slotRing struct {
 	plan     *Plan
 	pending  []*feedSlot    // scattered slots awaiting a batch sweep
 	batch    [][]complex128 // reused batch argument storage
+
+	// Arena backing for the slot buffers (nil = heap). memGen remembers
+	// the epoch the buffers were carved in: a Reset upstream retires
+	// them no matter their capacity (see internal/arena lifetime rules).
+	mem    *arena.Arena
+	memGen uint64
 }
 
-func (r *slotRing) init(segLen int, plan *Plan, pool *workpool.Pool) {
+func (r *slotRing) init(segLen int, plan *Plan, pool *workpool.Pool, mem *arena.Arena) {
 	if pool == nil {
 		pool = workpool.Default
 	}
@@ -76,8 +87,33 @@ func (r *slotRing) init(segLen int, plan *Plan, pool *workpool.Pool) {
 	if len(r.slots) != maxFeedSlots {
 		r.slots = make([]feedSlot, maxFeedSlots)
 	}
+	if g := mem.Gen(); mem != r.mem || g != r.memGen {
+		r.mem, r.memGen = mem, g
+		if mem != nil {
+			for i := range r.slots {
+				r.slots[i].fft = nil // retired epoch (or new arena): re-carve
+			}
+		}
+	}
 	for i := range r.slots {
-		r.slots[i].fft = buf.Grow(r.slots[i].fft, segLen)
+		sl := &r.slots[i]
+		if r.mem != nil {
+			if cap(sl.fft) < segLen {
+				sl.fft = r.mem.Complexes(segLen)
+			} else {
+				sl.fft = sl.fft[:segLen]
+			}
+		} else {
+			sl.fft = buf.Grow(sl.fft, segLen)
+		}
+		if sl.run == nil {
+			sl.run = func() {
+				sp := mFFTSegment.Start()
+				r.plan.butterflies(sl.fft)
+				sp.End()
+				sl.wg.Done()
+			}
+		}
 	}
 	r.head = 0
 	r.inFlight = 0
@@ -97,16 +133,10 @@ func (r *slotRing) next(reduce func(f []complex128, first bool)) *feedSlot {
 
 // dispatch hands a scattered slot to the pool for its butterflies,
 // parking it for the next batch sweep when no worker slot is free.
-func (r *slotRing) dispatch(sl *feedSlot, plan *Plan) {
+func (r *slotRing) dispatch(sl *feedSlot) {
 	sl.wg.Add(1)
-	run := func() {
-		sp := mFFTSegment.Start()
-		plan.butterflies(sl.fft)
-		sp.End()
-		sl.wg.Done()
-	}
 	mFFTSegments.Inc()
-	if !r.pool.Go(run) {
+	if !r.pool.Go(sl.run) {
 		r.pending = append(r.pending, sl)
 	}
 	r.inFlight++
@@ -177,8 +207,10 @@ type PairFeed struct {
 
 // Init readies the feed to accumulate into pa, pb and cross
 // (all segLen long). It may be called repeatedly on one PairFeed to
-// reuse its slot buffers across captures.
-func (f *PairFeed) Init(s *WelchScratch, pa, pb []float64, cross []complex128, fs float64, pool *workpool.Pool) error {
+// reuse its slot buffers across captures. The slot transform buffers
+// are carved from mem when non-nil (heap otherwise); the feed honours
+// the arena epoch, re-carving after a Reset.
+func (f *PairFeed) Init(s *WelchScratch, pa, pb []float64, cross []complex128, fs float64, pool *workpool.Pool, mem *arena.Arena) error {
 	if fs <= 0 {
 		return fmt.Errorf("dsp: sample rate %g", fs)
 	}
@@ -194,7 +226,7 @@ func (f *PairFeed) Init(s *WelchScratch, pa, pb []float64, cross []complex128, f
 			f.s.accumulatePair(f.pa, f.pb, f.cross, ft, first)
 		}
 	}
-	f.ring.init(s.segLen, s.plan, pool)
+	f.ring.init(s.segLen, s.plan, pool, mem)
 	return nil
 }
 
@@ -208,7 +240,7 @@ func (f *PairFeed) Feed(a, b []float64) error {
 	}
 	sl := f.ring.next(f.reduce)
 	f.s.scatterPair(sl.fft, a, b)
-	f.ring.dispatch(sl, f.s.plan)
+	f.ring.dispatch(sl)
 	return nil
 }
 
@@ -243,8 +275,9 @@ type Feed struct {
 }
 
 // Init readies the feed to accumulate into dst (segLen long). It may
-// be called repeatedly on one Feed to reuse its slot buffers.
-func (f *Feed) Init(s *WelchScratch, dst []float64, fs float64, pool *workpool.Pool) error {
+// be called repeatedly on one Feed to reuse its slot buffers, which
+// are carved from mem when non-nil (see PairFeed.Init).
+func (f *Feed) Init(s *WelchScratch, dst []float64, fs float64, pool *workpool.Pool, mem *arena.Arena) error {
 	if fs <= 0 {
 		return fmt.Errorf("dsp: sample rate %g", fs)
 	}
@@ -259,7 +292,7 @@ func (f *Feed) Init(s *WelchScratch, dst []float64, fs float64, pool *workpool.P
 			f.s.accumulate(f.dst, ft, first)
 		}
 	}
-	f.ring.init(s.segLen, s.plan, pool)
+	f.ring.init(s.segLen, s.plan, pool, mem)
 	return nil
 }
 
@@ -271,7 +304,7 @@ func (f *Feed) Feed(seg []complex128) error {
 	}
 	sl := f.ring.next(f.reduce)
 	f.s.scatter(sl.fft, seg)
-	f.ring.dispatch(sl, f.s.plan)
+	f.ring.dispatch(sl)
 	return nil
 }
 

@@ -64,6 +64,62 @@ func FuzzPlanForwardVsNaiveDFT(f *testing.F) {
 	})
 }
 
+// FuzzForwardAsmVsPure pins the dispatched butterfly kernels to the
+// pure-Go fallback: for every available kernel (on amd64 that is the
+// AVX2 assembly; under the purego tag or elsewhere only "go" exists),
+// Forward must produce BIT-IDENTICAL output to the generic path across
+// sizes 2..64k. The assembly keeps the generic path's operation order
+// and performs no FMA contraction, so equality here is exact — any
+// difference, even one ULP, is a kernel bug.
+func FuzzForwardAsmVsPure(f *testing.F) {
+	f.Add(uint8(1), int64(1))
+	f.Add(uint8(2), int64(7))   // smallest radix-4 pass-1 size
+	f.Add(uint8(3), int64(-3))  // odd log2: leading radix-2 stage
+	f.Add(uint8(12), int64(55)) // deep even-stage tower
+	f.Add(uint8(16), int64(9))  // 64k: every stage shape exercised
+	f.Fuzz(func(t *testing.T, sizeExp uint8, seed int64) {
+		n := 1 << (1 + sizeExp%16) // 2, 4, …, 65536
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		plan, err := NewPlan(n)
+		if err != nil {
+			t.Fatalf("NewPlan(%d): %v", n, err)
+		}
+
+		prev := ActiveKernel()
+		defer SetKernel(prev)
+		if err := SetKernel(KernelGo); err != nil {
+			t.Fatal(err)
+		}
+		want := append([]complex128(nil), x...)
+		if err := plan.Forward(want); err != nil {
+			t.Fatalf("Forward (go): %v", err)
+		}
+
+		for _, kernel := range AvailableKernels() {
+			if kernel == KernelGo {
+				continue
+			}
+			if err := SetKernel(kernel); err != nil {
+				t.Fatal(err)
+			}
+			got := append([]complex128(nil), x...)
+			if err := plan.Forward(got); err != nil {
+				t.Fatalf("Forward (%s): %v", kernel, err)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("n=%d kernel=%s bin %d: %v != pure-Go %v (kernels must be bit-identical)",
+						n, kernel, k, got[k], want[k])
+				}
+			}
+		}
+	})
+}
+
 // FuzzWelchPairVsSingle checks the packed two-stream Welch pass against
 // two independent single-stream passes, and the documented
 // linear-combination identity against a direct Welch run of the

@@ -1,0 +1,188 @@
+package dsp
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Butterfly kernel dispatch.
+//
+// The radix-4 passes have two implementations: a pure-Go kernel
+// (radix4StageGeneric / radix4Pass1Generic, below) compiled everywhere,
+// and an amd64 AVX2 assembly kernel (kernel_amd64.s) selected at
+// startup when the CPU supports it. The two are bit-identical by
+// construction: the assembly performs the scalar operations in exactly
+// the order the Go code writes them, using only VMULPD/VADDPD/VSUBPD/
+// VADDSUBPD (no FMA contraction), and the Go code forces a rounding
+// step after every multiply with explicit float64 conversions so no
+// compiler on any architecture may fuse them either. FuzzForwardAsmVsPure
+// pins the equivalence bit-for-bit across sizes.
+//
+// Building with the `purego` tag (or for any non-amd64 GOARCH) compiles
+// only the Go kernel.
+
+// Kernel names accepted by SetKernel and reported by ActiveKernel.
+const (
+	// KernelGo is the portable pure-Go butterfly kernel.
+	KernelGo = "go"
+	// KernelAVX2 is the amd64 AVX2 assembly kernel.
+	KernelAVX2 = "avx2"
+)
+
+const (
+	kernelGo int32 = iota
+	kernelAVX2
+)
+
+// activeKernel is read on every butterfly pass; it is atomic so tests
+// and conformance sweeps can force a path while transforms run on other
+// goroutines without a data race.
+var activeKernel atomic.Int32
+
+func init() {
+	if haveAVX2 {
+		activeKernel.Store(kernelAVX2)
+	}
+}
+
+// ActiveKernel reports the name of the butterfly kernel currently in
+// use ("avx2" or "go").
+func ActiveKernel() string {
+	if activeKernel.Load() == kernelAVX2 {
+		return KernelAVX2
+	}
+	return KernelGo
+}
+
+// AvailableKernels lists the kernels this binary can run on this CPU,
+// in preference order. The pure-Go kernel is always present.
+func AvailableKernels() []string {
+	if haveAVX2 {
+		return []string{KernelAVX2, KernelGo}
+	}
+	return []string{KernelGo}
+}
+
+// SetKernel forces the named butterfly kernel ("go" or "avx2") for all
+// subsequent transforms, returning an error if this binary/CPU cannot
+// run it. All kernels are bit-identical, so switching never changes
+// results; the knob exists for differential tests, fuzzing, and
+// diagnosis.
+func SetKernel(name string) error {
+	switch name {
+	case KernelGo:
+		activeKernel.Store(kernelGo)
+		return nil
+	case KernelAVX2:
+		if !haveAVX2 {
+			return fmt.Errorf("dsp: kernel %q not available on this CPU", name)
+		}
+		activeKernel.Store(kernelAVX2)
+		return nil
+	default:
+		return fmt.Errorf("dsp: unknown kernel %q (available: %v)", name, AvailableKernels())
+	}
+}
+
+// radix4Stage runs one tabled radix-4 pass at half-size h on the active
+// kernel. st is the stage's [w1 | w2 | w3] table (3h entries); x is
+// processed in blocks of 4h.
+func radix4Stage(x, st []complex128, h int) {
+	if activeKernel.Load() == kernelAVX2 {
+		radix4StageAsm(x, st, h)
+		return
+	}
+	radix4StageGeneric(x, st, h)
+}
+
+// radix4Pass1 runs the first (all-unit-twiddle) radix-4 pass over
+// blocks of 4 on the active kernel.
+func radix4Pass1(x []complex128) {
+	if activeKernel.Load() == kernelAVX2 {
+		radix4Pass1Asm(x)
+		return
+	}
+	radix4Pass1Generic(x)
+}
+
+// leadRadix2 runs the radix-2 lead pass over pairs: (a, b) → (a+b,
+// a−b). It is pure Go on every kernel — the pass is memory-bound and
+// sharing one implementation makes its bit-identity trivial.
+func leadRadix2(x []complex128) {
+	for i := 0; i+1 < len(x); i += 2 {
+		a, b := x[i], x[i+1]
+		x[i] = a + b
+		x[i+1] = a - b
+	}
+}
+
+// radix4StageGeneric is the portable radix-4 butterfly pass, and the
+// operation-order specification the assembly kernel must reproduce
+// exactly. For each j the four inputs a0..a3 (stride h) combine through
+// three twiddle multiplies:
+//
+//	b1 = w1·a2   b2 = w2·a1   b3 = w3·a3
+//	s0 = a0 + b2   s1 = a0 − b2   s2 = b1 + b3   s3 = b1 − b3
+//	u3 = −i·s3
+//	out0 = s0 + s2   out1 = s1 + u3   out2 = s0 − s2   out3 = s1 − u3
+//
+// Every product is passed through float64() before the adjacent
+// add/sub so the spec forbids FMA contraction on every architecture;
+// the multiply order (re: a·wr − a·wi-cross, im: ai·wr + ar·wi)
+// matches the VMULPD/VADDSUBPD sequence in kernel_amd64.s lane for
+// lane.
+func radix4StageGeneric(x, st []complex128, h int) {
+	w1s := st[:h]
+	w2s := st[h : 2*h]
+	w3s := st[2*h : 3*h]
+	for base := 0; base+4*h <= len(x); base += 4 * h {
+		q0 := x[base : base+h : base+h]
+		q1 := x[base+h : base+2*h : base+2*h]
+		q2 := x[base+2*h : base+3*h : base+3*h]
+		q3 := x[base+3*h : base+4*h : base+4*h]
+		for j := 0; j < h; j++ {
+			a0r, a0i := real(q0[j]), imag(q0[j])
+			a1r, a1i := real(q1[j]), imag(q1[j])
+			a2r, a2i := real(q2[j]), imag(q2[j])
+			a3r, a3i := real(q3[j]), imag(q3[j])
+			w1r, w1i := real(w1s[j]), imag(w1s[j])
+			w2r, w2i := real(w2s[j]), imag(w2s[j])
+			w3r, w3i := real(w3s[j]), imag(w3s[j])
+
+			b1r := float64(a2r*w1r) - float64(a2i*w1i)
+			b1i := float64(a2i*w1r) + float64(a2r*w1i)
+			b2r := float64(a1r*w2r) - float64(a1i*w2i)
+			b2i := float64(a1i*w2r) + float64(a1r*w2i)
+			b3r := float64(a3r*w3r) - float64(a3i*w3i)
+			b3i := float64(a3i*w3r) + float64(a3r*w3i)
+
+			s0r, s0i := a0r+b2r, a0i+b2i
+			s1r, s1i := a0r-b2r, a0i-b2i
+			s2r, s2i := b1r+b3r, b1i+b3i
+			s3r, s3i := b1r-b3r, b1i-b3i
+			u3r, u3i := s3i, -s3r // −i·s3
+
+			q0[j] = complex(s0r+s2r, s0i+s2i)
+			q1[j] = complex(s1r+u3r, s1i+u3i)
+			q2[j] = complex(s0r-s2r, s0i-s2i)
+			q3[j] = complex(s1r-u3r, s1i-u3i)
+		}
+	}
+}
+
+// radix4Pass1Generic is the portable all-unit-twiddle first pass: the
+// radix-4 butterfly with w1 = w2 = w3 = 1 over contiguous blocks of 4.
+func radix4Pass1Generic(x []complex128) {
+	for i := 0; i+4 <= len(x); i += 4 {
+		a0, a1, a2, a3 := x[i], x[i+1], x[i+2], x[i+3]
+		t0 := a0 + a1
+		t1 := a0 - a1
+		t2 := a2 + a3
+		t3 := a2 - a3
+		u3 := complex(imag(t3), -real(t3)) // −i·t3
+		x[i] = t0 + t2
+		x[i+1] = t1 + u3
+		x[i+2] = t0 - t2
+		x[i+3] = t1 - u3
+	}
+}

@@ -1,0 +1,50 @@
+//go:build amd64 && !purego
+
+package dsp
+
+// haveAVX2 reports whether this CPU and OS support AVX2 (the OS must
+// have enabled YMM state saving via XSETBV for the registers to be
+// usable). Detected once at startup straight from CPUID — the project
+// takes no external dependencies, so no x/sys/cpu.
+var haveAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	if eax := xgetbv0(); eax&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// cpuid executes CPUID with the given leaf/subleaf. Implemented in
+// kernel_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0 (low 32 bits). Only called after CPUID reports
+// OSXSAVE. Implemented in kernel_amd64.s.
+func xgetbv0() uint32
+
+// radix4StageAsm is the AVX2 tabled radix-4 pass; bit-identical to
+// radix4StageGeneric. Requires h ≥ 2 and even (always true: tabled
+// stages start at h = 2) and len(x) a multiple of 4h.
+//
+//go:noescape
+func radix4StageAsm(x, st []complex128, h int)
+
+// radix4Pass1Asm is the AVX2 all-unit-twiddle first pass;
+// bit-identical to radix4Pass1Generic. Requires len(x) a multiple of 4.
+//
+//go:noescape
+func radix4Pass1Asm(x []complex128)

@@ -1,0 +1,178 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 butterfly kernels. Bit-identity contract with kernel.go's
+// generic implementations: every arithmetic instruction here is a
+// plain VMULPD/VADDPD/VSUBPD/VADDSUBPD — no FMA — applied in the same
+// order as the scalar code, so each lane performs the identical IEEE
+// operation sequence and the results match bit for bit.
+//
+// Complex layout: one Y register holds two complex128 values as
+// [re0, im0, re1, im1]. The complex multiply b = w·a is
+//
+//	w_re = VMOVDDUP   w        → [wr, wr, wr', wr']
+//	w_im = VPERMILPD $0xF, w   → [wi, wi, wi', wi']
+//	a_sw = VPERMILPD $0x5, a   → [ai, ar, ai', ar']
+//	m1   = a    · w_re         → [ar·wr, ai·wr, …]
+//	m2   = a_sw · w_im         → [ai·wi, ar·wi, …]
+//	b    = VADDSUBPD(m1, m2)   → [ar·wr − ai·wi, ai·wr + ar·wi, …]
+//
+// matching the generic kernel's float64(ar*wr)−float64(ai*wi) /
+// float64(ai*wr)+float64(ar*wi) exactly.
+
+// negOdd: sign-flip the imaginary lanes ([+0, −0, +0, −0]).
+DATA negOdd<>+0(SB)/8, $0x0000000000000000
+DATA negOdd<>+8(SB)/8, $0x8000000000000000
+DATA negOdd<>+16(SB)/8, $0x0000000000000000
+DATA negOdd<>+24(SB)/8, $0x8000000000000000
+GLOBL negOdd<>(SB), RODATA|NOPTR, $32
+
+// negLane3: sign-flip only the top qword ([+0, +0, +0, −0]).
+DATA negLane3<>+0(SB)/8, $0x0000000000000000
+DATA negLane3<>+8(SB)/8, $0x0000000000000000
+DATA negLane3<>+16(SB)/8, $0x0000000000000000
+DATA negLane3<>+24(SB)/8, $0x8000000000000000
+GLOBL negLane3<>(SB), RODATA|NOPTR, $32
+
+// func radix4StageAsm(x, st []complex128, h int)
+//
+// One tabled radix-4 pass at half-size h (h ≥ 2, even; len(x) a
+// multiple of 4h). st = [w1 | w2 | w3], h entries each. Two j values
+// (2 complex128) per iteration.
+TEXT ·radix4StageAsm(SB), NOSPLIT, $0-56
+	MOVQ x_base+0(FP), R8     // q0 pointer (advances per block)
+	MOVQ st_base+24(FP), R12  // w1
+	MOVQ h+48(FP), DI
+	SHLQ $4, DI               // DI = h*16 bytes: quarter stride, table stride
+	LEAQ (R12)(DI*1), R13     // w2
+	LEAQ (R13)(DI*1), R14     // w3
+	MOVQ x_len+8(FP), R15
+	SHLQ $4, R15
+	ADDQ R8, R15              // R15 = end of x
+	VMOVUPD negOdd<>(SB), Y15
+
+block:
+	CMPQ R8, R15
+	JGE  done
+	LEAQ (R8)(DI*1), R9       // q1
+	LEAQ (R9)(DI*1), R10      // q2
+	LEAQ (R10)(DI*1), R11     // q3
+	XORQ AX, AX               // j byte offset
+
+inner:
+	VMOVUPD (R8)(AX*1), Y0    // a0
+	VMOVUPD (R9)(AX*1), Y1    // a1
+	VMOVUPD (R10)(AX*1), Y2   // a2
+	VMOVUPD (R11)(AX*1), Y3   // a3
+	VMOVUPD (R12)(AX*1), Y4   // w1
+	VMOVUPD (R13)(AX*1), Y5   // w2
+	VMOVUPD (R14)(AX*1), Y6   // w3
+
+	// b1 = w1·a2 → Y7
+	VMOVDDUP  Y4, Y12
+	VPERMILPD $0xF, Y4, Y13
+	VPERMILPD $0x5, Y2, Y14
+	VMULPD    Y2, Y12, Y12
+	VMULPD    Y13, Y14, Y13
+	VADDSUBPD Y13, Y12, Y7
+
+	// b2 = w2·a1 → Y8
+	VMOVDDUP  Y5, Y12
+	VPERMILPD $0xF, Y5, Y13
+	VPERMILPD $0x5, Y1, Y14
+	VMULPD    Y1, Y12, Y12
+	VMULPD    Y13, Y14, Y13
+	VADDSUBPD Y13, Y12, Y8
+
+	// b3 = w3·a3 → Y9
+	VMOVDDUP  Y6, Y12
+	VPERMILPD $0xF, Y6, Y13
+	VPERMILPD $0x5, Y3, Y14
+	VMULPD    Y3, Y12, Y12
+	VMULPD    Y13, Y14, Y13
+	VADDSUBPD Y13, Y12, Y9
+
+	VADDPD Y8, Y0, Y10        // s0 = a0 + b2
+	VSUBPD Y8, Y0, Y11        // s1 = a0 − b2
+	VADDPD Y9, Y7, Y12        // s2 = b1 + b3
+	VSUBPD Y9, Y7, Y13        // s3 = b1 − b3
+	VPERMILPD $0x5, Y13, Y13
+	VXORPD Y15, Y13, Y13      // u3 = −i·s3 = [s3i, −s3r]
+
+	VADDPD  Y12, Y10, Y14
+	VMOVUPD Y14, (R8)(AX*1)   // out0 = s0 + s2
+	VSUBPD  Y12, Y10, Y14
+	VMOVUPD Y14, (R10)(AX*1)  // out2 = s0 − s2
+	VADDPD  Y13, Y11, Y14
+	VMOVUPD Y14, (R9)(AX*1)   // out1 = s1 + u3
+	VSUBPD  Y13, Y11, Y14
+	VMOVUPD Y14, (R11)(AX*1)  // out3 = s1 − u3
+
+	ADDQ $32, AX
+	CMPQ AX, DI
+	JL   inner
+
+	LEAQ (R11)(DI*1), R8      // next block
+	JMP  block
+
+done:
+	VZEROUPPER
+	RET
+
+// func radix4Pass1Asm(x []complex128)
+//
+// The all-unit-twiddle first pass: one 4-complex block per iteration.
+// Y0 = [a0, a1], Y1 = [a2, a3]; half-swaps give [a1, a0]/[a3, a2] so
+// lane 0/1 of SUM/DIF carry t0,t2/t1,t3; VPERM2F128 $0x20 packs
+// T = [t0, t1] and U = [t2, t3]; V = [t2, −i·t3]; outputs are T ± V.
+TEXT ·radix4Pass1Asm(SB), NOSPLIT, $0-24
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), BX
+	SHLQ $4, BX
+	ADDQ SI, BX               // BX = end of x
+	VMOVUPD negLane3<>(SB), Y15
+
+loop:
+	CMPQ SI, BX
+	JGE  done1
+	VMOVUPD (SI), Y0          // [a0, a1]
+	VMOVUPD 32(SI), Y1        // [a2, a3]
+	VPERM2F128 $0x01, Y0, Y0, Y2
+	VPERM2F128 $0x01, Y1, Y1, Y3
+	VADDPD Y2, Y0, Y4         // [t0=a0+a1, a1+a0]
+	VSUBPD Y2, Y0, Y5         // [t1=a0−a1, a1−a0]
+	VADDPD Y3, Y1, Y6         // [t2=a2+a3, a3+a2]
+	VSUBPD Y3, Y1, Y7         // [t3=a2−a3, a3−a2]
+	VPERM2F128 $0x20, Y5, Y4, Y8  // T = [t0, t1]
+	VPERM2F128 $0x20, Y7, Y6, Y9  // U = [t2, t3]
+	VPERMILPD $0x6, Y9, Y9    // [t2, t3i, t3r]
+	VXORPD Y15, Y9, Y9        // V = [t2, t3i, −t3r] = [t2, −i·t3]
+	VADDPD  Y9, Y8, Y10
+	VMOVUPD Y10, (SI)         // [out0, out1] = T + V
+	VSUBPD  Y9, Y8, Y10
+	VMOVUPD Y10, 32(SI)       // [out2, out3] = T − V
+	ADDQ $64, SI
+	JMP  loop
+
+done1:
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint32
+TEXT ·xgetbv0(SB), NOSPLIT, $0-4
+	XORL CX, CX
+	XGETBV
+	MOVL AX, ret+0(FP)
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64 || purego
+
+package dsp
+
+// haveAVX2 is false on non-amd64 builds and under the purego tag: only
+// the portable Go kernel is compiled.
+const haveAVX2 = false
+
+// The asm entry points are never reachable here — SetKernel refuses
+// "avx2" when haveAVX2 is false — but the dispatchers in kernel.go
+// reference them, so forward to the generic kernel.
+
+func radix4StageAsm(x, st []complex128, h int) { radix4StageGeneric(x, st, h) }
+
+func radix4Pass1Asm(x []complex128) { radix4Pass1Generic(x) }

@@ -14,15 +14,25 @@ import (
 // accumulated rounding error from twiddle generation and do no
 // per-transform trigonometry.
 //
+// The butterfly core is a radix-4 decimation-in-time kernel over
+// bit-reversed input (a radix-2 lead pass absorbs odd stage counts):
+// three complex multiplies per four outputs per pass, with the inner
+// loops dispatched to an AVX2 assembly kernel when the CPU has it (see
+// kernel.go) and a bit-identical pure-Go kernel otherwise.
+//
 // A Plan is safe for concurrent use: Forward and Inverse only read the
 // plan's tables and work in place on the caller's buffer.
 type Plan struct {
 	n    int
 	perm []int32 // bit-reversal permutation, perm[i] = reverse(i)
-	// stages holds one twiddle table per fused radix-2² pass, interleaved
-	// (wA, wB) for j = 1..h−1 in butterfly order — the j = 0 butterfly has
-	// unit twiddles and is peeled — so the hot loop reads twiddles
-	// sequentially instead of at two different strides.
+	// stages holds one twiddle table per radix-4 pass at half-size
+	// h ≥ 2, laid out as three contiguous runs [w1 | w2 | w3] of h
+	// entries each — w1[j] = W^j, w2[j] = W^2j, w3[j] = W^3j with
+	// W = exp(−2πi/(4h)) — so the SIMD kernel streams all three
+	// sequentially. The j = 0 entries are exact units; keeping them
+	// makes every inner loop uniform for vectorization. The first pass
+	// over an even stage count (h = 1) has all-unit twiddles and needs
+	// no table (radix4Pass1).
 	stages [][]complex128
 }
 
@@ -38,23 +48,38 @@ func NewPlan(n int) (*Plan, error) {
 		p.perm[i] = int32(bits.Reverse64(uint64(i)) >> shift)
 	}
 	tw := func(k int) complex128 { // exp(−2πi·k/n)
+		if k == 0 {
+			return complex(1, 0) // exact unit for the uniform j = 0 lanes
+		}
 		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
 		return complex(c, s)
 	}
-	h := 1
-	if bits.TrailingZeros(uint(n))&1 == 1 {
-		h = 2
-	}
+	h := firstRadix4Half(n)
 	for ; 4*h <= n; h *= 4 {
-		strideA := n / (2 * h)
-		strideB := n / (4 * h)
-		st := make([]complex128, 0, 2*(h-1))
-		for j := 1; j < h; j++ {
-			st = append(st, tw(j*strideA), tw(j*strideB))
+		strideA := n / (2 * h) // w2 stride: exp(−2πi·j/(2h))
+		strideB := n / (4 * h) // w1 stride: exp(−2πi·j/(4h))
+		st := make([]complex128, 3*h)
+		for j := 0; j < h; j++ {
+			st[j] = tw(j * strideB)
+			st[h+j] = tw(j * strideA)
+			st[2*h+j] = tw(3 * j * strideB)
 		}
 		p.stages = append(p.stages, st)
 	}
 	return p, nil
+}
+
+// firstRadix4Half returns the half-size of the first tabled radix-4
+// pass: 2 after a radix-2 lead when the stage count is odd, 4 after the
+// all-unit first pass when it is even (and ≥ 4 points exist).
+func firstRadix4Half(n int) int {
+	if bits.TrailingZeros(uint(n))&1 == 1 {
+		return 2
+	}
+	if n >= 4 {
+		return 4
+	}
+	return 1 // n == 1: no passes at all
 }
 
 // Len returns the transform length the plan was built for.
@@ -106,28 +131,31 @@ func (p *Plan) forward(x []complex128) {
 	p.butterflies(x)
 }
 
-// butterflies runs the Cooley–Tukey passes over x, which must already be
-// in bit-reversed order (callers that build the input element-wise can
-// scatter through perm and skip the separate reversal pass). Stages are
-// fused in pairs (radix-2²): each pass performs the stage of half-size h
-// and the stage of half-size 2h in one sweep — three complex multiplies
-// per four outputs instead of four, and half the memory traffic of
-// separate radix-2 stages.
+// butterflies runs the radix-4 passes over x, which must already be in
+// bit-reversed order (callers that build the input element-wise can
+// scatter through perm and skip the separate reversal pass). An odd
+// stage count leads with a plain radix-2 pass; an even one with the
+// all-unit radix-4 pass; every later pass reads its stage table. Each
+// pass runs on the active butterfly kernel (AVX2 when dispatched,
+// pure Go otherwise — bit-identical by construction, see kernel.go).
 func (p *Plan) butterflies(x []complex128) {
 	h := 1
 	if bits.TrailingZeros(uint(p.n))&1 == 1 {
-		p.leadRadix2(x)
+		leadRadix2(x)
 		h = 2
+	} else if p.n >= 4 {
+		radix4Pass1(x)
+		h = 4
 	}
 	for si := 0; 4*h <= p.n; h *= 4 {
-		p.sweepStage(x, p.stages[si], h)
+		radix4Stage(x, p.stages[si], h)
 		si++
 	}
 }
 
 // butterfliesBatch runs the butterfly passes of several independent
-// transforms stage by stage: every array's leading radix-2 pass, then
-// every array's first fused pass, and so on. Per array the operations —
+// transforms stage by stage: every array's lead pass, then every
+// array's first tabled pass, and so on. Per array the operations —
 // and therefore the results — are exactly those of butterflies; the
 // point of the stage-outer order is that one stage's twiddle table is
 // read repeatedly while hot in cache instead of being re-fetched per
@@ -137,67 +165,20 @@ func (p *Plan) butterfliesBatch(xs [][]complex128) {
 	h := 1
 	if bits.TrailingZeros(uint(p.n))&1 == 1 {
 		for _, x := range xs {
-			p.leadRadix2(x)
+			leadRadix2(x)
 		}
 		h = 2
+	} else if p.n >= 4 {
+		for _, x := range xs {
+			radix4Pass1(x)
+		}
+		h = 4
 	}
 	for si := 0; 4*h <= p.n; h *= 4 {
 		st := p.stages[si]
 		si++
 		for _, x := range xs {
-			p.sweepStage(x, st, h)
-		}
-	}
-}
-
-// leadRadix2 is the plain radix-2 stage (unit twiddle) that leads the
-// passes when the stage count is odd.
-func (p *Plan) leadRadix2(x []complex128) {
-	for i := 0; i+1 < p.n; i += 2 {
-		a, b := x[i], x[i+1]
-		x[i], x[i+1] = a+b, a-b
-	}
-}
-
-// sweepStage performs one fused radix-2² pass at half-size h. Stage
-// half=h uses exp(−2πi·j/(2h)); stage half=2h uses exp(−2πi·j/(4h)),
-// and its upper-half twiddles are −i times its lower-half ones. Both
-// are read sequentially from the stage table st.
-func (p *Plan) sweepStage(x []complex128, st []complex128, h int) {
-	n := p.n
-	for start := 0; start < n; start += 4 * h {
-		q0 := x[start : start+h : start+h]
-		q1 := x[start+h : start+2*h : start+2*h]
-		q2 := x[start+2*h : start+3*h : start+3*h]
-		q3 := x[start+3*h : start+4*h : start+4*h]
-		// j = 0: unit twiddles, so the butterfly needs no multiplies.
-		{
-			a0, a1, a2, a3 := q0[0], q1[0], q2[0], q3[0]
-			t0, t1 := a0+a1, a0-a1
-			t2, t3 := a2+a3, a2-a3
-			u3 := complex(imag(t3), -real(t3)) // t3·(−i)
-			q0[0] = t0 + t2
-			q2[0] = t0 - t2
-			q1[0] = t1 + u3
-			q3[0] = t1 - u3
-		}
-		ti := 0
-		for j := 1; j < h; j++ {
-			wA := st[ti]
-			wB := st[ti+1]
-			ti += 2
-			a0 := q0[j]
-			a1 := q1[j] * wA
-			a2 := q2[j]
-			a3 := q3[j] * wA
-			t0, t1 := a0+a1, a0-a1
-			t2, t3 := a2+a3, a2-a3
-			u2 := t2 * wB
-			u3 := t3 * complex(imag(wB), -real(wB)) // t3·(−i·wB)
-			q0[j] = t0 + u2
-			q2[j] = t0 - u2
-			q1[j] = t1 + u3
-			q3[j] = t1 - u3
+			radix4Stage(x, st, h)
 		}
 	}
 }

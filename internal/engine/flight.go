@@ -6,20 +6,21 @@ import (
 )
 
 // Group is the exactly-once in-flight deduplication pattern, generic
-// over the computed value: callers racing on one key elect a leader,
-// the leader computes, and every concurrent waiter receives the
-// leader's result instead of recomputing it. It is the mechanism
-// behind Flight (per-cell results) and behind savat's synthesis-product
-// cache (per-row envelope spectra), which share the protocol but not
-// the value type.
+// over the key and the computed value: callers racing on one key elect
+// a leader, the leader computes, and every concurrent waiter receives
+// the leader's result instead of recomputing it. It is the mechanism
+// behind Flight (per-cell results, string keys) and behind savat's
+// synthesis-product cache (per-row envelope spectra, struct keys so the
+// steady-state lookup path allocates nothing), which share the protocol
+// but neither the key nor the value type.
 //
 // Correctness rests on the caller's key contract: two computations may
 // share a key only when their results are interchangeable by
 // construction. A Group is safe for concurrent use; the zero value is
 // ready.
-type Group[T any] struct {
+type Group[K comparable, T any] struct {
 	mu    sync.Mutex
-	calls map[string]*Call[T]
+	calls map[K]*Call[T]
 }
 
 // Call is one in-progress computation. done is closed exactly once,
@@ -33,14 +34,14 @@ type Call[T any] struct {
 // Lead registers the caller as the computer of key if no computation is
 // in progress, returning (call, true). Otherwise it returns the
 // existing in-progress call and false; the caller should Wait on it.
-func (g *Group[T]) Lead(key string) (*Call[T], bool) {
+func (g *Group[K, T]) Lead(key K) (*Call[T], bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if c, ok := g.calls[key]; ok {
 		return c, false
 	}
 	if g.calls == nil {
-		g.calls = make(map[string]*Call[T])
+		g.calls = make(map[K]*Call[T])
 	}
 	c := &Call[T]{done: make(chan struct{})}
 	g.calls[key] = c
@@ -51,7 +52,7 @@ func (g *Group[T]) Lead(key string) (*Call[T], bool) {
 // key. Retiring before closing done means a failed computation does not
 // poison the key: the next camper becomes a fresh leader and retries,
 // while current waiters observe the error and re-enter Lead themselves.
-func (g *Group[T]) Finish(key string, c *Call[T], v T, err error) {
+func (g *Group[K, T]) Finish(key K, c *Call[T], v T, err error) {
 	g.mu.Lock()
 	delete(g.calls, key)
 	g.mu.Unlock()
@@ -86,7 +87,7 @@ func (c *Call[T]) Wait(ctx context.Context) (T, error) {
 // matrix. A Flight is safe for concurrent use; the zero value is not —
 // use NewFlight.
 type Flight struct {
-	g Group[float64]
+	g Group[string, float64]
 }
 
 // flightCall is one in-progress cell computation (see Call).

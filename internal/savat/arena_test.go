@@ -1,0 +1,126 @@
+package savat
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/machine"
+)
+
+// An arena-backed Measurer must produce bit-identical values to a
+// heap-backed one — including across a measurement-shape change, which
+// resets the arena and retires every carved buffer mid-sequence.
+func TestMeasurerArenaMatchesHeap(t *testing.T) {
+	mc := machine.Core2Duo()
+	cfgA := FastConfig()
+	cfgA.Duration = 1.0 / 16
+	cfgB := cfgA
+	cfgB.Duration = 1.0 / 32 // different capture length → different shape
+	pairs := [][2]Event{{ADD, LDM}, {LDL2, STL2}, {ADD, ADD}}
+
+	measure := func(cfg Config, m *Measurer, a, b Event) float64 {
+		t.Helper()
+		k, err := BuildKernel(mc, a, b, cfg.Frequency)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := m.MeasureKernelSeeds(k, CampaignSeeds(7, a, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meas.SAVAT
+	}
+
+	// One Measurer per mode, reused across every cell and both shapes —
+	// exactly how a campaign worker lives.
+	heap := NewMeasurer(mc, cfgA)
+	heapB := NewMeasurer(mc, cfgB)
+	ar := arena.New()
+	arena1 := NewMeasurer(mc, cfgA, WithArena(ar))
+	for _, p := range pairs {
+		want := measure(cfgA, heap, p[0], p[1])
+		if got := measure(cfgA, arena1, p[0], p[1]); got != want {
+			t.Errorf("%v/%v: arena %g != heap %g (must be bit-identical)", p[0], p[1], got, want)
+		}
+	}
+	// Shape change on the same scratch and arena: the reset path.
+	arena2 := NewMeasurer(mc, cfgB, WithScratch(arena1.scratch), WithArena(ar))
+	for _, p := range pairs {
+		want := measure(cfgB, heapB, p[0], p[1])
+		if got := measure(cfgB, arena2, p[0], p[1]); got != want {
+			t.Errorf("%v/%v after shape change: arena %g != heap %g", p[0], p[1], got, want)
+		}
+	}
+	// And back to the first shape: another reset, slabs already warm.
+	arena3 := NewMeasurer(mc, cfgA, WithScratch(arena1.scratch), WithArena(ar))
+	for _, p := range pairs {
+		want := measure(cfgA, heap, p[0], p[1])
+		if got := measure(cfgA, arena3, p[0], p[1]); got != want {
+			t.Errorf("%v/%v after shape round-trip: arena %g != heap %g", p[0], p[1], got, want)
+		}
+	}
+}
+
+// Concurrent row-mates with per-goroutine arenas sharing one
+// SynthCache: the campaign worker topology. The arena is single-owner
+// state, but its carved buffers feed computations whose PUBLISHED
+// products land in the shared cache — under -race (CI runs it) this
+// asserts no arena-backed buffer leaks into cross-worker state, and
+// every contended result must still be bit-identical to a cold run.
+func TestArenaWorkersConcurrentRowMates(t *testing.T) {
+	mc := machine.Core2Duo()
+	cfg := FastConfig()
+	cfg.Duration = 1.0 / 16
+	row := ADD
+	cols := []Event{LDM, STM, MUL, DIV, NOI, LDL2}
+	seeds := CampaignSeeds(42, row, 0)
+
+	want := make([]float64, len(cols))
+	for i, c := range cols {
+		k, err := BuildKernel(mc, row, c, cfg.Frequency)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMeasurer(mc, cfg).MeasureKernelSeeds(k, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = m.SAVAT
+	}
+
+	const lapsPerCol = 3
+	cache := NewSynthCache(8)
+	got := make([]float64, len(cols)*lapsPerCol)
+	errs := make([]error, len(got))
+	var wg sync.WaitGroup
+	for g := range got {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := cols[g%len(cols)]
+			k, err := BuildKernel(mc, row, c, cfg.Frequency)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			m, err := NewMeasurer(mc, cfg, WithSynthCache(cache), WithArena(arena.New())).
+				MeasureKernelSeeds(k, seeds)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			got[g] = m.SAVAT
+		}(g)
+	}
+	wg.Wait()
+	for g := range got {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if want[g%len(cols)] != got[g] {
+			t.Errorf("goroutine %d (%v/%v): arena worker %g != cold %g (must be bit-identical)",
+				g, row, cols[g%len(cols)], got[g], want[g%len(cols)])
+		}
+	}
+}

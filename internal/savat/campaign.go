@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/stats"
@@ -156,9 +157,13 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 		// matrix row's envelope products and a repetition's noise PSD are
 		// computed once and reused by every row- and repetition-mate.
 		// Neither scratch nor cache ever influences values: cells remain
-		// exactly equal to Measurer.MeasurePair for the same seed.
+		// exactly equal to Measurer.MeasurePair for the same seed. Each
+		// worker also gets its own arena so steady-state cell compute
+		// performs zero heap allocations (arenas are single-owner —
+		// never shared across workers).
 		NewWorkerState: func() any {
-			return NewMeasurer(mc, cfg, WithPool(opts.AnalyzerPool), WithSynthCache(cache))
+			return NewMeasurer(mc, cfg, WithPool(opts.AnalyzerPool),
+				WithSynthCache(cache), WithArena(arena.New()))
 		},
 		ComputeState: func(_ context.Context, state any, i, j, r int) (float64, error) {
 			k, err := kernelFor(i, j)

@@ -3,8 +3,8 @@ package savat
 import (
 	"fmt"
 	"math/rand"
-	"strconv"
 
+	"repro/internal/arena"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -44,6 +44,7 @@ const (
 //	WithReference()    direct-rendering reference pipeline
 //	WithPool(p)        explicit analyzer worker pool
 //	WithSynthCache(c)  shared synthesis-product cache (campaign row reuse)
+//	WithArena(a)       arena-backed working set (zero steady-state allocation)
 //	WithObs(r)         stage metrics on a private obs.Registry
 //
 // A Measurer reuses one scratch across its measurements, so the
@@ -59,12 +60,12 @@ type Measurer struct {
 	pool    *workpool.Pool
 	mobs    *measureObs
 	cache   *SynthCache
+	arena   *arena.Arena
 
 	// Synthesis-product cache key prefixes: every key parameter except
 	// the stage seed is fixed by (mc, cfg), so the prefixes are built
-	// once and per-measurement keys cost one small append each.
+	// once and per-measurement keys are allocation-free structs.
 	envKeyPrefix, noiseKeyPrefix string
-	keyBuf                       []byte
 }
 
 // MeasureOption configures a Measurer at construction.
@@ -115,6 +116,17 @@ func WithSynthCache(c *SynthCache) MeasureOption {
 	return func(m *Measurer) { m.cache = c }
 }
 
+// WithArena backs the Measurer's scratch working set — rolling Welch
+// windows, in-flight segment transforms, the display accumulator, the
+// buffered noise capture — with the single-owner bump allocator a (see
+// internal/arena), so steady-state measurements perform zero heap
+// allocations. The arena must not be shared with any other scratch.
+// Values are identical with or without an arena; a nil a is equivalent
+// to omitting the option. The campaign engine installs one per worker.
+func WithArena(a *arena.Arena) MeasureOption {
+	return func(m *Measurer) { m.arena = a }
+}
+
 // WithObs records the Measurer's stage metrics (savat.measure,
 // savat.stage.*, savat.altcache.*) on r instead of the process
 // registry obs.Default. The synthesis-product cache counters
@@ -145,6 +157,9 @@ func NewMeasurer(mc machine.Config, cfg Config, opts ...MeasureOption) *Measurer
 	}
 	if m.scratch != nil && m.cache != nil {
 		m.scratch.cache = m.cache
+	}
+	if m.scratch != nil && m.arena != nil {
+		m.scratch.SetArena(m.arena)
 	}
 	return m
 }
@@ -181,23 +196,23 @@ func (m *Measurer) MeasureKernel(k *Kernel, rng *rand.Rand) (*Measurement, error
 // length, resolved jitter, noise environment) and same segmentation
 // parameters (RBW request, window). The instrument floor and the group
 // coefficients are excluded — products are computed upstream of both.
-func (m *Measurer) productKeys(seeds SynthSeeds) (envKey, noiseKey string) {
+// The keys are comparable structs around the interned prefix, so the
+// steady-state measurement path allocates nothing here; map equality
+// compares prefix content, so equal recipes hit across Measurers.
+func (m *Measurer) productKeys(seeds SynthSeeds) (envKey, noiseKey productKey) {
 	if m.envKeyPrefix == "" {
 		jit := m.cfg.Jitter
 		if jit.AmpNoiseStd == 0 {
 			jit.AmpNoiseStd = m.mc.AmplitudeNoiseStd
 		}
 		n := int(m.cfg.Duration * m.cfg.SampleRate)
-		m.envKeyPrefix = fmt.Sprintf("env|f0=%g|fs=%g|n=%d|jit=%+v|rbw=%g|win=%v|seed=",
+		m.envKeyPrefix = fmt.Sprintf("env|f0=%g|fs=%g|n=%d|jit=%+v|rbw=%g|win=%v",
 			m.cfg.Frequency, m.cfg.SampleRate, n, jit, m.cfg.Analyzer.RBW, m.cfg.Analyzer.Window)
-		m.noiseKeyPrefix = fmt.Sprintf("noise|env=%+v|fs=%g|n=%d|rbw=%g|win=%v|seed=",
+		m.noiseKeyPrefix = fmt.Sprintf("noise|env=%+v|fs=%g|n=%d|rbw=%g|win=%v",
 			m.cfg.Environment, m.cfg.SampleRate, n, m.cfg.Analyzer.RBW, m.cfg.Analyzer.Window)
 	}
-	m.keyBuf = strconv.AppendInt(append(m.keyBuf[:0], m.envKeyPrefix...), seeds.Env, 10)
-	envKey = string(m.keyBuf)
-	m.keyBuf = strconv.AppendInt(append(m.keyBuf[:0], m.noiseKeyPrefix...), seeds.Noise, 10)
-	noiseKey = string(m.keyBuf)
-	return envKey, noiseKey
+	return productKey{prefix: m.envKeyPrefix, seed: seeds.Env},
+		productKey{prefix: m.noiseKeyPrefix, seed: seeds.Noise}
 }
 
 // MeasureKernelSeeds measures a prebuilt kernel from explicit per-stage

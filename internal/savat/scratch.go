@@ -4,7 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/activity"
-	"repro/internal/buf"
+	"repro/internal/arena"
 	"repro/internal/emsim"
 	"repro/internal/machine"
 	"repro/internal/memhier"
@@ -74,6 +74,32 @@ type MeasureScratch struct {
 
 	analyzer    *specan.Analyzer
 	analyzerCfg specan.Config
+
+	// mem is the scratch's bump allocator for the shape-dependent
+	// working set (see internal/arena); nil means plain heap buffers.
+	// prepare resets it — retiring every carved buffer at once — exactly
+	// when the measurement shape below changes, which is the one point
+	// where no carved buffer of the new shape is live yet (the reset
+	// drops s.noise, the one arena-carved buffer this struct itself
+	// caches; specan.Scratch tracks the epoch for its own).
+	mem      *arena.Arena
+	memShape measureShape
+
+	// meas is the scratch-owned Measurement the fast paths return: like
+	// the Trace it embeds, it is valid until the scratch's next
+	// measurement, and reusing it keeps the steady-state path free of
+	// heap allocation.
+	meas Measurement
+}
+
+// measureShape is everything the sizes of the arena-carved working
+// buffers depend on: the capture length (via duration and rate) and the
+// segmentation (via the analyzer config). Equal shapes carve equal
+// sizes, so the arena never grows between resets.
+type measureShape struct {
+	n        int
+	rate     float64
+	analyzer specan.Config
 }
 
 // NewMeasureScratch returns an empty scratch; buffers are sized on
@@ -94,6 +120,18 @@ func NewMeasureScratch() *MeasureScratch {
 // parallel segment transforms regardless of GOMAXPROCS. Results are
 // bit-identical either way: segment PSDs are reduced in capture order.
 func (s *MeasureScratch) SetAnalyzerPool(p *workpool.Pool) { s.specan.Pool = p }
+
+// SetArena backs the scratch's shape-dependent working buffers — and
+// the embedded analyzer scratch's — with a, a single-owner bump
+// allocator that must not be shared with any other scratch. A nil a
+// restores plain heap buffers. Values are identical either way; the
+// arena only changes where the working set lives. The campaign engine
+// installs one per worker (see WithArena).
+func (s *MeasureScratch) SetArena(a *arena.Arena) {
+	s.mem = a
+	s.specan.Mem = a
+	s.memShape = measureShape{} // force a reset on the next prepare
+}
 
 // synthCache returns the scratch's product cache, defaulting to a
 // private single-owner one. Campaigns and WithSynthCache install a
@@ -174,6 +212,16 @@ func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, seeds
 		HalfSeconds: alt.HalfSeconds,
 	}
 	n = int(cfg.Duration * cfg.SampleRate)
+	if s.mem != nil {
+		if sh := (measureShape{n: n, rate: cfg.SampleRate, analyzer: cfg.Analyzer}); sh != s.memShape {
+			// New measurement shape: every arena-backed buffer will be
+			// re-carved at its new size, so this is the one safe point to
+			// rewind the slabs. Consumers notice through the epoch.
+			s.memShape = sh
+			s.mem.Reset()
+			s.noise = nil
+		}
+	}
 	jit = cfg.Jitter
 	if jit.AmpNoiseStd == 0 {
 		jit.AmpNoiseStd = mc.AmplitudeNoiseStd
@@ -204,13 +252,20 @@ func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, seeds
 
 // finish turns a recorded trace into the Measurement: band power
 // around the intended frequency, then energy per A/B instruction pair.
-func finish(k *Kernel, alt *AlternationResult, cfg Config, tr *specan.Trace) (*Measurement, error) {
+// The result is written into dst when one is supplied (the scratch
+// paths pass their scratch-owned Measurement; it shares the Trace's
+// valid-until-next-measurement contract) and freshly allocated when
+// dst is nil (the reference path, whose results outlive the call).
+func finish(k *Kernel, alt *AlternationResult, cfg Config, tr *specan.Trace, dst *Measurement) (*Measurement, error) {
 	p, err := tr.BandPower(cfg.Frequency, cfg.BandHalfWidth)
 	if err != nil {
 		return nil, err
 	}
 	pairs := alt.PairsPerSecond()
-	return &Measurement{
+	if dst == nil {
+		dst = &Measurement{}
+	}
+	*dst = Measurement{
 		A: k.A, B: k.B,
 		SAVAT:           p / pairs,
 		BandPower:       p,
@@ -218,7 +273,8 @@ func finish(k *Kernel, alt *AlternationResult, cfg Config, tr *specan.Trace) (*M
 		LoopCount:       k.LoopCount,
 		ActualFrequency: alt.ActualFrequency(),
 		Trace:           tr,
-	}, nil
+	}
+	return dst, nil
 }
 
 // measureKernelStream is the streaming fast path behind the default
@@ -236,7 +292,7 @@ func finish(k *Kernel, alt *AlternationResult, cfg Config, tr *specan.Trace) (*M
 // until the scratch's next measurement; callers that keep traces must
 // use distinct scratches. A nil scratch is allowed; a fresh one is
 // used.
-func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, envKey, noiseKey string, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
+func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, envKey, noiseKey productKey, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
 	if s == nil {
 		s = NewMeasureScratch()
 	}
@@ -283,7 +339,7 @@ func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, seeds SynthSe
 	if err != nil {
 		return nil, err
 	}
-	return finish(k, alt, cfg, tr)
+	return finish(k, alt, cfg, tr, &s.meas)
 }
 
 // measureKernelBuffered is the capture-at-once form of
@@ -295,7 +351,7 @@ func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, seeds SynthSe
 // Measurements to measureKernelStream — the conformance suite asserts
 // this — at O(capture) memory; it exists as the plain-shaped oracle for
 // the streaming path and for callers that want the captures.
-func measureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, envKey, noiseKey string, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
+func measureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, envKey, noiseKey productKey, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
 	if s == nil {
 		s = NewMeasureScratch()
 	}
@@ -317,7 +373,11 @@ func measureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, seeds Synth
 			return nil, err
 		}
 	}
-	s.noise = buf.Grow(s.noise, n)
+	if cap(s.noise) >= n {
+		s.noise = s.noise[:n]
+	} else {
+		s.noise = s.mem.Complexes(n) // nil-safe: heap when no arena
+	}
 	err = cfg.Environment.Render(s.noise, cfg.SampleRate, s.noiseRng.at(seeds.Noise))
 	synSp.End()
 	if err != nil {
@@ -344,5 +404,5 @@ func measureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, seeds Synth
 	if err != nil {
 		return nil, err
 	}
-	return finish(k, alt, cfg, tr)
+	return finish(k, alt, cfg, tr, &s.meas)
 }

@@ -45,7 +45,7 @@ type SynthCache struct {
 	mu         sync.Mutex
 	cap        int
 	private    bool
-	entries    map[string]*synthEntry
+	entries    map[productKey]*synthEntry
 	head, tail *synthEntry // doubly-linked LRU; head = most recent
 	count      int
 
@@ -54,13 +54,29 @@ type SynthCache struct {
 	freeNoise   [][]float64
 	freeEntries *synthEntry // single-linked through next
 
-	envFlight   engine.Group[*specan.PairPSD]
-	noiseFlight engine.Group[[]float64]
+	envFlight   engine.Group[productKey, *specan.PairPSD]
+	noiseFlight engine.Group[productKey, []float64]
 }
 
+// productKey identifies one synthesis product: the (mc, cfg)-fixed
+// recipe prefix (see Measurer.productKeys, built once per Measurer and
+// compared by content, so equal recipes match across Measurers) plus
+// the stage seed. A comparable struct rather than a concatenated
+// string so the steady-state lookup path performs no per-measurement
+// key allocation.
+type productKey struct {
+	prefix string
+	seed   int64
+}
+
+// synthEntry is one cached product. Exactly one of env/noise is set;
+// typed fields rather than an `any` so storing a noise PSD does not box
+// its slice header on every insert (the steady-state miss path must not
+// allocate).
 type synthEntry struct {
-	key        string
-	val        any // *specan.PairPSD or []float64
+	key        productKey
+	env        *specan.PairPSD
+	noise      []float64
 	prev, next *synthEntry
 }
 
@@ -72,7 +88,7 @@ func NewSynthCache(capacity int) *SynthCache {
 	if capacity < 2 {
 		capacity = 2
 	}
-	return &SynthCache{cap: capacity, entries: make(map[string]*synthEntry)}
+	return &SynthCache{cap: capacity, entries: make(map[productKey]*synthEntry)}
 }
 
 // privateSynthCacheCap covers one measurement's working set (one
@@ -112,8 +128,11 @@ func (c *SynthCache) pushFront(e *synthEntry) {
 	}
 }
 
-// lookup returns the cached value for key, refreshing its recency.
-func (c *SynthCache) lookup(key string) (any, bool) {
+// lookup returns the cached entry for key, refreshing its recency. The
+// returned entry is only valid under the single-owner contract (private
+// mode) or until the next cache operation publishes it; callers read
+// one field and let go.
+func (c *SynthCache) lookup(key productKey) (*synthEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
@@ -124,13 +143,14 @@ func (c *SynthCache) lookup(key string) (any, bool) {
 		c.unlink(e)
 		c.pushFront(e)
 	}
-	return e.val, true
+	return e, true
 }
 
-// put publishes a computed value, evicting the least-recent entry
-// beyond capacity. Evicted buffers go to the freelists only in private
-// mode; shared caches let old references keep them alive instead.
-func (c *SynthCache) put(key string, val any) {
+// put publishes a computed product (exactly one of env/noise set),
+// evicting the least-recent entry beyond capacity. Evicted buffers go
+// to the freelists only in private mode; shared caches let old
+// references keep them alive instead.
+func (c *SynthCache) put(key productKey, env *specan.PairPSD, noise []float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
@@ -147,7 +167,7 @@ func (c *SynthCache) put(key string, val any) {
 	} else {
 		e = &synthEntry{}
 	}
-	e.key, e.val = key, val
+	e.key, e.env, e.noise = key, env, noise
 	c.pushFront(e)
 	c.entries[key] = e
 	c.count++
@@ -157,13 +177,13 @@ func (c *SynthCache) put(key string, val any) {
 		delete(c.entries, ev.key)
 		c.count--
 		if c.private {
-			switch v := ev.val.(type) {
-			case *specan.PairPSD:
-				c.freeEnv = append(c.freeEnv, v)
-			case []float64:
-				c.freeNoise = append(c.freeNoise, v)
+			if ev.env != nil {
+				c.freeEnv = append(c.freeEnv, ev.env)
 			}
-			ev.key, ev.val = "", nil
+			if ev.noise != nil {
+				c.freeNoise = append(c.freeNoise, ev.noise)
+			}
+			ev.key, ev.env, ev.noise = productKey{}, nil, nil
 			ev.next = c.freeEntries
 			c.freeEntries = ev
 		}
@@ -196,10 +216,10 @@ func (c *SynthCache) takeFreeNoise() []float64 {
 // most once across concurrent callers. compute receives a recycled
 // destination (nil when none is available) and must return buffers the
 // cache may own — never scratch-aliased ones.
-func (c *SynthCache) envProducts(key string, compute func(dst *specan.PairPSD) (*specan.PairPSD, error)) (*specan.PairPSD, error) {
-	if v, ok := c.lookup(key); ok {
+func (c *SynthCache) envProducts(key productKey, compute func(dst *specan.PairPSD) (*specan.PairPSD, error)) (*specan.PairPSD, error) {
+	if e, ok := c.lookup(key); ok {
 		mSynthHits.Inc()
-		return v.(*specan.PairPSD), nil
+		return e.env, nil
 	}
 	if c.private {
 		mSynthMisses.Inc()
@@ -207,7 +227,7 @@ func (c *SynthCache) envProducts(key string, compute func(dst *specan.PairPSD) (
 		if err != nil {
 			return nil, err
 		}
-		c.put(key, v)
+		c.put(key, v, nil)
 		return v, nil
 	}
 	for {
@@ -221,11 +241,11 @@ func (c *SynthCache) envProducts(key string, compute func(dst *specan.PairPSD) (
 			// entry published meanwhile, or become the new leader.
 			continue
 		}
-		if v, ok := c.lookup(key); ok {
+		if e, ok := c.lookup(key); ok {
 			// Lost the lookup→Lead race against a finishing leader.
-			c.envFlight.Finish(key, call, v.(*specan.PairPSD), nil)
+			c.envFlight.Finish(key, call, e.env, nil)
 			mSynthHits.Inc()
-			return v.(*specan.PairPSD), nil
+			return e.env, nil
 		}
 		mSynthMisses.Inc()
 		v, err := compute(nil)
@@ -233,17 +253,17 @@ func (c *SynthCache) envProducts(key string, compute func(dst *specan.PairPSD) (
 			c.envFlight.Finish(key, call, nil, err)
 			return nil, err
 		}
-		c.put(key, v)
+		c.put(key, v, nil)
 		c.envFlight.Finish(key, call, v, nil)
 		return v, nil
 	}
 }
 
 // noiseProducts is envProducts for noise PSDs.
-func (c *SynthCache) noiseProducts(key string, compute func(dst []float64) ([]float64, error)) ([]float64, error) {
-	if v, ok := c.lookup(key); ok {
+func (c *SynthCache) noiseProducts(key productKey, compute func(dst []float64) ([]float64, error)) ([]float64, error) {
+	if e, ok := c.lookup(key); ok {
 		mSynthHits.Inc()
-		return v.([]float64), nil
+		return e.noise, nil
 	}
 	if c.private {
 		mSynthMisses.Inc()
@@ -251,7 +271,7 @@ func (c *SynthCache) noiseProducts(key string, compute func(dst []float64) ([]fl
 		if err != nil {
 			return nil, err
 		}
-		c.put(key, v)
+		c.put(key, nil, v)
 		return v, nil
 	}
 	for {
@@ -263,10 +283,10 @@ func (c *SynthCache) noiseProducts(key string, compute func(dst []float64) ([]fl
 			}
 			continue
 		}
-		if v, ok := c.lookup(key); ok {
-			c.noiseFlight.Finish(key, call, v.([]float64), nil)
+		if e, ok := c.lookup(key); ok {
+			c.noiseFlight.Finish(key, call, e.noise, nil)
 			mSynthHits.Inc()
-			return v.([]float64), nil
+			return e.noise, nil
 		}
 		mSynthMisses.Inc()
 		v, err := compute(nil)
@@ -274,7 +294,7 @@ func (c *SynthCache) noiseProducts(key string, compute func(dst []float64) ([]fl
 			c.noiseFlight.Finish(key, call, nil, err)
 			return nil, err
 		}
-		c.put(key, v)
+		c.put(key, nil, v)
 		c.noiseFlight.Finish(key, call, v, nil)
 		return v, nil
 	}

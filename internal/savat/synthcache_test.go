@@ -13,8 +13,9 @@ import (
 // computations.
 func TestSynthCacheLRU(t *testing.T) {
 	c := NewSynthCache(2)
+	nk := func(s string) productKey { return productKey{prefix: s} }
 	mk := func(key string, v float64) {
-		if _, err := c.noiseProducts(key, func(dst []float64) ([]float64, error) {
+		if _, err := c.noiseProducts(nk(key), func(dst []float64) ([]float64, error) {
 			return []float64{v}, nil
 		}); err != nil {
 			t.Fatal(err)
@@ -22,14 +23,14 @@ func TestSynthCacheLRU(t *testing.T) {
 	}
 	mk("a", 1)
 	mk("b", 2)
-	if _, ok := c.lookup("a"); !ok { // refresh a: b becomes LRU
+	if _, ok := c.lookup(nk("a")); !ok { // refresh a: b becomes LRU
 		t.Fatal("a missing")
 	}
 	mk("c", 3) // evicts b
-	if _, ok := c.lookup("b"); ok {
+	if _, ok := c.lookup(nk("b")); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.lookup("a"); !ok {
+	if _, ok := c.lookup(nk("a")); !ok {
 		t.Error("a should have survived (recently used)")
 	}
 	if got := c.Len(); got != 2 {
@@ -39,7 +40,7 @@ func TestSynthCacheLRU(t *testing.T) {
 	p := newPrivateSynthCache()
 	var bufs []*float64
 	for i := 0; i < privateSynthCacheCap+2; i++ {
-		key := string(rune('a' + i))
+		key := productKey{prefix: string(rune('a' + i))}
 		v, err := p.noiseProducts(key, func(dst []float64) ([]float64, error) {
 			if dst == nil {
 				dst = make([]float64, 1)
@@ -67,7 +68,7 @@ func TestSynthCacheLRU(t *testing.T) {
 	pe := newPrivateSynthCache()
 	var envs []*specan.PairPSD
 	for i := 0; i < privateSynthCacheCap+2; i++ {
-		key := string(rune('a' + i))
+		key := productKey{prefix: string(rune('a' + i))}
 		v, err := pe.envProducts(key, func(dst *specan.PairPSD) (*specan.PairPSD, error) {
 			if dst == nil {
 				dst = &specan.PairPSD{}

@@ -11,6 +11,7 @@ package specan
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/buf"
 	"repro/internal/dsp"
 	"repro/internal/obs"
@@ -232,6 +233,17 @@ type Scratch struct {
 	// workpool.Default. Results are bit-identical for any pool.
 	Pool *workpool.Pool
 
+	// Mem, when non-nil, backs the scratch's shape-dependent working
+	// buffers — the rolling windows, the display accumulator, the
+	// in-flight segment transforms — with the owner's per-worker bump
+	// allocator instead of the heap. The owner resets the arena only
+	// when the measurement shape changes (see internal/arena's lifetime
+	// rules); the scratch re-carves after every reset, tracked by
+	// memGen. Published products (PairPSD, noise PSDs handed to caches)
+	// are never arena-backed.
+	Mem    *arena.Arena
+	memGen uint64
+
 	welch    *dsp.WelchScratch
 	prod     PairPSD
 	noisePSD []float64
@@ -250,6 +262,38 @@ type Scratch struct {
 
 // NewScratch returns an empty scratch; buffers are sized on first use.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// refreshEpoch drops every arena-carved buffer when the arena has
+// entered a new epoch since they were carved — their memory belongs to
+// the next carver now, whatever their capacity. Heap-backed scratches
+// (Mem == nil) never drop anything.
+func (s *Scratch) refreshEpoch() {
+	if s.Mem == nil {
+		return
+	}
+	if g := s.Mem.Gen(); g != s.memGen {
+		s.memGen = g
+		s.wa, s.wb, s.wn, s.sum = nil, nil, nil, nil
+	}
+}
+
+// growFloats sizes an arena-epoch-managed float buffer: reuse within
+// the epoch, carve (from the arena, or the heap when none) otherwise.
+// Callers must have run refreshEpoch this analysis call.
+func (s *Scratch) growFloats(b []float64, n int) []float64 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return s.Mem.Floats(n) // nil-safe: heap fallback
+}
+
+// growComplexes is growFloats for complex128 buffers.
+func (s *Scratch) growComplexes(b []complex128, n int) []complex128 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return s.Mem.Complexes(n)
+}
 
 // prepare readies the Welch scratch for the segment length and window.
 func (s *Scratch) prepare(seg int, win dsp.Window) error {
@@ -278,15 +322,20 @@ func (a *Analyzer) setup(n int, fs float64, s *Scratch) (seg int, enbw float64, 
 	if err != nil {
 		return 0, 0, err
 	}
+	s.refreshEpoch()
 	return seg, enbw, s.prepare(seg, a.cfg.Window)
 }
 
-// combineEnvelopes folds the pair-Welch products into the summed
-// display using the group coefficients: by Welch linearity the per-bin
-// group-sum PSD is CA·|WA|² + CB·|WB|² + 2·Re(CX·WA·conj(WB)) with
-// CA = Σ|a_g|², CB = Σ|b_g|², CX = Σ a_g·conj(b_g). The products are
-// only read — they may be shared, cached state.
-func (s *Scratch) combineEnvelopes(coeffs [][2]complex128, p *PairPSD) {
+// combineDisplay folds the pair-Welch products into the summed display
+// using the group coefficients, adds the noise PSD (nil to omit), and
+// applies the sensitivity floor, all in one pass over the sum — the
+// display assembly is pure streaming arithmetic, so fusing the combine
+// with the noise/floor finish halves its memory traffic. By Welch
+// linearity the per-bin group-sum PSD is
+// CA·|WA|² + CB·|WB|² + 2·Re(CX·WA·conj(WB)) with CA = Σ|a_g|²,
+// CB = Σ|b_g|², CX = Σ a_g·conj(b_g). The products and the noise PSD
+// are only read — they may be shared, cached state.
+func (s *Scratch) combineDisplay(coeffs [][2]complex128, p *PairPSD, floor float64, noisePSD []float64) {
 	var ca, cb float64
 	var cx complex128
 	for _, c := range coeffs {
@@ -295,40 +344,47 @@ func (s *Scratch) combineEnvelopes(coeffs [][2]complex128, p *PairPSD) {
 		cb += real(b0)*real(b0) + imag(b0)*imag(b0)
 		cx += a0 * complex(real(b0), -imag(b0))
 	}
-	pa, pb, cross := p.PA, p.PB, p.Cross
-	for k := range s.sum {
-		x := cross[k]
-		s.sum[k] = ca*pa[k] + cb*pb[k] +
-			2*(real(cx)*real(x)-imag(cx)*imag(x))
-	}
-}
-
-func (s *Scratch) zeroSum() {
-	for k := range s.sum {
-		s.sum[k] = 0
-	}
-}
-
-// finishDisplay folds the noise PSD (when non-nil) into the sum and
-// applies the sensitivity floor — the floor applies to the summed
-// display, so it rides the final accumulation pass instead of a sweep
-// of its own. The noise PSD is only read — it may be shared, cached
-// state.
-func (s *Scratch) finishDisplay(floor float64, noisePSD []float64) {
+	cr, ci := real(cx), imag(cx)
+	sum := s.sum
+	pa, pb, cross := p.PA[:len(sum)], p.PB[:len(sum)], p.Cross[:len(sum)]
 	if noisePSD != nil {
-		for k, v := range noisePSD {
-			t := s.sum[k] + v
+		noise := noisePSD[:len(sum)]
+		for k := range sum {
+			x := cross[k]
+			t := ca*pa[k] + cb*pb[k] + 2*(cr*real(x)-ci*imag(x))
+			t += noise[k]
 			if t < floor {
 				t = floor
 			}
-			s.sum[k] = t
+			sum[k] = t
 		}
-	} else {
-		for k, v := range s.sum {
-			if v < floor {
-				s.sum[k] = floor
-			}
+		return
+	}
+	for k := range sum {
+		x := cross[k]
+		t := ca*pa[k] + cb*pb[k] + 2*(cr*real(x)-ci*imag(x))
+		if t < floor {
+			t = floor
 		}
+		sum[k] = t
+	}
+}
+
+// noiseDisplay fills the sum with the floored noise PSD — the display
+// of a measurement with no coherent envelope content.
+func (s *Scratch) noiseDisplay(floor float64, noisePSD []float64) {
+	sum := s.sum
+	if noisePSD == nil {
+		for k := range sum {
+			sum[k] = floor
+		}
+		return
+	}
+	for k, v := range noisePSD[:len(sum)] {
+		if v < floor {
+			v = floor
+		}
+		sum[k] = v
 	}
 }
 
@@ -433,13 +489,15 @@ func (a *Analyzer) Render(n int, coeffs [][2]complex128, env *PairPSD, noisePSD 
 	if noisePSD != nil && len(noisePSD) != seg {
 		return nil, fmt.Errorf("specan: noise PSD length %d, segment length %d", len(noisePSD), seg)
 	}
-	s.sum = buf.Grow(s.sum, seg)
+	// Render is reachable without setup (cache-hit measurements call it
+	// directly), so it must honour the arena epoch itself.
+	s.refreshEpoch()
+	s.sum = s.growFloats(s.sum, seg)
 	if len(coeffs) > 0 {
-		s.combineEnvelopes(coeffs, env)
+		s.combineDisplay(coeffs, env, a.cfg.FloorPSD, noisePSD)
 	} else {
-		s.zeroSum()
+		s.noiseDisplay(a.cfg.FloorPSD, noisePSD)
 	}
-	s.finishDisplay(a.cfg.FloorPSD, noisePSD)
 	return s.traceFor(fs, seg, enbw, a.cfg.FloorPSD), nil
 }
 

@@ -106,9 +106,9 @@ func (a *Analyzer) EnvelopeProductsStream(n int, src PairSource, fs float64, s *
 	}
 	dst.grow(seg)
 	half := seg / 2
-	s.wa = buf.Grow(s.wa, seg)
-	s.wb = buf.Grow(s.wb, seg)
-	if err := s.pairFeed.Init(s.welch, dst.PA, dst.PB, dst.Cross, fs, s.Pool); err != nil {
+	s.wa = s.growFloats(s.wa, seg)
+	s.wb = s.growFloats(s.wb, seg)
+	if err := s.pairFeed.Init(s.welch, dst.PA, dst.PB, dst.Cross, fs, s.Pool, s.Mem); err != nil {
 		return nil, err
 	}
 	// First full segment, then slide by half: the second half of the
@@ -159,10 +159,10 @@ func (a *Analyzer) NoiseProductsStream(n int, src SampleSource, fs float64, s *S
 	if err != nil {
 		return nil, err
 	}
-	dst = buf.Grow(dst, seg)
+	dst = buf.Grow(dst, seg) // published product: heap, never arena
 	half := seg / 2
-	s.wn = buf.Grow(s.wn, seg)
-	if err := s.noiseFeed.Init(s.welch, dst, fs, s.Pool); err != nil {
+	s.wn = s.growComplexes(s.wn, seg)
+	if err := s.noiseFeed.Init(s.welch, dst, fs, s.Pool, s.Mem); err != nil {
 		return nil, err
 	}
 	if err := fill(src, s.wn); err != nil {

@@ -20,8 +20,8 @@ func FuzzStoreRecord(f *testing.F) {
 	f.Add(valid[:len(valid)-3]) // torn tail
 	corrupt := append([]byte(nil), valid...)
 	corrupt[len(corrupt)-1] ^= 0x40
-	f.Add(corrupt)                                  // checksum mismatch
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // huge payloadLen
+	f.Add(corrupt)                                                            // checksum mismatch
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})                         // huge payloadLen
 	f.Add([]byte{8, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // huge keyLen
 
 	f.Fuzz(func(t *testing.T, data []byte) {
