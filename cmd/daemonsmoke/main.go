@@ -14,7 +14,11 @@
 //     durable cell store (the campaign is shorter than the periodic
 //     checkpoint interval and a SIGKILL skips the final checkpoint, so
 //     every resumed cell must have come through the store's
-//     write-behind flusher), finishing bit-identical to a direct run.
+//     write-behind flusher), finishing bit-identical to a direct run,
+//  6. run a power-channel campaign through the same cancel/resume
+//     cycle: the channel dimension must reach the daemon's checkpoint
+//     and cache fingerprints intact, and the resumed matrix must be
+//     bit-identical to a direct in-process run of the same spec.
 //
 // Any divergence, HTTP error, or timeout exits non-zero.
 package main
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/machine"
 	"repro/internal/savat"
 	"repro/internal/service"
 )
@@ -219,6 +224,68 @@ func run() error {
 		return fmt.Errorf("post-kill result diverges from direct run:\n%s\nvs\n%s", a, b)
 	}
 	fmt.Println("daemon-smoke: post-kill matrix bit-identical to direct run")
+
+	// Phase 6: a conducted-channel campaign through the cancel/resume
+	// cycle. The channel dimension is part of the spec's fingerprint and
+	// cell keys, so the resumed run may only restore cells the power
+	// campaign itself finished — never the EM cells persisted above.
+	spec3 := smokeSpec()
+	spec3.Config.Channel = "power"
+	spec3.Config.Environment = machine.Channels()["power"].Environment()
+	spec3.Seed = 31
+	pj, err := submit(base, spec3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("daemon-smoke: submitted", pj.ID, "(power channel)")
+	if err := streamEvents(base, pj.ID, 2); err != nil {
+		return err
+	}
+	if _, err := cancel(base, pj.ID); err != nil {
+		return err
+	}
+	if final, err = awaitTerminal(base, pj.ID); err != nil {
+		return err
+	}
+	if final.State != service.StateCancelled {
+		return fmt.Errorf("power job %s after DELETE: %s, want cancelled", pj.ID, final.State)
+	}
+	pr, err := submit(base, spec3)
+	if err != nil {
+		return err
+	}
+	if pr.Fingerprint != pj.Fingerprint {
+		return fmt.Errorf("same power spec, different fingerprints: %s vs %s", pr.Fingerprint, pj.Fingerprint)
+	}
+	if pr.Fingerprint == killed.Fingerprint {
+		return fmt.Errorf("power campaign fingerprint collides with the EM campaign's")
+	}
+	if final, err = awaitTerminal(base, pr.ID); err != nil {
+		return err
+	}
+	if final.State != service.StateDone {
+		return fmt.Errorf("resumed power job %s: state %s, error %q", pr.ID, final.State, final.Error)
+	}
+	if final.Stats.Cached == 0 {
+		return fmt.Errorf("resumed power job %s recomputed everything; checkpoint restored nothing", pr.ID)
+	}
+	fmt.Printf("daemon-smoke: resumed power campaign %s (%d cells restored, %d computed)\n",
+		pr.ID, final.Stats.Cached, final.Stats.Computed)
+
+	var served3 savat.MatrixStats
+	if err := getJSON(base+"/v1/campaigns/"+pr.ID+"/result", &served3); err != nil {
+		return err
+	}
+	direct3, err := savat.RunSpec(spec3, savat.CampaignOptions{})
+	if err != nil {
+		return err
+	}
+	a, _ = json.Marshal(served3.Cells)
+	b, _ = json.Marshal(direct3.Cells)
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("power-channel result diverges from direct run:\n%s\nvs\n%s", a, b)
+	}
+	fmt.Println("daemon-smoke: power-channel matrix bit-identical to direct run")
 	return nil
 }
 

@@ -20,6 +20,14 @@
 //
 //	savat -machine TurionX2 -distance 0.5 -emit-spec turion.json
 //	savat -spec turion.json -matrix
+//
+// Side channels and countermeasures: -channel selects the measured
+// channel (em, power, impedance), and repeatable -countermeasure flags
+// build a protection chain. With a chain and no -pair/-matrix, savat
+// runs the matched campaign pair (with and without the chain) and
+// prints the countermeasure-effectiveness report:
+//
+//	savat -fast -repeats 2 -channel power -countermeasure noop-insert:0.1
 package main
 
 import (
@@ -48,7 +56,7 @@ func main() {
 
 func run() error {
 	var (
-		cf         = cliconf.Register(flag.CommandLine, cliconf.All|cliconf.Spec|cliconf.CacheDir)
+		cf         = cliconf.Register(flag.CommandLine, cliconf.All|cliconf.Spec|cliconf.CacheDir|cliconf.Countermeasure)
 		pair       = flag.String("pair", "", "single pair to measure, e.g. ADD/LDM")
 		matrix     = flag.Bool("matrix", false, "measure the full 11×11 matrix")
 		format     = flag.String("format", "table", "matrix output: table, heatmap, csv, bars, stats")
@@ -195,8 +203,27 @@ func run() error {
 			return fmt.Errorf("unknown format %q", *format)
 		}
 		return nil
+
+	case len(spec.Config.Countermeasures) > 0:
+		// Countermeasure report: the matched campaign pair — the spec as
+		// given and the spec with its chain stripped — scored as per-cell
+		// SAVAT attenuation and matrix-level distinguishability loss.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		var opts savat.CampaignOptions
+		cache, closeCache, err := cf.OpenCache()
+		if err != nil {
+			return err
+		}
+		defer closeCache()
+		opts.Cache = cache
+		rep, err := savat.RunCountermeasureReport(ctx, spec, opts)
+		if err != nil {
+			return err
+		}
+		return rep.WriteTable(os.Stdout)
 	}
-	return fmt.Errorf("nothing to do: pass -pair A/B or -matrix (see -help)")
+	return fmt.Errorf("nothing to do: pass -pair A/B, -matrix, or -countermeasure (see -help)")
 }
 
 func arrayDesc(bytes int) string {

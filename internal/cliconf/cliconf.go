@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/counter"
 	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -35,6 +36,12 @@ var (
 	ErrBadFrequency = savat.ErrBadFrequency
 	// ErrBadRepeats reports a -repeats below one.
 	ErrBadRepeats = savat.ErrBadRepeats
+	// ErrUnknownChannel reports a -channel that is not a registered side
+	// channel.
+	ErrUnknownChannel = savat.ErrUnknownChannel
+	// ErrBadCountermeasure reports an invalid -countermeasure entry that
+	// survived flag parsing (e.g. from a spec file).
+	ErrBadCountermeasure = savat.ErrBadCountermeasure
 	// ErrBadCacheBackend reports a -cache-backend that is neither
 	// "store" nor "json".
 	ErrBadCacheBackend = errors.New("cliconf: -cache-backend must be \"store\" or \"json\"")
@@ -60,6 +67,10 @@ const (
 	Profile
 	// Metrics registers -metrics-addr (observability HTTP endpoint).
 	Metrics
+	// Channel registers -channel (measured side channel: em, power,
+	// impedance). A non-em channel also swaps in the channel's canonical
+	// noise environment — the emitted spec records it explicitly.
+	Channel
 	// Spec registers -spec (run the campaign a spec file describes,
 	// overriding the setup flags) and -emit-spec (write the resolved
 	// campaign spec instead of running it).
@@ -68,29 +79,35 @@ const (
 	// and -cache-backend (its durable layer: the batched segment-log
 	// store, or the legacy one-JSON-file-per-cell layout).
 	CacheDir
-	// All registers every shared measurement-setup flag. Spec and
-	// CacheDir are opted into separately by the commands whose unit of
-	// work is a campaign.
-	All = Machine | Distance | Frequency | Repeats | Seed | Fast | Profile | Metrics
+	// Countermeasure registers -countermeasure (repeatable name:param
+	// countermeasure chain entries, e.g. noop-insert:0.1). Opt-in like
+	// Spec: only commands that evaluate countermeasures register it.
+	Countermeasure
+	// All registers every shared measurement-setup flag. Spec, CacheDir,
+	// and Countermeasure are opted into separately by the commands whose
+	// unit of work is a campaign.
+	All = Machine | Distance | Frequency | Repeats | Seed | Fast | Profile | Metrics | Channel
 )
 
 // Flags holds the parsed values of the shared measurement-setup flags.
 // Fields whose flag was not registered keep their defaults and are not
 // validated.
 type Flags struct {
-	Machine     string
-	Distance    float64
-	Frequency   float64
-	Repeats     int
-	Seed        int64
-	Fast        bool
-	CPUProfile  string
-	MemProfile  string
-	MetricsAddr string
-	SpecPath    string
-	EmitSpec    string
-	CacheDir    string
-	CacheBack   string
+	Machine         string
+	Distance        float64
+	Frequency       float64
+	Repeats         int
+	Seed            int64
+	Fast            bool
+	CPUProfile      string
+	MemProfile      string
+	MetricsAddr     string
+	Channel         string
+	SpecPath        string
+	EmitSpec        string
+	CacheDir        string
+	CacheBack       string
+	Countermeasures counter.Chain
 
 	set Set
 }
@@ -105,6 +122,7 @@ func Register(fs *flag.FlagSet, which Set) *Flags {
 		Frequency: 80e3,
 		Repeats:   10,
 		Seed:      1,
+		Channel:   "em",
 		set:       which,
 	}
 	if which&Machine != 0 {
@@ -131,6 +149,19 @@ func Register(fs *flag.FlagSet, which Set) *Flags {
 	}
 	if which&Metrics != 0 {
 		fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics and /progress on this address (e.g. localhost:9090); also enables the end-of-run summary")
+	}
+	if which&Channel != 0 {
+		fs.StringVar(&f.Channel, "channel", f.Channel, "side channel to measure: em, impedance, power")
+	}
+	if which&Countermeasure != 0 {
+		fs.Func("countermeasure", "apply a countermeasure, as name:param (repeatable; noop-insert:p, shuffle:w, noise-gen:psd, supply-filter:fc)", func(v string) error {
+			s, err := counter.Parse(v)
+			if err != nil {
+				return err
+			}
+			f.Countermeasures = append(f.Countermeasures, s)
+			return nil
+		})
 	}
 	if which&Spec != 0 {
 		fs.StringVar(&f.SpecPath, "spec", "", "run the campaign this JSON spec file describes (overrides the setup flags)")
@@ -258,6 +289,19 @@ func (f *Flags) impliedConfig() savat.Config {
 	}
 	if f.set&Frequency != 0 {
 		cfg.Frequency = f.Frequency
+	}
+	if f.set&Channel != 0 {
+		cfg.Channel = f.Channel
+		// A non-em channel brings its own instrument, so the channel's
+		// canonical noise environment replaces the EM lab default. The
+		// swap is recorded in the spec explicitly (specs carry the
+		// environment verbatim) rather than resolved at measurement time.
+		if ch, err := machine.ChannelByName(f.Channel); err == nil && ch.Name() != "em" {
+			cfg.Environment = ch.Environment()
+		}
+	}
+	if f.set&Countermeasure != 0 && len(f.Countermeasures) > 0 {
+		cfg.Countermeasures = append(counter.Chain(nil), f.Countermeasures...)
 	}
 	return cfg
 }

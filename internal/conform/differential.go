@@ -32,9 +32,12 @@ type DiffSpec struct {
 // pipelines: machine model (including asymmetry-source and
 // amplitude-noise variants), event pair (extension events included),
 // antenna distance, alternation frequency, capture length, measurement
-// band, analyzer RBW and window, jitter model, and noise environment.
-// The same (seed, n) always yields the same specs, so a failure
-// reported by name is reproducible in isolation.
+// band, analyzer RBW and window, jitter model, noise environment, and
+// side channel (the radiated "em" seam dominates the draw, with the
+// conducted power and impedance channels mixed in so the
+// fast-vs-reference factorization holds per channel, not just for the
+// default). The same (seed, n) always yields the same specs, so a
+// failure reported by name is reproducible in isolation.
 func GenDiffSpecs(seed int64, n int) []DiffSpec {
 	rng := rand.New(rand.NewSource(seed))
 	machines := machine.CaseStudyMachines()
@@ -71,11 +74,23 @@ func GenDiffSpecs(seed int64, n int) []DiffSpec {
 		cfg.Jitter.AmpNoiseStd = 0.4 * rng.Float64() * float64(rng.Intn(2))
 		cfg.Jitter.AmpNoiseCorr = 0.9 * rng.Float64()
 
+		// Channel dimension: a conducted draw swaps in the channel's
+		// canonical environment, exactly as the flag layer does.
+		cfg.Channel = "em"
+		if rng.Intn(4) == 0 {
+			cfg.Channel = []string{"power", "impedance"}[rng.Intn(2)]
+			ch, err := machine.ChannelByName(cfg.Channel)
+			if err != nil {
+				panic(err) // registry names are compiled in
+			}
+			cfg.Environment = ch.Environment()
+		}
+
 		a := events[rng.Intn(len(events))]
 		b := events[rng.Intn(len(events))]
 		out = append(out, DiffSpec{
-			Name: fmt.Sprintf("spec%02d-%s-%v-%v-%.2fm-%gkHz-%v",
-				i, mc.Name, a, b, cfg.Distance, cfg.Frequency/1e3, w),
+			Name: fmt.Sprintf("spec%02d-%s-%v-%v-%.2fm-%gkHz-%v-%s",
+				i, mc.Name, a, b, cfg.Distance, cfg.Frequency/1e3, w, cfg.Channel),
 			Machine: mc,
 			Config:  cfg,
 			A:       a, B: b,

@@ -96,6 +96,62 @@ func TestGoldenPSD(t *testing.T) {
 	}
 }
 
+// channelCellMeasure measures the golden LDM/NOI cell through a named
+// side channel with the channel's canonical noise environment — the
+// same configuration the flag layer builds for -channel.
+func channelCellMeasure(t *testing.T, channel string) *savat.Measurement {
+	t.Helper()
+	ch, err := machine.ChannelByName(channel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := savat.FastConfig()
+	cfg.Channel = channel
+	cfg.Environment = ch.Environment()
+	m, err := savat.NewMeasurer(machine.Core2Duo(), cfg).Measure(savat.LDM, savat.NOI,
+		rand.New(rand.NewSource(goldenSeed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGoldenChannelCells pins one measured cell per conducted channel:
+// any change to the power or impedance coupling tables, the distance-flat
+// law, or the channels' noise environments moves these vectors and must
+// be a deliberate regeneration.
+func TestGoldenChannelCells(t *testing.T) {
+	for _, tc := range []struct {
+		channel, file string
+	}{
+		{"power", "psd-ldm-noi-power.json"},
+		{"impedance", "psd-ldm-noi-impedance.json"},
+	} {
+		m := channelCellMeasure(t, tc.channel)
+		path := goldenPath(tc.file)
+		if *update {
+			g, err := NewGoldenPSD("LDM/NOI band spectrum, Core2Duo, "+tc.channel+" channel",
+				"Core2Duo", m, goldenSeed, 80e3, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SaveGolden(path, g); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("regenerated %s", path)
+		}
+		g, err := LoadGoldenPSD(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := g.ComparePSD("psd-ldm-noi-"+tc.channel, m, GoldenRelTol)
+		t.Log("\n" + r.String())
+		if err := r.Err(); err != nil {
+			t.Errorf("channel %s: %v", tc.channel, err)
+		}
+	}
+}
+
 // TestGoldenDetectsPerturbation is the suite's own regression test: a
 // 1 % perturbation injected into the golden values must fail the
 // comparison (the committed tolerance sits four orders of magnitude

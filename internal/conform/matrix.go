@@ -151,3 +151,51 @@ func VerifyDistanceDecay(distances []float64, ms []*savat.Matrix, relTol float64
 	}
 	return r, nil
 }
+
+// VerifyDistanceFlat checks the conducted-channel invariant: a channel
+// whose instrument clips onto the supply or the PDN (power, impedance —
+// emsim.LawFlat) has no distance dimension at all, so matrices measured
+// at different configured distances must be BIT-IDENTICAL, not merely
+// close — under LawFlat the distance enters no coupling, no asymmetry
+// term, and no seed. Matrices must share an event set; the first is the
+// reference the rest are compared against cell by cell.
+func VerifyDistanceFlat(distances []float64, ms []*savat.Matrix) (*Report, error) {
+	if len(distances) != len(ms) || len(ms) < 2 {
+		return nil, fmt.Errorf("conform: need ≥2 matrices with matching distances, have %d/%d",
+			len(ms), len(distances))
+	}
+	events := ms[0].Events
+	for _, m := range ms[1:] {
+		if len(m.Events) != len(events) {
+			return nil, fmt.Errorf("conform: matrices cover different event sets")
+		}
+		for i := range events {
+			if m.Events[i] != events[i] {
+				return nil, fmt.Errorf("conform: matrices cover different event sets")
+			}
+		}
+	}
+
+	r := &Report{}
+	ref := ms[0]
+	for step := 1; step < len(ms); step++ {
+		m := ms[step]
+		diff := 0
+		detail := ""
+		for i := range events {
+			for j := range events {
+				if m.Vals[i][j] != ref.Vals[i][j] {
+					diff++
+					if detail == "" {
+						detail = fmt.Sprintf("first at %v/%v: %.6g ≠ %.6g zJ",
+							events[i], events[j], ref.Vals[i][j]*1e21, m.Vals[i][j]*1e21)
+					}
+				}
+			}
+		}
+		r.addBound(
+			fmt.Sprintf("distance-flat/%.2fm≡%.2fm", distances[0], distances[step]),
+			float64(diff), 0, detail)
+	}
+	return r, nil
+}

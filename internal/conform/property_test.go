@@ -121,6 +121,76 @@ func TestPermutationInvariance(t *testing.T) {
 	}
 }
 
+// TestChannelMatrices sweeps the matrix-shape property suite over every
+// registered side channel: the radiated EM seam and the conducted power
+// and impedance channels must all produce matrices with finite
+// non-negative cells, noise-floor diagonals, and swap symmetry — the
+// invariants are physics of the alternation methodology, not of any one
+// coupling table.
+func TestChannelMatrices(t *testing.T) {
+	events := []savat.Event{savat.NOI, savat.ADD, savat.MUL, savat.LDM, savat.STM}
+	for _, name := range machine.ChannelNames() {
+		ch, err := machine.ChannelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := savat.FastConfig()
+		cfg.Channel = name
+		if name != "em" {
+			cfg.Environment = ch.Environment()
+		}
+		st, err := savat.RunCampaign(machine.Core2Duo(), cfg, savat.CampaignOptions{
+			Events: events, Repeats: 1, Seed: propertySeed,
+		})
+		if err != nil {
+			t.Fatalf("channel %s: %v", name, err)
+		}
+		r := VerifyMatrix("channel-"+name, st.Mean, DefaultMatrixTolerances())
+		t.Log("\n" + r.String())
+		if err := r.Err(); err != nil {
+			t.Errorf("channel %s: %v", name, err)
+		}
+	}
+}
+
+// TestDistanceFlatConducted pins the conducted-channel invariant: a
+// power-rail instrument does not move when the "antenna distance"
+// changes, so campaigns differing only in Config.Distance must produce
+// bit-identical matrices — under emsim.LawFlat the distance enters no
+// coupling, no asymmetry decay, and no seed.
+func TestDistanceFlatConducted(t *testing.T) {
+	events := []savat.Event{savat.NOI, savat.ADD, savat.LDM}
+	distances := []float64{0.10, 0.50, 1.00}
+	for _, name := range []string{"power", "impedance"} {
+		ch, err := machine.ChannelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ms []*savat.Matrix
+		for _, d := range distances {
+			cfg := savat.FastConfig()
+			cfg.Channel = name
+			cfg.Environment = ch.Environment()
+			cfg.Distance = d
+			st, err := savat.RunCampaign(machine.Core2Duo(), cfg, savat.CampaignOptions{
+				Events: events, Repeats: 1, Seed: propertySeed,
+			})
+			if err != nil {
+				t.Fatalf("channel %s at %g m: %v", name, d, err)
+			}
+			ms = append(ms, st.Mean)
+		}
+		r, err := VerifyDistanceFlat(distances, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Log("\n" + r.String())
+		if err := r.Err(); err != nil {
+			t.Errorf("channel %s: %v", name, err)
+		}
+	}
+}
+
 func TestDistanceDecayMeasured(t *testing.T) {
 	events := []savat.Event{savat.NOI, savat.ADD, savat.MUL, savat.LDM, savat.STM}
 	distances := []float64{0.10, 0.50, 1.00}

@@ -90,6 +90,32 @@ func (s Source) CouplingAt(d float64) float64 {
 	return s.Near*k*k*k + s.Far*k + s.Diffuse
 }
 
+// DistanceLaw selects how a radiator's couplings depend on the
+// measurement distance. The zero value is the EM near/far/conducted law,
+// so existing constructors keep their behaviour unchanged.
+type DistanceLaw int
+
+const (
+	// LawNearFar is the EM antenna law: near-field terms fall off as
+	// 1/r³, far-field terms as 1/r, conducted terms are flat.
+	LawNearFar DistanceLaw = iota
+	// LawFlat is the conducted-channel law (power rail, impedance probe):
+	// the instrument clips onto the supply or the PDN, so every coupling
+	// — and the loop-half asymmetry source — is the reference-distance
+	// value regardless of the configured distance.
+	LawFlat
+)
+
+// CouplingUnder returns the amplitude coupling at distance d metres
+// under the given distance law. LawFlat reads the coupling at the
+// reference distance, making the value independent of d.
+func (s Source) CouplingUnder(law DistanceLaw, d float64) float64 {
+	if law == LawFlat {
+		return s.Near + s.Far + s.Diffuse
+	}
+	return s.CouplingAt(d)
+}
+
 // SourceTable maps every component to its coupling.
 type SourceTable [activity.NumComponents]Source
 
@@ -257,14 +283,23 @@ type Radiator struct {
 	table        SourceTable
 	distance     float64
 	asymmetryAmp float64
+	law          DistanceLaw
 	gainJitter   [activity.NumComponents]float64
 	asymJitter   float64
 }
 
-// NewRadiator draws the campaign's gain perturbations from rng.
+// NewRadiator draws the campaign's gain perturbations from rng. The
+// radiator uses the EM LawNearFar distance law; conducted channels use
+// NewRadiatorLaw.
 func NewRadiator(table SourceTable, distance, asymmetryAmp float64, rng *rand.Rand) (*Radiator, error) {
+	return NewRadiatorLaw(table, distance, asymmetryAmp, LawNearFar, rng)
+}
+
+// NewRadiatorLaw is NewRadiator with an explicit distance law (see
+// DistanceLaw); machine.Channel implementations select it per channel.
+func NewRadiatorLaw(table SourceTable, distance, asymmetryAmp float64, law DistanceLaw, rng *rand.Rand) (*Radiator, error) {
 	r := &Radiator{}
-	if err := r.Init(table, distance, asymmetryAmp, rng); err != nil {
+	if err := r.InitLaw(table, distance, asymmetryAmp, law, rng); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -275,6 +310,14 @@ func NewRadiator(table SourceTable, distance, asymmetryAmp float64, rng *rand.Ra
 // scratch reuse one Radiator value across campaign cells without
 // allocating. On error r is left unchanged and rng is not consumed.
 func (r *Radiator) Init(table SourceTable, distance, asymmetryAmp float64, rng *rand.Rand) error {
+	return r.InitLaw(table, distance, asymmetryAmp, LawNearFar, rng)
+}
+
+// InitLaw is Init with an explicit distance law. LawNearFar reproduces
+// Init bit for bit; LawFlat makes every coupling (and the asymmetry
+// source) distance-invariant, which is the conducted-channel contract
+// conform.VerifyDistanceFlat asserts exactly.
+func (r *Radiator) InitLaw(table SourceTable, distance, asymmetryAmp float64, law DistanceLaw, rng *rand.Rand) error {
 	if err := table.Validate(); err != nil {
 		return err
 	}
@@ -284,9 +327,13 @@ func (r *Radiator) Init(table SourceTable, distance, asymmetryAmp float64, rng *
 	if asymmetryAmp < 0 {
 		return fmt.Errorf("emsim: negative asymmetry amplitude %v", asymmetryAmp)
 	}
+	if law != LawNearFar && law != LawFlat {
+		return fmt.Errorf("emsim: unknown distance law %d", law)
+	}
 	r.table = table
 	r.distance = distance
 	r.asymmetryAmp = asymmetryAmp
+	r.law = law
 	for i := range r.gainJitter {
 		r.gainJitter[i] = 1 + GainJitterStd*rng.NormFloat64()
 	}
@@ -306,15 +353,19 @@ func (r *Radiator) GroupAmplitude(rates activity.Vector, phase, group int) compl
 		if r.table[c].Group != group {
 			continue
 		}
-		k := r.table[c].CouplingAt(r.distance) * r.gainJitter[c]
+		k := r.table[c].CouplingUnder(r.law, r.distance) * r.gainJitter[c]
 		if k == 0 || rates[c] == 0 {
 			continue
 		}
 		sum += cmplx.Rect(k*math.Sqrt(rates[c]), r.table[c].Angle)
 	}
 	if group == GroupCore && phase == 0 && r.asymmetryAmp > 0 {
-		k := RefDistance / r.distance
-		sum += complex(r.asymmetryAmp*r.asymJitter*k*k*k, 0)
+		decay := 1.0
+		if r.law == LawNearFar {
+			k := RefDistance / r.distance
+			decay = k * k * k
+		}
+		sum += complex(r.asymmetryAmp*r.asymJitter*decay, 0)
 	}
 	return sum
 }

@@ -1,0 +1,206 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/activity"
+	"repro/internal/emsim"
+	"repro/internal/noise"
+)
+
+// Channel is one physical side channel the SAVAT methodology can measure.
+// The paper's Section VII proposes repeating the measurement "for multiple
+// side channels"; a Channel captures everything that distinguishes one
+// instrument from another while the alternation kernels, the spectrum
+// analysis, and the per-pair energy division stay identical:
+//
+//   - Apply rewrites a machine's source-coupling table into the channel's
+//     physical couplings. It composes with machine-specific source edits:
+//     per-machine coherence groups and geometry angles (e.g. the Turion
+//     divider radiating in the off-chip group) survive, because they
+//     describe the machine's current loops, not the instrument.
+//   - Law selects how couplings depend on the configured distance. The EM
+//     antenna obeys the near/far/conducted law; conducted channels clip
+//     onto the supply or the PDN and are distance-flat.
+//   - Environment is the channel's canonical noise environment — the
+//     default a measurement config should use unless the spec overrides it.
+type Channel interface {
+	// Name is the registry key ("em", "power", "impedance").
+	Name() string
+	// Apply returns a variant of mc measured through this channel. The
+	// base config is never mutated.
+	Apply(mc Config) Config
+	// Law is the distance law the radiator must use for this channel.
+	Law() emsim.DistanceLaw
+	// Environment is the channel's canonical noise environment.
+	Environment() noise.Environment
+}
+
+// channels is the fixed registry. The zero/empty channel name resolves to
+// "em" so that specs written before the channel dimension existed keep
+// their exact meaning.
+var channels = map[string]Channel{
+	"em":        emChannel{},
+	"power":     powerChannel{},
+	"impedance": impedanceChannel{},
+}
+
+// Channels returns the registered channels keyed by name. The returned
+// map is a copy; mutating it does not affect the registry.
+func Channels() map[string]Channel {
+	out := make(map[string]Channel, len(channels))
+	for k, v := range channels {
+		out[k] = v
+	}
+	return out
+}
+
+// ChannelNames returns the registered channel names, sorted.
+func ChannelNames() []string {
+	names := make([]string, 0, len(channels))
+	for k := range channels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChannelByName resolves a channel name from a spec or flag. The empty
+// name means "em" (the pre-channel-dimension default).
+func ChannelByName(name string) (Channel, error) {
+	if name == "" {
+		name = "em"
+	}
+	ch, ok := channels[name]
+	if !ok {
+		return nil, fmt.Errorf("machine: unknown channel %q (have %v)", name, ChannelNames())
+	}
+	return ch, nil
+}
+
+// emChannel is the paper's measured channel: a loop antenna at the
+// configured distance. Apply is the identity — the machine source tables
+// *are* EM coupling tables — so an "em" measurement is bit-identical to
+// the pipeline before the channel seam existed.
+type emChannel struct{}
+
+func (emChannel) Name() string           { return "em" }
+func (emChannel) Apply(mc Config) Config { return mc }
+
+func (emChannel) Law() emsim.DistanceLaw { return emsim.LawNearFar }
+
+func (emChannel) Environment() noise.Environment { return noise.Lab() }
+
+// powerRail gives each component's power-rail coupling: received
+// amplitude per √(events/second) at the shunt resistor. The rail
+// integrates every component's switching current, so relative weights
+// follow typical energy-per-event rather than antenna geometry — the ALU
+// and multiplier become visible (EM hides them: their loops are
+// electrically tiny), and off-chip transfers dominate outright.
+var powerRail = [activity.NumComponents]float64{
+	activity.Fetch:  4.0e-11,
+	activity.ALU:    6.0e-11,
+	activity.Mul:    1.6e-10,
+	activity.Div:    1.4e-10,
+	activity.Branch: 5.0e-11,
+	activity.L1D:    1.2e-10,
+	activity.L2:     4.2e-10,
+	activity.Bus:    6.5e-10,
+	activity.BusWr:  5.5e-10,
+	activity.DRAM:   3.5e-10,
+}
+
+// powerChannel measures the supply current through a shunt (the paper's
+// Figure 1 power meter sits in the wall socket). Every component couples
+// in proportion to its switching energy, there is no distance dimension
+// (LawFlat), and the noise is regulator ripple plus a mains harmonic comb
+// rather than radio interference.
+type powerChannel struct{}
+
+func (powerChannel) Name() string { return "power" }
+
+// Apply swaps the coupling magnitudes for the rail weights while keeping
+// each component's coherence group and geometry angle: those describe the
+// machine's current loops (e.g. the Turion divider sharing the off-chip
+// loop), which shape the rail waveform exactly as they shape the field.
+func (powerChannel) Apply(mc Config) Config {
+	out := mc
+	t := mc.Sources
+	for c := activity.Component(0); c < activity.NumComponents; c++ {
+		t[c].Near, t[c].Far, t[c].Diffuse = 0, 0, powerRail[c]
+	}
+	out.Name = mc.Name + "-power"
+	out.Sources = t
+	return out
+}
+
+func (powerChannel) Law() emsim.DistanceLaw { return emsim.LawFlat }
+
+func (powerChannel) Environment() noise.Environment {
+	return noise.Environment{
+		ThermalPSD:         1e-17,
+		RFBackgroundPSD:    6e-17,
+		RFBackgroundSpread: 0.10,
+		Carriers: []noise.Carrier{
+			{Freq: 78.1e3, Power: 1.5e-13, AMDepth: 0.2, AMRate: 120}, // SMPS harmonic
+			// Mains comb: full-wave-rectification harmonics far below the
+			// alternation band; they raise the wideband floor without
+			// touching the ±1 kHz measurement band.
+			{Freq: 120, Power: 8.0e-13},
+			{Freq: 240, Power: 4.0e-13},
+		},
+	}
+}
+
+// impedanceTable gives each component's impedance-channel coupling. An
+// impedance probe drives a carrier into the power-delivery network and
+// watches its reflection, so what modulates the measurement is how much
+// each event perturbs the PDN load — memory-state activity above all:
+// array accesses swing large banks of bit lines and sense amplifiers, and
+// off-chip transfers switch the pad drivers that load the PDN hardest.
+// Core arithmetic barely moves the operating point, so the table is even
+// more memory-weighted than the power rail.
+var impedanceTable = [activity.NumComponents]float64{
+	activity.Fetch:  1.5e-11,
+	activity.ALU:    2.5e-11,
+	activity.Mul:    6.0e-11,
+	activity.Div:    5.0e-11,
+	activity.Branch: 2.0e-11,
+	activity.L1D:    2.2e-10,
+	activity.L2:     5.5e-10,
+	activity.Bus:    3.0e-10,
+	activity.BusWr:  2.6e-10,
+	activity.DRAM:   4.5e-10,
+}
+
+// impedanceChannel measures PDN impedance modulation ("Impedance Leakage
+// Vulnerability and its Utilization in Reverse-engineering Embedded
+// Software", PAPERS.md): a probe injects a carrier and demodulates the
+// activity-dependent reflection. The probe clips onto the board, so the
+// couplings are distance-flat, and the injected-carrier receiver is far
+// quieter than an antenna in an urban RF background.
+type impedanceChannel struct{}
+
+func (impedanceChannel) Name() string { return "impedance" }
+
+func (impedanceChannel) Apply(mc Config) Config {
+	out := mc
+	t := mc.Sources
+	for c := activity.Component(0); c < activity.NumComponents; c++ {
+		t[c].Near, t[c].Far, t[c].Diffuse = 0, 0, impedanceTable[c]
+	}
+	out.Name = mc.Name + "-impedance"
+	out.Sources = t
+	return out
+}
+
+func (impedanceChannel) Law() emsim.DistanceLaw { return emsim.LawFlat }
+
+func (impedanceChannel) Environment() noise.Environment {
+	return noise.Environment{
+		ThermalPSD:         2e-18,
+		RFBackgroundPSD:    1.2e-17,
+		RFBackgroundSpread: 0.08,
+	}
+}

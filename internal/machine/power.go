@@ -1,70 +1,30 @@
 package machine
 
 import (
-	"repro/internal/activity"
-	"repro/internal/emsim"
 	"repro/internal/noise"
 )
 
-// The paper's Section VII proposes measuring SAVAT "for multiple side
-// channels ... especially acoustic and power-consumption side channels
-// where instruments are readily available to measure the power of the
-// periodic signals created by our methodology." A power side channel fits
-// the existing pipeline directly: the shunt resistor in the supply rail
-// sees every component's switching current with no distance dependence,
-// which in the coupling model is a table with only distance-flat
-// (Diffuse) terms. The alternation kernels, spectrum analysis, and
-// per-pair energy division are unchanged.
+// The power side channel used to live here as a pair of free functions
+// that rewrote the EM source table in place. It is now a registered
+// Channel (see channel.go); these wrappers remain for one release so
+// existing callers keep compiling.
 
 // PowerChannel returns a variant of mc whose EM sources are replaced by
-// power-rail couplings: a measurement on the returned config is the
-// power-consumption SAVAT of the same machine. Distinguishing features of
-// the power channel versus the EM channel:
+// power-rail couplings.
 //
-//   - every component couples, in proportion to its switching energy —
-//     the ALU and multiplier become visible (EM hides them: their loops
-//     are electrically tiny), so ADD/MUL gains a real signal;
-//   - there is no distance dimension (Evita's power meter in the paper's
-//     Figure 1 sits in the wall socket), so the values are identical at
-//     any configured Distance;
-//   - the noise environment is regulator ripple and mains harmonics
-//     rather than radio interference.
+// Deprecated: use machine.Channels()["power"].Apply(mc). The registered
+// channel additionally fixes a composition bug: machine-specific source
+// edits (coherence groups, geometry angles) now survive the rewrite
+// instead of being clobbered by a fresh canonical table.
 func PowerChannel(mc Config) Config {
-	t := emsim.NewSourceTable()
-	// Per-event switching-charge scale, common to all machines; the rail
-	// integrates everything, so relative weights follow typical
-	// energy-per-event rather than antenna geometry. All terms are
-	// distance-flat.
-	set := func(c activity.Component, k float64) { t[c].Diffuse = k }
-	set(activity.Fetch, 4.0e-11)
-	set(activity.ALU, 6.0e-11)
-	set(activity.Mul, 1.6e-10)
-	set(activity.Div, 1.4e-10)
-	set(activity.Branch, 5.0e-11)
-	set(activity.L1D, 1.2e-10)
-	set(activity.L2, 4.2e-10)
-	set(activity.Bus, 6.5e-10)
-	set(activity.BusWr, 5.5e-10)
-	set(activity.DRAM, 3.5e-10)
-
-	out := mc
-	out.Name = mc.Name + "-power"
-	out.Sources = t
-	// The loop-half fetch asymmetry also shows on the rail.
-	out.AsymmetrySourceAmp = mc.AsymmetrySourceAmp
-	return out
+	return channels["power"].Apply(mc)
 }
 
 // PowerEnvironment returns the noise environment of a power-rail
 // measurement: regulator switching ripple (broadband) plus a mains
 // harmonic comb far below the alternation band.
+//
+// Deprecated: use machine.Channels()["power"].Environment().
 func PowerEnvironment() noise.Environment {
-	return noise.Environment{
-		ThermalPSD:         1e-17,
-		RFBackgroundPSD:    6e-17,
-		RFBackgroundSpread: 0.10,
-		Carriers: []noise.Carrier{
-			{Freq: 78.1e3, Power: 1.5e-13, AMDepth: 0.2, AMRate: 120}, // SMPS harmonic
-		},
-	}
+	return channels["power"].Environment()
 }

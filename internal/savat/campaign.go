@@ -110,6 +110,10 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 		}
 		return nil, err
 	}
+	// Normalizing first makes the legacy empty channel name and the
+	// explicit "em" the same campaign: same validation, same fingerprint,
+	// same cache and checkpoint cells.
+	cfg = cfg.Normalized()
 	if err := mc.Validate(); err != nil {
 		return fail(err)
 	}
@@ -139,7 +143,16 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 	kernelFor := func(i, j int) (*Kernel, error) {
 		p := i*n + j
 		kernelOnce[p].Do(func() {
-			kernels[p], kernelErrs[p] = BuildKernel(mc, events[i], events[j], cfg.Frequency)
+			k, err := BuildKernel(mc, events[i], events[j], cfg.Frequency)
+			if err == nil {
+				// The chain's program countermeasures rewrite the pair's
+				// kernel once, deterministically (CounterSeed) — the
+				// campaign's kernel, like the paper's fixed binary, is
+				// shared across repetitions.
+				k, err = applyProgramCountermeasures(k, cfg.Countermeasures,
+					CounterSeed(opts.Seed, events[i], events[j]))
+			}
+			kernels[p], kernelErrs[p] = k, err
 		})
 		return kernels[p], kernelErrs[p]
 	}
@@ -213,11 +226,14 @@ func RunCampaignContext(ctx context.Context, mc machine.Config, cfg Config, opts
 
 // campaignFingerprint canonically identifies a campaign: every
 // parameter that determines its cell values, hashed. It binds
-// checkpoint files to exactly one campaign.
+// checkpoint files to exactly one campaign. v3: the measurement
+// configuration carries the channel and countermeasure dimensions
+// (normalized, so the legacy empty channel and "em" fingerprint
+// equal), and v2 entries describe channel-unaware values.
 func campaignFingerprint(mc machine.Config, cfg Config, events []Event, seed int64, repeats int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "savat-campaign/v2|machine=%+v|measure=%+v|seed=%d|repeats=%d|events=",
-		mc, cfg, seed, repeats)
+	fmt.Fprintf(&b, "savat-campaign/v3|machine=%+v|measure=%+v|seed=%d|repeats=%d|events=",
+		mc, cfg.Normalized(), seed, repeats)
 	for _, e := range events {
 		b.WriteString(e.String())
 		b.WriteByte(',')
@@ -228,10 +244,12 @@ func campaignFingerprint(mc machine.Config, cfg Config, events []Event, seed int
 // cellKeyMaterial identifies one cell's result for the engine cache:
 // the full machine and measurement configurations, the event pair (by
 // identity, so matrix position and campaign composition don't matter),
-// the base seed, and the repetition index. v2: cells are seeded per
-// stage through CampaignSeeds (canonical-timeline synthesis model), so
-// v1 checkpoint and cache entries no longer describe the same values.
+// the base seed, and the repetition index. v3: the measurement
+// configuration carries the channel and countermeasure dimensions
+// (normalized, so a cell measured through the legacy empty channel
+// name and through an explicit "em" is one cache entry); v2 entries
+// predate the dimension and no longer describe the same key space.
 func cellKeyMaterial(mc machine.Config, cfg Config, a, b Event, seed int64, rep int) string {
-	return fmt.Sprintf("savat-cell/v2|machine=%+v|measure=%+v|pair=%v/%v|seed=%d|rep=%d",
-		mc, cfg, a, b, seed, rep)
+	return fmt.Sprintf("savat-cell/v3|machine=%+v|measure=%+v|pair=%v/%v|seed=%d|rep=%d",
+		mc, cfg.Normalized(), a, b, seed, rep)
 }

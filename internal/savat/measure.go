@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/activity"
+	"repro/internal/counter"
 	"repro/internal/emsim"
 	"repro/internal/machine"
 	"repro/internal/noise"
@@ -38,6 +39,15 @@ type Config struct {
 	Analyzer specan.Config `json:"analyzer"`
 	// Jitter is the alternation-period instability model.
 	Jitter emsim.Jitter `json:"jitter"`
+	// Channel names the measured side channel ("em", "power",
+	// "impedance" — see machine.Channels). Empty means "em", the
+	// pre-channel-dimension default, so old spec files keep their exact
+	// meaning.
+	Channel string `json:"channel,omitempty"`
+	// Countermeasures is the countermeasure chain applied between the
+	// benchmark program and the measured trace (see internal/counter);
+	// empty means an unprotected measurement.
+	Countermeasures counter.Chain `json:"countermeasures,omitempty"`
 }
 
 // DefaultConfig mirrors the paper's setup: 10 cm, 80 kHz, ±1 kHz band,
@@ -54,6 +64,7 @@ func DefaultConfig() Config {
 		Environment:    noise.Lab(),
 		Analyzer:       specan.DefaultConfig(),
 		Jitter:         emsim.DefaultJitter(),
+		Channel:        "em",
 	}
 }
 
@@ -65,9 +76,22 @@ func FastConfig() Config {
 	return c
 }
 
-// Validate reports the first configuration problem. Distance and
-// frequency problems wrap the package sentinels (ErrBadDistance,
-// ErrBadFrequency) so callers at any layer can test with errors.Is.
+// Normalized returns the configuration with defaults filled in: an
+// empty Channel becomes "em" (the pre-channel-dimension pipeline).
+// Every campaign entry point normalizes before fingerprinting, so a
+// spec written before the channel field existed keys the same cache
+// and checkpoint cells as one that names "em" explicitly.
+func (c Config) Normalized() Config {
+	if c.Channel == "" {
+		c.Channel = "em"
+	}
+	return c
+}
+
+// Validate reports the first configuration problem. Distance,
+// frequency, channel, and countermeasure problems wrap the package
+// sentinels (ErrBadDistance, ErrBadFrequency, ErrUnknownChannel,
+// ErrBadCountermeasure) so callers at any layer can test with errors.Is.
 func (c Config) Validate() error {
 	switch {
 	case c.Distance <= 0:
@@ -86,7 +110,16 @@ func (c Config) Validate() error {
 	if err := c.Environment.Validate(); err != nil {
 		return err
 	}
-	return c.Analyzer.Validate()
+	if err := c.Analyzer.Validate(); err != nil {
+		return err
+	}
+	if _, err := machine.ChannelByName(c.Channel); err != nil {
+		return fmt.Errorf("%w: %q (have %v)", ErrUnknownChannel, c.Channel, machine.ChannelNames())
+	}
+	if err := c.Countermeasures.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCountermeasure, err)
+	}
+	return nil
 }
 
 // Measurement is the result of one A/B SAVAT measurement.
@@ -120,7 +153,7 @@ func (m *Measurement) ZJ() float64 { return m.SAVAT * 1e21 }
 // equivalence tests hold the two within 1e-9 relative — and remains
 // the readable specification of the pipeline as well as the ablations'
 // entry point.
-func measureKernelReference(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, mo *measureObs) (*Measurement, error) {
+func measureKernelReference(mc machine.Config, k *Kernel, cfg Config, law emsim.DistanceLaw, seeds SynthSeeds, mo *measureObs) (*Measurement, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -142,7 +175,7 @@ func measureKernelReference(mc machine.Config, k *Kernel, cfg Config, seeds Synt
 	// MeasureScratch.prepare, whose coefficient computation this
 	// mirrors.
 	radSp := mo.radiate.Start()
-	rad, err := emsim.NewRadiator(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, rand.New(rand.NewSource(seeds.Cal)))
+	rad, err := emsim.NewRadiatorLaw(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, law, rand.New(rand.NewSource(seeds.Cal)))
 	radSp.End()
 	if err != nil {
 		return nil, err

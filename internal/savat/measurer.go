@@ -5,6 +5,8 @@ import (
 	"math/rand"
 
 	"repro/internal/arena"
+	"repro/internal/counter"
+	"repro/internal/emsim"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -62,9 +64,23 @@ type Measurer struct {
 	cache   *SynthCache
 	arena   *arena.Arena
 
+	// Effective measurement setup, resolved lazily on first measurement
+	// (NewMeasurer deliberately cannot fail): the configured channel's
+	// Apply over mc, the countermeasure chain's model-side effects over
+	// cfg, and the channel's distance law. For the "em" channel with an
+	// empty chain the effective setup IS (mc, cfg) value-for-value, which
+	// is what keeps the redesigned seam bit-identical to the old
+	// pipeline.
+	resolved       bool
+	effMC          machine.Config
+	effCfg         Config
+	effLaw         emsim.DistanceLaw
+	effErr         error
+
 	// Synthesis-product cache key prefixes: every key parameter except
-	// the stage seed is fixed by (mc, cfg), so the prefixes are built
-	// once and per-measurement keys are allocation-free structs.
+	// the stage seed is fixed by the effective (mc, cfg), so the
+	// prefixes are built once and per-measurement keys are
+	// allocation-free structs.
 	envKeyPrefix, noiseKeyPrefix string
 }
 
@@ -164,14 +180,52 @@ func NewMeasurer(mc machine.Config, cfg Config, opts ...MeasureOption) *Measurer
 	return m
 }
 
+// resolve derives the effective measurement setup once: the channel's
+// source-table rewrite and distance law, then the countermeasure
+// chain's model-side effects (supply filters on the conducted
+// couplings, noise generators on the environment, run-time timing
+// randomness on the jitter). Configuration problems surface here as
+// the same wrapped sentinels Config.Validate reports.
+func (m *Measurer) resolve() (machine.Config, Config, emsim.DistanceLaw, error) {
+	if !m.resolved {
+		m.resolved = true
+		ch, err := machine.ChannelByName(m.cfg.Channel)
+		if err != nil {
+			m.effErr = fmt.Errorf("%w: %q (have %v)", ErrUnknownChannel, m.cfg.Channel, machine.ChannelNames())
+		} else if err := m.cfg.Countermeasures.Validate(); err != nil {
+			m.effErr = fmt.Errorf("%w: %v", ErrBadCountermeasure, err)
+		} else {
+			chain := m.cfg.Countermeasures
+			m.effMC = ch.Apply(m.mc)
+			m.effMC.Sources = counter.ApplySources(m.effMC.Sources, chain, m.cfg.Frequency)
+			m.effCfg = m.cfg
+			m.effCfg.Environment = counter.ApplyEnvironment(m.cfg.Environment, chain)
+			m.effCfg.Jitter = counter.ApplyJitter(m.cfg.Jitter, chain)
+			m.effLaw = ch.Law()
+		}
+	}
+	return m.effMC, m.effCfg, m.effLaw, m.effErr
+}
+
 // Measure runs the complete pipeline for one event pair: kernel
-// construction (with loop-count calibration) and then MeasureKernel.
-// The rng drives every stochastic stage, so a fixed seed reproduces
-// the measurement exactly.
+// construction (with loop-count calibration), the chain's program
+// countermeasures (seeded from rng — drawn only when the chain rewrites
+// the program, so countermeasure-free measurements consume exactly the
+// pre-countermeasure rng stream), and then MeasureKernel. The rng
+// drives every stochastic stage, so a fixed seed reproduces the
+// measurement exactly.
 func (m *Measurer) Measure(a, b Event, rng *rand.Rand) (*Measurement, error) {
 	k, err := BuildKernel(m.mc, a, b, m.cfg.Frequency)
 	if err != nil {
 		return nil, err
+	}
+	if m.cfg.Countermeasures.HasProgram() {
+		if rng == nil {
+			return nil, fmt.Errorf("savat: nil rng")
+		}
+		if k, err = applyProgramCountermeasures(k, m.cfg.Countermeasures, rng.Int63()); err != nil {
+			return nil, err
+		}
 	}
 	return m.MeasureKernel(k, rng)
 }
@@ -201,15 +255,20 @@ func (m *Measurer) MeasureKernel(k *Kernel, rng *rand.Rand) (*Measurement, error
 // compares prefix content, so equal recipes hit across Measurers.
 func (m *Measurer) productKeys(seeds SynthSeeds) (envKey, noiseKey productKey) {
 	if m.envKeyPrefix == "" {
-		jit := m.cfg.Jitter
+		// The prefixes describe the EFFECTIVE setup: a countermeasure
+		// that changes the jitter or the noise environment must not hit
+		// the products of the unprotected recipe. resolve has already run
+		// on every path that reaches here.
+		mc, cfg, _, _ := m.resolve()
+		jit := cfg.Jitter
 		if jit.AmpNoiseStd == 0 {
-			jit.AmpNoiseStd = m.mc.AmplitudeNoiseStd
+			jit.AmpNoiseStd = mc.AmplitudeNoiseStd
 		}
-		n := int(m.cfg.Duration * m.cfg.SampleRate)
+		n := int(cfg.Duration * cfg.SampleRate)
 		m.envKeyPrefix = fmt.Sprintf("env|f0=%g|fs=%g|n=%d|jit=%+v|rbw=%g|win=%v",
-			m.cfg.Frequency, m.cfg.SampleRate, n, jit, m.cfg.Analyzer.RBW, m.cfg.Analyzer.Window)
+			cfg.Frequency, cfg.SampleRate, n, jit, cfg.Analyzer.RBW, cfg.Analyzer.Window)
 		m.noiseKeyPrefix = fmt.Sprintf("noise|env=%+v|fs=%g|n=%d|rbw=%g|win=%v",
-			m.cfg.Environment, m.cfg.SampleRate, n, m.cfg.Analyzer.RBW, m.cfg.Analyzer.Window)
+			cfg.Environment, cfg.SampleRate, n, cfg.Analyzer.RBW, cfg.Analyzer.Window)
 	}
 	return productKey{prefix: m.envKeyPrefix, seed: seeds.Env},
 		productKey{prefix: m.noiseKeyPrefix, seed: seeds.Noise}
@@ -223,15 +282,19 @@ func (m *Measurer) productKeys(seeds SynthSeeds) (envKey, noiseKey productKey) {
 func (m *Measurer) MeasureKernelSeeds(k *Kernel, seeds SynthSeeds) (*Measurement, error) {
 	sp := m.mobs.measure.Start()
 	defer sp.End()
+	mc, cfg, law, err := m.resolve()
+	if err != nil {
+		return nil, err
+	}
 	switch m.mode {
 	case modeBuffered:
 		envKey, noiseKey := m.productKeys(seeds)
-		return measureKernelBuffered(m.mc, k, m.cfg, seeds, envKey, noiseKey, m.scratch, m.mobs)
+		return measureKernelBuffered(mc, k, cfg, law, seeds, envKey, noiseKey, m.scratch, m.mobs)
 	case modeReference:
-		return measureKernelReference(m.mc, k, m.cfg, seeds, m.mobs)
+		return measureKernelReference(mc, k, cfg, law, seeds, m.mobs)
 	default:
 		envKey, noiseKey := m.productKeys(seeds)
-		return measureKernelStream(m.mc, k, m.cfg, seeds, envKey, noiseKey, m.scratch, m.mobs)
+		return measureKernelStream(mc, k, cfg, law, seeds, envKey, noiseKey, m.scratch, m.mobs)
 	}
 }
 
@@ -245,6 +308,9 @@ func (m *Measurer) MeasurePair(a, b Event, repeats int, seed int64) ([]float64, 
 	}
 	k, err := BuildKernel(m.mc, a, b, m.cfg.Frequency)
 	if err != nil {
+		return nil, stats.Summary{}, err
+	}
+	if k, err = applyProgramCountermeasures(k, m.cfg.Countermeasures, CounterSeed(seed, a, b)); err != nil {
 		return nil, stats.Summary{}, err
 	}
 	vals := make([]float64, repeats)

@@ -184,7 +184,7 @@ func (s *MeasureScratch) alternation(mc machine.Config, k *Kernel, cfg Config, m
 // fundamental-band power while keeping the envelope realization — and
 // therefore its cached spectral products — pair-independent. Droop
 // compensation stays on the pair's achieved period via PhaseAmplitudes.
-func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, mo *measureObs) (alt *AlternationResult, canon emsim.Alternation, n int, jit emsim.Jitter, err error) {
+func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, law emsim.DistanceLaw, seeds SynthSeeds, mo *measureObs) (alt *AlternationResult, canon emsim.Alternation, n int, jit emsim.Jitter, err error) {
 	if err = cfg.Validate(); err != nil {
 		return nil, canon, 0, jit, err
 	}
@@ -204,7 +204,7 @@ func (s *MeasureScratch) prepare(mc machine.Config, k *Kernel, cfg Config, seeds
 	// amplitudes.
 	radSp := mo.radiate.Start()
 	defer radSp.End()
-	if err = s.rad.Init(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, s.calRng.at(seeds.Cal)); err != nil {
+	if err = s.rad.InitLaw(mc.Sources, cfg.Distance, mc.AsymmetrySourceAmp, law, s.calRng.at(seeds.Cal)); err != nil {
 		return nil, canon, 0, jit, err
 	}
 	actual := emsim.Alternation{
@@ -292,11 +292,11 @@ func finish(k *Kernel, alt *AlternationResult, cfg Config, tr *specan.Trace, dst
 // until the scratch's next measurement; callers that keep traces must
 // use distinct scratches. A nil scratch is allowed; a fresh one is
 // used.
-func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, envKey, noiseKey productKey, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
+func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, law emsim.DistanceLaw, seeds SynthSeeds, envKey, noiseKey productKey, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
 	if s == nil {
 		s = NewMeasureScratch()
 	}
-	alt, canon, n, jit, err := s.prepare(mc, k, cfg, seeds, mo)
+	alt, canon, n, jit, err := s.prepare(mc, k, cfg, law, seeds, mo)
 	if err != nil {
 		return nil, err
 	}
@@ -351,11 +351,11 @@ func measureKernelStream(mc machine.Config, k *Kernel, cfg Config, seeds SynthSe
 // Measurements to measureKernelStream — the conformance suite asserts
 // this — at O(capture) memory; it exists as the plain-shaped oracle for
 // the streaming path and for callers that want the captures.
-func measureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, seeds SynthSeeds, envKey, noiseKey productKey, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
+func measureKernelBuffered(mc machine.Config, k *Kernel, cfg Config, law emsim.DistanceLaw, seeds SynthSeeds, envKey, noiseKey productKey, s *MeasureScratch, mo *measureObs) (*Measurement, error) {
 	if s == nil {
 		s = NewMeasureScratch()
 	}
-	alt, canon, n, jit, err := s.prepare(mc, k, cfg, seeds, mo)
+	alt, canon, n, jit, err := s.prepare(mc, k, cfg, law, seeds, mo)
 	if err != nil {
 		return nil, err
 	}

@@ -19,11 +19,12 @@ type SynthSeeds struct {
 	Noise int64
 }
 
-// Stage tags keep the three per-stage seed streams disjoint.
+// Stage tags keep the per-stage seed streams disjoint.
 const (
 	tagCal uint64 = iota + 1
 	tagEnv
 	tagNoise
+	tagCounter
 )
 
 // mixSeed hashes its inputs into a valid rand.NewSource seed (always
@@ -64,6 +65,18 @@ func CampaignSeeds(base int64, a Event, rep int) SynthSeeds {
 		Env:   mixSeed(uint64(base), tagEnv, uint64(a), uint64(rep)),
 		Noise: mixSeed(uint64(base), tagNoise, uint64(rep)),
 	}
+}
+
+// CounterSeed derives the deterministic countermeasure seed for the
+// pair (a, b): the randomized program transform (no-op insertion,
+// shuffling) is applied once per pair — the campaign's kernel, like the
+// paper's fixed binary, is built once and shared across repetitions —
+// so the seed scopes to (base, pair) and not to the repetition. It
+// draws from a stage tag disjoint from the synthesis stages, so adding
+// the countermeasure dimension leaves every Cal/Env/Noise stream
+// bit-identical to the pre-countermeasure pipeline.
+func CounterSeed(base int64, a, b Event) int64 {
+	return mixSeed(uint64(base), tagCounter, uint64(a), uint64(b))
 }
 
 // seedsFromRNG derives per-stage seeds from a caller's measurement rng

@@ -14,7 +14,15 @@ import (
 // incompatible change to the spec's JSON shape; ParseCampaignSpec and
 // CampaignSpec.Validate reject versions this build does not understand
 // instead of silently misreading them.
-const SpecVersion = 1
+//
+// Version history:
+//
+//	1 — original shape.
+//	2 — config gains the optional "channel" and "countermeasures"
+//	    fields. Version-1 specs are accepted and normalized: the absent
+//	    fields default to the "em" channel with no countermeasures,
+//	    which measures bit-identically to a v1 executor.
+const SpecVersion = 2
 
 // CampaignSpec is the one serializable description of a measurement
 // campaign, shared by every surface that names one: the CLI flag layer
@@ -62,12 +70,16 @@ func DefaultCampaignSpec() CampaignSpec {
 	}
 }
 
-// Normalized returns the spec with defaults filled in: a zero Version
-// becomes SpecVersion, and nil Events stay nil (meaning "all 11").
+// Normalized returns the spec with defaults filled in: a zero or
+// version-1 Version becomes SpecVersion (v1 specs simply predate the
+// optional channel/countermeasure fields — see SpecVersion), the
+// config's empty channel becomes "em", and nil Events stay nil
+// (meaning "all 11").
 func (s CampaignSpec) Normalized() CampaignSpec {
-	if s.Version == 0 {
+	if s.Version == 0 || s.Version == 1 {
 		s.Version = SpecVersion
 	}
+	s.Config = s.Config.Normalized()
 	return s
 }
 

@@ -3,12 +3,14 @@ package savat
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/counter"
 	"repro/internal/engine"
 )
 
@@ -61,6 +63,10 @@ func TestCampaignSpecValidate(t *testing.T) {
 		{"bad-distance", func(s *CampaignSpec) { s.Config.Distance = -1 }, ErrBadDistance},
 		{"bad-frequency", func(s *CampaignSpec) { s.Config.Frequency = 0 }, ErrBadFrequency},
 		{"bad-repeats", func(s *CampaignSpec) { s.Repeats = 0 }, ErrBadRepeats},
+		{"unknown-channel", func(s *CampaignSpec) { s.Config.Channel = "acoustic" }, ErrUnknownChannel},
+		{"bad-countermeasure", func(s *CampaignSpec) {
+			s.Config.Countermeasures = counter.Chain{{Name: counter.NoopInsert, Param: 2}}
+		}, ErrBadCountermeasure},
 	}
 	for _, c := range cases {
 		s := base
@@ -152,12 +158,99 @@ func TestCampaignSpecFingerprint(t *testing.T) {
 		func(s *CampaignSpec) { s.Repeats = 5 },
 		func(s *CampaignSpec) { s.Config.Distance = 1.0 },
 		func(s *CampaignSpec) { s.Events = []Event{ADD, LDM} },
+		func(s *CampaignSpec) { s.Config.Channel = "power" },
+		func(s *CampaignSpec) { s.Config.Channel = "impedance" },
+		func(s *CampaignSpec) {
+			s.Config.Countermeasures = counter.Chain{{Name: counter.NoopInsert, Param: 0.1}}
+		},
 	} {
 		s := base
 		tweak(&s)
 		if fp(s) == fp(base) {
 			t.Errorf("value-determining change did not change fingerprint: %+v", s)
 		}
+	}
+
+	// The legacy empty channel and the explicit "em" describe the same
+	// campaign: same fingerprint, so v1-era checkpoints stay usable.
+	em := base
+	em.Config.Channel = "em"
+	legacy := base
+	legacy.Config.Channel = ""
+	if fp(em) != fp(legacy) {
+		t.Error("empty channel and explicit em must fingerprint equal")
+	}
+}
+
+// TestSpecVersionGoldenRoundTrip loads the committed wire-format files
+// for both spec versions: the version-1 file (written before the channel
+// and countermeasure dimensions existed) must normalize to the exact
+// canonical v2 spec, and the version-2 file must load its channel and
+// countermeasure chain intact and survive a marshal/parse round trip.
+func TestSpecVersionGoldenRoundTrip(t *testing.T) {
+	v1, err := LoadCampaignSpec(filepath.Join("testdata", "spec-v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Version != SpecVersion {
+		t.Errorf("v1 file normalized to version %d, want %d", v1.Version, SpecVersion)
+	}
+	if v1.Config.Channel != "em" || len(v1.Config.Countermeasures) != 0 {
+		t.Errorf("v1 file defaults: channel %q, countermeasures %v", v1.Config.Channel, v1.Config.Countermeasures)
+	}
+	// The v1 file is the default campaign at the paper's setup with a
+	// 3-event grid; its normalized form must equal the same spec written
+	// natively in v2 — including the fingerprint that keys checkpoints.
+	want := DefaultCampaignSpec()
+	want.Events = []Event{ADD, LDM, DIV}
+	want.Repeats = 3
+	want.Seed = 17
+	want = want.Normalized()
+	if !reflect.DeepEqual(v1, want) {
+		t.Errorf("v1 file normalized to:\n%+v\nwant:\n%+v", v1, want)
+	}
+	fpGot, err := v1.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpWant, err := want.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpGot != fpWant {
+		t.Error("v1 file fingerprints differently from its native v2 form")
+	}
+
+	v2, err := LoadCampaignSpec(filepath.Join("testdata", "spec-v2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Config.Channel != "power" {
+		t.Errorf("v2 channel %q", v2.Config.Channel)
+	}
+	wantChain := counter.Chain{
+		{Name: counter.NoopInsert, Param: 0.1},
+		{Name: counter.SupplyFilter, Param: 20000},
+	}
+	if !reflect.DeepEqual(v2.Config.Countermeasures, wantChain) {
+		t.Errorf("v2 countermeasures %v, want %v", v2.Config.Countermeasures, wantChain)
+	}
+	data, err := v2.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCampaignSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, v2) {
+		t.Errorf("v2 marshal/parse round trip changed the spec:\n%+v\nvs\n%+v", back, v2)
+	}
+
+	// A future version is rejected no matter how plausible the body.
+	future := strings.Replace(string(data), `"version": 2`, fmt.Sprintf(`"version": %d`, SpecVersion+1), 1)
+	if _, err := ParseCampaignSpec([]byte(future)); !errors.Is(err, ErrSpecVersion) {
+		t.Errorf("future version: got %v, want ErrSpecVersion", err)
 	}
 }
 

@@ -22,6 +22,11 @@ var (
 	// ErrSpecVersion reports a CampaignSpec whose version this build does
 	// not understand.
 	ErrSpecVersion = errors.New("savat: unsupported campaign spec version")
+	// ErrUnknownChannel reports a Config channel name that is not in the
+	// machine.Channels registry.
+	ErrUnknownChannel = errors.New("savat: unknown channel")
+	// ErrBadCountermeasure reports an invalid countermeasure chain entry.
+	ErrBadCountermeasure = errors.New("savat: bad countermeasure")
 )
 
 // Validate checks a measurement configuration and campaign options
